@@ -1,0 +1,121 @@
+// Package aggchecker verifies natural-language text summaries of relational
+// data sets, reproducing the AggChecker system of Jo et al., "Verifying Text
+// Summaries of Relational Data Sets" (SIGMOD 2019).
+//
+// AggChecker works like a spell checker for numbers: given a database and a
+// document, it detects numeric claims, translates each claim into a
+// probability distribution over SQL aggregate queries (without any
+// database-specific training), evaluates tens of thousands of candidate
+// queries through merged, cached cube queries, and marks up the claims
+// whose most likely translation disagrees with the data.
+//
+// Quickstart:
+//
+//	tbl, _ := aggchecker.LoadCSVFile("nflsuspensions.csv", "")
+//	db := aggchecker.NewDatabase("nfl")
+//	db.MustAddTable(tbl)
+//	checker := aggchecker.New(db, aggchecker.DefaultConfig())
+//	report := checker.CheckHTML(article)
+//	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: true}))
+//
+// The exported types are aliases into the implementation packages under
+// internal/, so downstream code programs against one import path.
+package aggchecker
+
+import (
+	"aggchecker/internal/core"
+	"aggchecker/internal/db"
+	"aggchecker/internal/document"
+	"aggchecker/internal/model"
+	"aggchecker/internal/sqlexec"
+)
+
+// Database is an in-memory relational database (tables + PK-FK schema).
+type Database = db.Database
+
+// Table is one relational table with typed columns.
+type Table = db.Table
+
+// ForeignKey declares a PK-FK edge between two tables.
+type ForeignKey = db.ForeignKey
+
+// Document is a parsed hierarchical text document with detected claims.
+type Document = document.Document
+
+// Claim is one check-worthy numeric mention.
+type Claim = document.Claim
+
+// Checker verifies documents against one database.
+type Checker = core.Checker
+
+// Config aggregates all pipeline tunables; see DefaultConfig.
+type Config = core.Config
+
+// Report is the verification outcome for one document.
+type Report = core.Report
+
+// RenderOptions controls Report rendering.
+type RenderOptions = core.RenderOptions
+
+// ClaimResult is the per-claim verdict with its ranked query translations.
+type ClaimResult = model.ClaimResult
+
+// RankedQuery is one entry of a claim's query distribution.
+type RankedQuery = model.RankedQuery
+
+// Query is a Simple Aggregate Query (Definition 2 of the paper).
+type Query = sqlexec.Query
+
+// Predicate is a unary equality predicate of a query's WHERE clause.
+type Predicate = sqlexec.Predicate
+
+// ColumnRef names a table column.
+type ColumnRef = sqlexec.ColumnRef
+
+// EvalMode selects the candidate evaluation strategy.
+type EvalMode = core.EvalMode
+
+// Evaluation strategies (the rows of the paper's Table 6).
+const (
+	EvalCached = core.EvalCached
+	EvalMerged = core.EvalMerged
+	EvalNaive  = core.EvalNaive
+)
+
+// Aggregation functions supported by the query model.
+const (
+	Count                  = sqlexec.Count
+	CountDistinct          = sqlexec.CountDistinct
+	Sum                    = sqlexec.Sum
+	Avg                    = sqlexec.Avg
+	Min                    = sqlexec.Min
+	Max                    = sqlexec.Max
+	Percentage             = sqlexec.Percentage
+	ConditionalProbability = sqlexec.ConditionalProbability
+)
+
+// New creates a Checker for the database, building the fragment catalog and
+// keyword indexes.
+func New(d *Database, cfg Config) *Checker { return core.NewChecker(d, cfg) }
+
+// DefaultConfig returns the paper's main configuration.
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database { return db.NewDatabase(name) }
+
+// LoadCSVFile loads a table from a CSV file with type inference; the table
+// name defaults to the file's base name.
+func LoadCSVFile(path, tableName string) (*Table, error) {
+	return db.LoadCSVFile(path, tableName)
+}
+
+// ParseHTML parses HTML-lite markup into a Document and detects claims.
+func ParseHTML(src string) *Document { return document.ParseHTML(src) }
+
+// ParseText parses plain text with markdown-lite headings into a Document.
+func ParseText(src string) *Document { return document.ParseText(src) }
+
+// MatchesClaim reports whether a query result satisfies a claimed value
+// under the paper's rounding semantics (Definition 1).
+func MatchesClaim(result, claimed float64) bool { return model.Matches(result, claimed) }

@@ -1,0 +1,165 @@
+// Command aggcheck verifies a text document against a relational data set,
+// printing spell-checker-style markup for claims that disagree with the
+// data.
+//
+// Usage:
+//
+//	aggcheck -data sales.csv[,stores.csv...] [-dict dictionary.txt] article.html
+//	aggcheck -demo
+//
+// Each CSV becomes one table (named after the file). The optional data
+// dictionary maps column names to descriptions ("column: description" lines)
+// and improves keyword matching. -demo runs the embedded NFL example from
+// the paper.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"aggchecker"
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/sqlexec"
+	"aggchecker/internal/sqlparse"
+)
+
+func main() {
+	data := flag.String("data", "", "comma-separated CSV files forming the database")
+	dict := flag.String("dict", "", "optional data dictionary file")
+	color := flag.Bool("color", true, "ANSI color output")
+	top := flag.Int("top", 3, "query translations to print per claim")
+	demo := flag.Bool("demo", false, "run the embedded NFL example")
+	markup := flag.Bool("markup", false, "print the article with inline verdict markup")
+	query := flag.String("query", "", "evaluate one Simple Aggregate Query instead of checking a document")
+	claimed := flag.Float64("claimed", 0, "with -query: the claimed value to verify (Definition 1 rounding)")
+	flag.Parse()
+
+	if *demo {
+		runDemo(*color, *top, *markup)
+		return
+	}
+	if *data == "" || (*query == "" && flag.NArg() != 1) {
+		fmt.Fprintln(os.Stderr, "usage: aggcheck -data file.csv[,file2.csv...] [-dict dict.txt] article.html")
+		fmt.Fprintln(os.Stderr, "       aggcheck -data file.csv -query \"SELECT Count(*) FROM t WHERE c = 'v'\" [-claimed 42]")
+		os.Exit(2)
+	}
+
+	db := aggchecker.NewDatabase("userdb")
+	for _, path := range strings.Split(*data, ",") {
+		tbl, err := aggchecker.LoadCSVFile(strings.TrimSpace(path), "")
+		if err != nil {
+			fatal(err)
+		}
+		if err := db.AddTable(tbl); err != nil {
+			fatal(err)
+		}
+	}
+	if *query != "" {
+		runQuery(db, *query, *claimed, isFlagSet("claimed"))
+		return
+	}
+	if *dict != "" {
+		f, err := os.Open(*dict)
+		if err != nil {
+			fatal(err)
+		}
+		parsed, err := parseDict(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		db.ApplyDataDictionary(parsed)
+	}
+
+	raw, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	checker := aggchecker.New(db, aggchecker.DefaultConfig())
+	var report *aggchecker.Report
+	if strings.Contains(string(raw), "<") {
+		report = checker.CheckHTML(string(raw))
+	} else {
+		report = checker.CheckText(string(raw))
+	}
+	printReport(report, *color, *top, *markup)
+}
+
+// runQuery is the manual verification path (the "SQL + User" condition of
+// the paper's study): parse, evaluate, and optionally compare against a
+// claimed value under Definition 1 rounding.
+func runQuery(database *aggchecker.Database, input string, claimed float64, haveClaim bool) {
+	q, err := sqlparse.Parse(input, database)
+	if err != nil {
+		fatal(err)
+	}
+	v, err := sqlexec.NewEngine(database).Evaluate(q)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s = %.6g\n", q.SQL(database.Tables()[0].Name), v)
+	if haveClaim {
+		if aggchecker.MatchesClaim(v, claimed) {
+			fmt.Printf("claimed %.6g: CORRECT (some rounding of %.6g yields it)\n", claimed, v)
+		} else {
+			fmt.Printf("claimed %.6g: WRONG (no admissible rounding of %.6g yields it)\n", claimed, v)
+		}
+	}
+}
+
+func isFlagSet(name string) bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == name {
+			set = true
+		}
+	})
+	return set
+}
+
+func runDemo(color bool, top int, markup bool) {
+	tc := corpus.MustLoad().Cases[0]
+	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
+	report := checker.CheckHTML(tc.HTML)
+	printReport(report, color, top, markup)
+}
+
+func printReport(report *aggchecker.Report, color bool, top int, markup bool) {
+	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: color, TopQueries: top}))
+	if markup {
+		fmt.Println("\n--- marked-up article ---")
+		fmt.Print(report.Markup())
+	}
+}
+
+func parseDict(f *os.File) (map[string]string, error) {
+	out := map[string]string{}
+	var sb strings.Builder
+	buf := make([]byte, 1<<16)
+	for {
+		n, err := f.Read(buf)
+		sb.Write(buf[:n])
+		if err != nil {
+			break
+		}
+	}
+	for i, line := range strings.Split(sb.String(), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, desc, ok := strings.Cut(line, ":")
+		if !ok {
+			return nil, fmt.Errorf("dictionary line %d: missing ':'", i+1)
+		}
+		out[strings.TrimSpace(name)] = strings.TrimSpace(desc)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "aggcheck:", err)
+	os.Exit(1)
+}

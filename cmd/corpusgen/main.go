@@ -1,0 +1,87 @@
+// Command corpusgen writes the reproduction corpus to disk for inspection:
+// one directory per test case containing the article (article.html), the
+// data set (one CSV per table), and the ground truth (truth.tsv).
+//
+// Usage:
+//
+//	corpusgen -out ./corpus
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/db"
+)
+
+func main() {
+	out := flag.String("out", "corpus-out", "output directory")
+	flag.Parse()
+
+	c := corpus.MustLoad()
+	for _, tc := range c.Cases {
+		dir := filepath.Join(*out, tc.Name)
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dir, "article.html"), []byte(tc.HTML), 0o644); err != nil {
+			fatal(err)
+		}
+		for _, tbl := range tc.DB.Tables() {
+			if err := writeCSV(filepath.Join(dir, tbl.Name+".csv"), tbl); err != nil {
+				fatal(err)
+			}
+		}
+		if err := writeTruth(filepath.Join(dir, "truth.tsv"), tc); err != nil {
+			fatal(err)
+		}
+	}
+	stats := c.ComputeStats()
+	fmt.Printf("wrote %d cases (%d claims, %d erroneous) to %s\n",
+		stats.Articles, stats.Claims, stats.Erroneous, *out)
+}
+
+func writeCSV(path string, tbl *db.Table) error {
+	var sb strings.Builder
+	for i, col := range tbl.Columns {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(col.Name)
+	}
+	sb.WriteByte('\n')
+	for r := 0; r < tbl.NumRows(); r++ {
+		for i, col := range tbl.Columns {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			cell := col.StringAt(r)
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = `"` + strings.ReplaceAll(cell, `"`, `""`) + `"`
+			}
+			sb.WriteString(cell)
+		}
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func writeTruth(path string, tc *corpus.TestCase) error {
+	var sb strings.Builder
+	sb.WriteString("claim\tclaimed\tcorrect_value\tis_correct\tsql\n")
+	defaultTable := tc.DB.Tables()[0].Name
+	for i, t := range tc.Truth {
+		fmt.Fprintf(&sb, "%d\t%s\t%.6g\t%v\t%s\n",
+			i, t.ClaimedText, t.CorrectValue, t.Correct, t.Query.SQL(defaultTable))
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "corpusgen:", err)
+	os.Exit(1)
+}

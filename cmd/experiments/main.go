@@ -1,0 +1,102 @@
+// Command experiments regenerates the tables and figures of "Verifying
+// Text Summaries of Relational Data Sets" (SIGMOD 2019) over the
+// reproduction corpus.
+//
+// Usage:
+//
+//	experiments [-quick] <id>...
+//	experiments all
+//
+// where <id> is one of: table3 table4 table5 table6 table8 table9 table10
+// table11 figure6 figure7 figure8 figure9 figure10 figure11 figure12
+// figure13. The -quick flag runs a reduced corpus with smaller evaluation
+// budgets (for smoke testing).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"aggchecker/internal/baselines"
+	"aggchecker/internal/experiments"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced corpus and budgets")
+	flag.Parse()
+	ids := flag.Args()
+	if len(ids) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: experiments [-quick] <table3|...|figure13|all>")
+		os.Exit(2)
+	}
+	if len(ids) == 1 && ids[0] == "all" {
+		ids = []string{
+			"figure8", "figure9", "table5", "table6", "table9", "table10",
+			"figure10", "figure11", "figure12", "figure13",
+			"table3", "table4", "table8", "table11", "figure6", "figure7", "ablations",
+		}
+	}
+	o := experiments.NewOptions(*quick)
+	var studyBundle *experiments.StudyBundle
+	study := func() *experiments.StudyBundle {
+		if studyBundle == nil {
+			studyBundle = experiments.RunStudy(o)
+		}
+		return studyBundle
+	}
+	w := os.Stdout
+	for _, id := range ids {
+		switch id {
+		case "table3":
+			experiments.PrintTable3(w, study())
+		case "table4":
+			experiments.PrintTable4(w, study())
+		case "table5":
+			context := experiments.RunContextAblation(o)
+			modelRows := experiments.RunModelAblation(o)
+			hits := experiments.RunHitsSweep(o, []int{1, 10, 20, 30})
+			fm1 := experiments.RunClaimBusterFM(o, baselines.MaxSimilarity)
+			fm2 := experiments.RunClaimBusterFM(o, baselines.MajorityVote)
+			kb := experiments.RunClaimBusterKB(o)
+			main := context[len(context)-1]
+			main.Name = "AggChecker Automatic"
+			experiments.PrintTable5(w, context, modelRows, hits, fm1, fm2, kb, main)
+		case "table6":
+			experiments.PrintTable6(w, experiments.RunTable6(o))
+		case "table8":
+			experiments.PrintTable8(w, study())
+		case "table9":
+			experiments.PrintTable9(w, experiments.RunTable9(o, 12))
+		case "table10":
+			experiments.PrintTable10(w, experiments.RunModelAblation(o))
+		case "table11":
+			experiments.PrintTable11(w, o, study())
+		case "figure6":
+			experiments.PrintFigure6(w, study())
+		case "figure7":
+			experiments.PrintFigure7(w, study())
+		case "figure8":
+			experiments.PrintFigure8(w, experiments.RunFigure8(o))
+		case "figure9":
+			experiments.PrintFigure9(w, experiments.RunFigure9(o))
+		case "figure10":
+			experiments.PrintFigure10(w, experiments.RunFigure10(o))
+		case "figure11":
+			experiments.PrintFigure11(w, experiments.RunContextAblation(o))
+		case "figure12":
+			experiments.PrintFigure12(w, experiments.RunFigure12(o,
+				[]float64{0.5, 0.75, 0.9, 0.99, 0.999, 0.9999}))
+		case "ablations":
+			experiments.PrintDesignAblations(w, experiments.RunDesignAblations(o))
+		case "figure13":
+			hits := experiments.RunHitsSweep(o, []int{1, 10, 20, 30})
+			aggs := experiments.RunAggColsSweep(o, []int{1, 2, 4, 8})
+			experiments.PrintFigure13(w, hits, aggs)
+		default:
+			fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Fprintln(w)
+	}
+}

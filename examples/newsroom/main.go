@@ -1,0 +1,81 @@
+// Semi-automated verification (§2's Semi-Automatic Aggregate-Checking): the
+// checker produces tentative verdicts and a ranked list of query
+// translations per claim; a simulated lector then reviews each claim the
+// way the paper's user study participants did — accept top-1, pick among
+// top-5/top-10, or assemble a query — and the session ends with a corrected
+// verdict sheet and the interaction cost in clicks.
+package main
+
+import (
+	"fmt"
+
+	"aggchecker"
+	"aggchecker/internal/core"
+	"aggchecker/internal/corpus"
+)
+
+func main() {
+	// A politics article from the reproduction corpus, with ground truth.
+	var tc *corpus.TestCase
+	for _, c := range corpus.MustLoad().Cases {
+		if c.Source == "nyt" {
+			tc = c
+			break
+		}
+	}
+	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
+	report := checker.Check(tc.Doc)
+
+	fmt.Printf("Article: %s (%d claims)\n\n", tc.Name, len(tc.Truth))
+
+	clicks := 0
+	correctVerdicts := 0
+	for i, cr := range report.Claims() {
+		truth := tc.Truth[i]
+		rank := core.RankOf(cr, truth.Query)
+		var action string
+		switch {
+		case rank == 0:
+			action = "accepted top suggestion"
+			clicks++
+		case rank > 0 && rank < 5:
+			action = fmt.Sprintf("picked #%d from top-5", rank+1)
+			clicks += 2
+		case rank >= 5 && rank < 10:
+			action = fmt.Sprintf("picked #%d from top-10", rank+1)
+			clicks += 3
+		default:
+			action = "assembled query from fragments"
+			clicks += 6
+		}
+		// After selecting the right query the lector sees its result and
+		// the verdict is exact.
+		verdictRight := true
+		correctVerdicts++
+		status := "OK"
+		if !truth.Correct {
+			status = fmt.Sprintf("WRONG (correct: %.6g)", truth.CorrectValue)
+		}
+		agreement := "agreed with"
+		if cr.Erroneous == truth.Correct { // tentative verdict was wrong
+			agreement = "corrected"
+		}
+		fmt.Printf("claim %-8q %-28s — lector %s the tentative markup → %s\n",
+			cr.Claim.Text(), action, agreement, status)
+		_ = verdictRight
+	}
+	fmt.Printf("\nSession: %d claims verified with %d clicks (%.1f clicks/claim).\n",
+		correctVerdicts, clicks, float64(clicks)/float64(correctVerdicts))
+	fmt.Printf("Fully automated tentative verdicts: %d/%d claims flagged, ground truth has %d erroneous.\n",
+		len(report.ErroneousClaims()), len(tc.Truth), countErrors(tc))
+}
+
+func countErrors(tc *corpus.TestCase) int {
+	n := 0
+	for _, t := range tc.Truth {
+		if !t.Correct {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,58 @@
+// Quickstart: verify three claims about a tiny sales table using the
+// public aggchecker API. This is the smallest end-to-end use of the
+// library: build a database in memory, write an article, check it.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+
+	"aggchecker"
+	"aggchecker/internal/db"
+)
+
+const salesCSV = `region,product,units,price
+east,widget,10,5
+east,gadget,3,12
+west,widget,7,5
+west,widget,2,6
+south,gadget,8,11
+south,widget,4,5
+east,widget,6,5
+`
+
+const article = `<h1>Quarterly Sales Notes</h1>
+<p>The ledger records 7 sales in total. Three of them came from east.</p>
+<h2>Widget performance</h2>
+<p>There were 5 widget sales. The average price of a widget was 9 dollars.</p>`
+
+func main() {
+	table, err := db.LoadCSV(strings.NewReader(salesCSV), "sales")
+	if err != nil {
+		log.Fatal(err)
+	}
+	database := aggchecker.NewDatabase("shop")
+	if err := database.AddTable(table); err != nil {
+		log.Fatal(err)
+	}
+
+	checker := aggchecker.New(database, aggchecker.DefaultConfig())
+	report := checker.CheckHTML(article)
+
+	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: false, TopQueries: 2}))
+	fmt.Println("\nInline markup:")
+	fmt.Print(report.Markup())
+
+	// The article contains two deliberate mistakes: "7 sales" (there are
+	// exactly 7 rows — correct), "Three … from east" (correct), "5 widget
+	// sales" (correct), and "average price … 9 dollars" (wrong: the widget
+	// average is about 5.2). Inspect the verdicts programmatically:
+	for _, cr := range report.Claims() {
+		if cr.Erroneous {
+			best := cr.Best()
+			fmt.Printf("\nflagged %q: most likely query %q evaluates to %.4g\n",
+				cr.Claim.Text(), best.Query.Describe(), best.Result)
+		}
+	}
+}

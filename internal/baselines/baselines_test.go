@@ -1,0 +1,128 @@
+package baselines
+
+import (
+	"strings"
+	"testing"
+
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/document"
+)
+
+func TestFactRepositoryMatching(t *testing.T) {
+	repo := NewFactRepository([]Fact{
+		{Statement: "There were four lifetime bans in the league", True: false},
+		{Statement: "The average salary of developers rose sharply", True: true},
+		{Statement: "Turnout in the primaries hit a record high", True: true},
+	})
+	matches := repo.TopMatches("There were only four previous lifetime bans in my database", 3)
+	if len(matches) == 0 {
+		t.Fatal("no matches")
+	}
+	if !strings.Contains(matches[0].Fact.Statement, "lifetime bans") {
+		t.Errorf("top match = %q", matches[0].Fact.Statement)
+	}
+	v := repo.CheckFM("There were only four previous lifetime bans in my database", MaxSimilarity)
+	if !v.Supported || !v.Flagged {
+		t.Errorf("verdict = %+v, want supported and flagged (matched fact is false)", v)
+	}
+}
+
+func TestFactRepositoryCoverageGap(t *testing.T) {
+	repo := NewFactRepository([]Fact{
+		{Statement: "Completely unrelated statement about weather patterns", True: true},
+	})
+	v := repo.CheckFM("Nine suspensions were handed out for substance abuse", MaxSimilarity)
+	if v.Supported {
+		t.Errorf("out-of-repository claim should be unsupported, got %+v", v)
+	}
+}
+
+func TestMajorityVote(t *testing.T) {
+	// Two of three similar statements are true: majority vote passes the
+	// claim while max-similarity follows whichever single fact tops the
+	// ranking.
+	repo := NewFactRepository([]Fact{
+		{Statement: "donations to republican candidates from texas numbered in the dozens", True: true},
+		{Statement: "donations to republican candidates rose again", True: true},
+		{Statement: "donations to republican candidates from texas doubled overnight and from texas again", True: false},
+	})
+	claim := "There were 72 donations to republican candidates from texas"
+	mv := repo.CheckFM(claim, MajorityVote)
+	if !mv.Supported {
+		t.Fatal("claim should be supported")
+	}
+	if mv.Flagged {
+		t.Error("majority of similar facts are true; claim should pass")
+	}
+}
+
+func TestNaLIRTranslatesExplicitQuestion(t *testing.T) {
+	c := corpus.MustLoad().Cases[0] // NFL
+	n := NewNaLIR(c.DB)
+	q, ok := n.Translate("How many suspensions for gambling?")
+	if !ok {
+		t.Fatal("explicit count question should translate")
+	}
+	if q.Agg.String() != "Count" || len(q.Preds) != 1 || q.Preds[0].Value != "gambling" {
+		t.Errorf("query = %+v", q)
+	}
+}
+
+func TestNaLIRFailsWithoutFunctionKeyword(t *testing.T) {
+	c := corpus.MustLoad().Cases[0]
+	n := NewNaLIR(c.DB)
+	if _, ok := n.Translate("There were only four previous lifetime bans in my database"); ok {
+		t.Error("implicit count should fail translation (no command token)")
+	}
+}
+
+func TestNaLIRFailsOnLongSentences(t *testing.T) {
+	c := corpus.MustLoad().Cases[0]
+	n := NewNaLIR(c.DB)
+	long := "how many of the many varied suspensions gambling substance outcomes seasons teams players fines reasons decisions appeals rulings verdicts?"
+	if _, ok := n.Translate(long); ok {
+		t.Error("overlong question should fail the parse mapping")
+	}
+}
+
+func TestNaLIRCheckKBOnNFL(t *testing.T) {
+	c := corpus.MustLoad().Cases[0]
+	n := NewNaLIR(c.DB)
+	translated, answered := 0, 0
+	for _, claim := range c.Doc.Claims {
+		v := n.CheckKB(claim)
+		if v.Translated {
+			translated++
+		}
+		if v.Answered {
+			answered++
+		}
+	}
+	// The pipeline must exhibit the paper's bottleneck: far fewer answers
+	// than claims.
+	if answered == len(c.Doc.Claims) {
+		t.Errorf("NaLIR answered every claim (%d); expected coverage gaps", answered)
+	}
+	t.Logf("translated %d/%d, answered %d/%d", translated, len(c.Doc.Claims), answered, len(c.Doc.Claims))
+}
+
+func TestQuestionGeneration(t *testing.T) {
+	// A simple single-clause claim yields the raw sentence plus a
+	// "How many" rewrite.
+	doc := document.ParseText("There were 7 stores in the northeast.")
+	qs := (QuestionGenerator{}).Questions(doc.Claims[0])
+	if len(qs) != 2 {
+		t.Fatalf("questions = %v", qs)
+	}
+	if !strings.HasPrefix(qs[1], "How many stores") {
+		t.Errorf("rewrite = %q", qs[1])
+	}
+	// Multi-claim, multi-clause sentences defeat the generator: only the
+	// raw sentence is issued.
+	doc2 := document.ParseText("Three were for substance abuse, one was for gambling.")
+	for _, c := range doc2.Claims {
+		if got := (QuestionGenerator{}).Questions(c); len(got) != 1 {
+			t.Errorf("multi-clause claim produced %v", got)
+		}
+	}
+}

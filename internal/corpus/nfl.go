@@ -1,0 +1,185 @@
+package corpus
+
+import (
+	"fmt"
+	"strings"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/document"
+	"aggchecker/internal/sqlexec"
+)
+
+// nflCSV transcribes the shape of the paper's running example (Figure 2, a
+// FiveThirtyEight data set of league suspensions, ~230 rows in the
+// original): 64 suspensions with five lifetime bans, of which four were for
+// repeated substance abuse and one for gambling. The article text below
+// claims "four" and "three" — the exact error documented in Table 9 of the
+// paper (the data was updated after the article's publication). The rows
+// beyond the documented cases are synthetic filler keeping the same shape.
+const nflCSV = `name,team,games,category,year,fine
+Art Schlichter,colts,indef,gambling,1983,100000
+Josh Gordon,browns,indef,repeated substance abuse,2014,250000
+Stanley Wilson,bengals,indef,repeated substance abuse,1989,50000
+Dexter Manley,redskins,indef,repeated substance abuse,1991,75000
+Roy Lewis,seahawks,indef,repeated substance abuse,2012,120000
+Leon Lett,cowboys,4,substance abuse,1995,180000
+Dave Meggett,patriots,4,substance abuse,1997,90000
+Bam Morris,ravens,8,substance abuse,1996,60000
+Tanard Jackson,buccaneers,16,substance abuse,2012,200000
+Aaron Berry,lions,3,substance abuse,2012,110000
+Justin Blackmon,jaguars,4,substance abuse,2013,85000
+LaRon Landry,colts,4,substance abuse,2015,95000
+Daryl Washington,cardinals,16,substance abuse,2014,130000
+Fred Davis,redskins,4,substance abuse,2011,140000
+Ray Rice,ravens,2,personal conduct,2014,150000
+Adam Jones,bengals,1,personal conduct,2007,87000
+Jalen Hollis,raiders,4,personal conduct,1997,81000
+Jalen Whitaker,falcons,1,personal conduct,1990,57000
+Malik Calloway,packers,4,personal conduct,2012,342000
+Isaiah Calloway,panthers,6,personal conduct,2015,13000
+Chris Renfro,texans,6,personal conduct,1994,120000
+Kevin Mabry,giants,10,personal conduct,1993,193000
+Lamar Ferguson,bears,16,personal conduct,2007,73000
+Victor Whitaker,dolphins,8,personal conduct,2008,108000
+Tyrell Granger,chargers,6,personal conduct,1992,129000
+Jalen Oakley,raiders,16,personal conduct,2010,196000
+Chris Varner,titans,4,personal conduct,2011,146000
+Tyrell Delaney,chargers,3,personal conduct,2004,204000
+Trent Calloway,texans,1,personal conduct,1997,26000
+Kevin Oakley,raiders,2,personal conduct,1996,300000
+Kevin Pruitt,vikings,10,personal conduct,2010,244000
+Andre Ferguson,eagles,4,personal conduct,2013,297000
+Trent Renfro,saints,8,personal conduct,1997,80000
+Brandon Whitaker,bears,2,personal conduct,1994,331000
+Tyrell Oakley,saints,16,performance enhancing drugs,2006,138000
+Marcus Mabry,raiders,8,performance enhancing drugs,1993,160000
+Isaiah Delaney,panthers,1,performance enhancing drugs,2013,378000
+Trent Delaney,jets,6,performance enhancing drugs,2016,337000
+Malik Stokes,titans,3,performance enhancing drugs,2007,281000
+Marcus Sexton,vikings,1,performance enhancing drugs,1993,195000
+Darius Calloway,bears,4,performance enhancing drugs,2008,50000
+Tyrell Quarles,giants,3,performance enhancing drugs,1994,347000
+Brandon Delaney,raiders,10,performance enhancing drugs,1996,286000
+Malik Braddock,saints,8,performance enhancing drugs,2004,274000
+Terrell Mabry,chargers,4,performance enhancing drugs,1992,183000
+Marcus Calloway,chargers,1,performance enhancing drugs,1992,372000
+Devin Calloway,giants,1,performance enhancing drugs,2000,46000
+Jordan Ferguson,vikings,4,performance enhancing drugs,2007,77000
+Brandon Calloway,vikings,10,performance enhancing drugs,1996,58000
+Jalen Renfro,titans,10,performance enhancing drugs,2003,249000
+Devin Mabry,bears,10,on field misconduct,2013,183000
+Jalen Calloway,broncos,4,on field misconduct,2007,239000
+Andre Renfro,steelers,6,on field misconduct,2004,137000
+Tyrell Lattimore,jets,1,on field misconduct,2010,286000
+Marcus Whitaker,chargers,3,on field misconduct,2003,258000
+Brandon Pruitt,saints,1,on field misconduct,1995,204000
+Marcus Oakley,raiders,16,on field misconduct,1999,226000
+Brandon Stokes,broncos,6,on field misconduct,1996,39000
+Devin Sexton,bears,1,on field misconduct,2008,254000
+Chris Granger,giants,3,on field misconduct,1992,314000
+Tyrell Calloway,saints,2,on field misconduct,2008,136000
+Devin Whitaker,falcons,8,on field misconduct,1998,114000
+Kevin Calloway,raiders,10,on field misconduct,1994,353000
+Darius Lattimore,texans,2,on field misconduct,1990,244000
+`
+
+const nflHTML = `<title>The League's Uneven History of Punishing Domestic Violence</title>
+<h1>The League's Uneven History of Punishing Domestic Violence</h1>
+<p>Our look at the suspensions data reveals clear patterns.
+The average fine came to roughly 180,000 dollars.
+The suspensions in my database span 28 different teams.</p>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+<h2>Substance abuse suspensions</h2>
+<p>Nine suspensions were handed out for substance abuse.
+The trend holds across the rest of the data as well.</p>`
+
+// nflDataDictionary demonstrates the optional data dictionary input (§4.2).
+var nflDataDictionary = map[string]string{
+	"games":    "number of games suspended, indef denotes an indefinite lifetime ban",
+	"category": "reason for the suspension",
+	"fine":     "fine amount in dollars",
+}
+
+// nflCase builds the embedded test case.
+func nflCase() (*TestCase, error) {
+	tbl, err := db.LoadCSV(strings.NewReader(nflCSV), "nflsuspensions")
+	if err != nil {
+		return nil, err
+	}
+	database := db.NewDatabase("nfl")
+	database.MustAddTable(tbl)
+	database.ApplyDataDictionary(nflDataDictionary)
+
+	doc := document.ParseHTML(nflHTML)
+	ref := func(col string) sqlexec.ColumnRef {
+		return sqlexec.ColumnRef{Table: "nflsuspensions", Column: col}
+	}
+	pred := func(col, val string) sqlexec.Predicate {
+		return sqlexec.Predicate{Col: ref(col), Value: val}
+	}
+	truth := []ClaimTruth{
+		{ // "average fine came to roughly 180,000 dollars" — 11,280,000/64
+			Query:        sqlexec.Query{Agg: sqlexec.Avg, AggCol: ref("fine")},
+			Correct:      true,
+			CorrectValue: 176250,
+			ClaimedValue: 180000,
+			ClaimedText:  "180,000",
+		},
+		{ // "span 28 different teams"
+			Query:        sqlexec.Query{Agg: sqlexec.CountDistinct, AggCol: ref("team")},
+			Correct:      true,
+			CorrectValue: 28,
+			ClaimedValue: 28,
+			ClaimedText:  "28",
+		},
+		{ // "four previous lifetime bans" — WRONG, there are five (Table 9)
+			Query:        sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{pred("games", "indef")}},
+			Correct:      false,
+			CorrectValue: 5,
+			ClaimedValue: 4,
+			ClaimedText:  "four",
+		},
+		{ // "three were for repeated substance abuse" — WRONG, four
+			Query: sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
+				pred("games", "indef"), pred("category", "repeated substance abuse")}},
+			Correct:      false,
+			CorrectValue: 4,
+			ClaimedValue: 3,
+			ClaimedText:  "Three",
+		},
+		{ // "one was for gambling"
+			Query: sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
+				pred("games", "indef"), pred("category", "gambling")}},
+			Correct:      true,
+			CorrectValue: 1,
+			ClaimedValue: 1,
+			ClaimedText:  "one",
+		},
+		{ // "Nine suspensions were handed out for substance abuse"
+			Query:        sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{pred("category", "substance abuse")}},
+			Correct:      true,
+			CorrectValue: 9,
+			ClaimedValue: 9,
+			ClaimedText:  "Nine",
+		},
+	}
+	if len(doc.Claims) != len(truth) {
+		return nil, fmt.Errorf("corpus: nfl case claim alignment: detected %d, expected %d", len(doc.Claims), len(truth))
+	}
+	for i, c := range doc.Claims {
+		if c.Claimed.Value != truth[i].ClaimedValue {
+			return nil, fmt.Errorf("corpus: nfl claim %d: detected %v, expected %v", i, c.Claimed.Value, truth[i].ClaimedValue)
+		}
+	}
+	return &TestCase{
+		Name:   "nfl-suspensions",
+		Source: "538",
+		DB:     database,
+		HTML:   nflHTML,
+		Doc:    doc,
+		Truth:  truth,
+		Study:  true,
+	}, nil
+}

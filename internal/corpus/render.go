@@ -1,0 +1,215 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"aggchecker/internal/sqlexec"
+)
+
+// numberWords spells small claimed values; mixing spelled and digit forms
+// mirrors the paper's test cases ("four previous lifetime bans").
+var numberWords = []string{
+	"zero", "one", "two", "three", "four", "five", "six", "seven",
+	"eight", "nine", "ten", "eleven", "twelve",
+}
+
+// spellOrDigits renders a non-negative integer claim value.
+func spellOrDigits(rng *rand.Rand, v float64) string {
+	n := int64(v)
+	if n >= 1 && n < int64(len(numberWords)) && rng.Intn(2) == 0 {
+		return numberWords[n]
+	}
+	return strconv.FormatInt(n, 10)
+}
+
+// formatValue renders a claimed value for a given function.
+func formatValue(rng *rand.Rand, fn sqlexec.AggFunc, v float64) string {
+	switch fn {
+	case sqlexec.Count, sqlexec.CountDistinct, sqlexec.Min, sqlexec.Max:
+		if v == float64(int64(v)) {
+			return spellOrDigits(rng, v)
+		}
+		return trimFloat(v)
+	case sqlexec.Percentage, sqlexec.ConditionalProbability:
+		if rng.Intn(2) == 0 {
+			return trimFloat(v) + "%"
+		}
+		return trimFloat(v) + " percent"
+	default: // Sum, Avg
+		if v >= 1e6 {
+			return trimFloat(v/1e6) + " million"
+		}
+		if v == float64(int64(v)) {
+			return strconv.FormatInt(int64(v), 10)
+		}
+		return trimFloat(v)
+	}
+}
+
+func trimFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
+}
+
+// claim sentence templates; {V} = value, {P} = predicate phrase(s), {N} =
+// row noun, {A} = aggregation column phrase, {U} = unit. Roughly 30% of the
+// Count templates state no aggregation keyword, matching the paper's
+// observation that 30% of claims leave the function implicit.
+var countTemplates = []string{
+	"There were {V} {N} {P}.",
+	"There were only {V} {N} {P}.",
+	"The data lists {V} {N} {P}.",
+	"A total of {V} {N} {P} appear in the records.",
+	"{N_title} {P} numbered {V}.",
+	"Researchers counted {V} {N} {P}.",
+}
+
+var countContextTemplates = []string{
+	"Only {V} such {N} appear in the data.",
+	"There were just {V} of them.",
+	"The records show {V} such cases.",
+	"{V_title} such {N} made the list.",
+}
+
+var percentTemplates = []string{
+	"{V} of {N} were {P}.",
+	"About {V} of all {N} were {P}.",
+	"Roughly {V} of the {N} fell {P}.",
+	"{V} of {N} in the data were {P}.",
+}
+
+var percentContextTemplates = []string{
+	"They made up {V} of all {N}.",
+	"That group accounts for {V} of the total.",
+}
+
+var sumTemplates = []string{
+	"The combined {A} {P} reached {V} {U}.",
+	"{N_title} {P} totaled {V} {U} in {A}.",
+	"Altogether, {A} {P} added up to {V} {U}.",
+}
+
+var avgTemplates = []string{
+	"The average {A} {P} was {V} {U}.",
+	"On average, {N} {P} showed a {A} of {V} {U}.",
+	"A typical entry {P} had a {A} of {V} {U}.",
+}
+
+var minTemplates = []string{
+	"The lowest {A} {P} was {V} {U}.",
+	"At the bottom, {A} {P} dipped to {V} {U}.",
+}
+
+var maxTemplates = []string{
+	"The highest {A} {P} was {V} {U}.",
+	"The largest {A} {P} reached {V} {U}.",
+	"At its peak, {A} {P} hit {V} {U}.",
+}
+
+var countDistinctTemplates = []string{
+	"{N_title} {P} involved {V} different {A}.",
+	"There were {V} distinct {A} among {N} {P}.",
+	"{N_title} {P} came from {V} separate {A}.",
+}
+
+var condProbTemplates = []string{
+	"Given {N} {P0}, the odds of being {P1} stood at {V}.",
+	"Among {N} {P0}, the probability of being {P1} was {V}.",
+}
+
+// fillerSentences pad paragraphs; they must not contain digits or spelled
+// numbers, so claim detection stays aligned with the generated truth.
+var fillerSentences = []string{
+	"The pattern is hard to miss.",
+	"That gap has widened steadily in recent years.",
+	"Analysts disagree about what drives the trend.",
+	"The records tell a consistent story here.",
+	"Context matters when reading these figures.",
+	"The picture changes once you look closer.",
+	"Officials declined to comment on the data.",
+	"The trend holds across the rest of the data as well.",
+}
+
+// fillTemplate substitutes the placeholders of a claim template.
+func fillTemplate(tpl string, repl map[string]string) string {
+	out := tpl
+	for key, val := range repl {
+		out = strings.ReplaceAll(out, "{"+key+"}", val)
+	}
+	// Collapse doubled spaces from empty predicate phrases and fix
+	// space-before-period artifacts.
+	out = strings.Join(strings.Fields(out), " ")
+	out = strings.ReplaceAll(out, " .", ".")
+	out = strings.ReplaceAll(out, " ,", ",")
+	return out
+}
+
+// titleCase upper-cases the first rune (for sentence-initial slots).
+func titleCase(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// renderSentence builds the claim sentence for one planned claim.
+func renderSentence(rng *rand.Rand, fn sqlexec.AggFunc, valueText string, predPhrases []string, noun, aggPhrase, unit string, contextMode bool) string {
+	pick := func(tpls []string) string { return tpls[rng.Intn(len(tpls))] }
+	pred := strings.Join(predPhrases, " ")
+	repl := map[string]string{
+		"V":       valueText,
+		"V_title": titleCase(valueText),
+		"P":       pred,
+		"N":       noun,
+		"N_title": titleCase(noun),
+		"A":       aggPhrase,
+		"U":       unit,
+	}
+	var tpl string
+	switch fn {
+	case sqlexec.Count:
+		if contextMode && pred == "" {
+			tpl = pick(countContextTemplates)
+		} else {
+			tpl = pick(countTemplates)
+		}
+	case sqlexec.Percentage:
+		if contextMode && pred == "" {
+			tpl = pick(percentContextTemplates)
+		} else {
+			tpl = pick(percentTemplates)
+		}
+	case sqlexec.Sum:
+		tpl = pick(sumTemplates)
+	case sqlexec.Avg:
+		tpl = pick(avgTemplates)
+	case sqlexec.Min:
+		tpl = pick(minTemplates)
+	case sqlexec.Max:
+		tpl = pick(maxTemplates)
+	case sqlexec.CountDistinct:
+		tpl = pick(countDistinctTemplates)
+	case sqlexec.ConditionalProbability:
+		repl["P0"] = ""
+		repl["P1"] = ""
+		if len(predPhrases) > 0 {
+			repl["P0"] = predPhrases[0]
+		}
+		if len(predPhrases) > 1 {
+			repl["P1"] = predPhrases[1]
+		}
+		tpl = pick(condProbTemplates)
+	default:
+		tpl = pick(countTemplates)
+	}
+	return fillTemplate(tpl, repl)
+}
+
+// joinClaimSentences merges two rendered count claims into one multi-claim
+// sentence (29% of the paper's claim sentences hold several claims).
+func joinClaimSentences(first, secondValue string, secondPred string) string {
+	trimmed := strings.TrimSuffix(first, ".")
+	return fmt.Sprintf("%s, while %s were %s.", trimmed, secondValue, secondPred)
+}

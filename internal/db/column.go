@@ -1,0 +1,212 @@
+// Package db implements the in-memory relational engine that substitutes
+// for PostgreSQL in the paper's architecture. It provides typed,
+// column-oriented tables loaded from CSV, primary/foreign-key metadata,
+// join-path discovery over an acyclic schema, and per-column value indexes.
+// Query evaluation (filters, aggregates, the CUBE operator) lives in package
+// sqlexec and operates on the row views exposed here.
+package db
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Kind is the storage type of a column. Integer data is stored as Float with
+// the Integral flag set; this matches the paper's query model, where every
+// aggregate evaluates to a real number.
+type Kind int
+
+const (
+	// KindString is dictionary-encoded text.
+	KindString Kind = iota
+	// KindFloat is numeric (integers included).
+	KindFloat
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindString:
+		return "string"
+	case KindFloat:
+		return "float"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Column is a typed column of a table. String columns are dictionary
+// encoded: Codes[i] indexes into the dictionary, -1 meaning NULL. Float
+// columns store NaN for NULL.
+type Column struct {
+	Name        string
+	Description string // from the data dictionary, if any
+	Kind        Kind
+	Integral    bool // float column whose values are all integers
+
+	floats []float64
+	codes  []int32
+	dict   []string
+	dictID map[string]int32
+
+	mu       sync.Mutex
+	valIndex map[int32][]int32 // string code -> row ids (built lazily)
+}
+
+// NewStringColumn returns an empty string column.
+func NewStringColumn(name string) *Column {
+	return &Column{Name: name, Kind: KindString, dictID: make(map[string]int32)}
+}
+
+// NewFloatColumn returns an empty numeric column.
+func NewFloatColumn(name string) *Column {
+	return &Column{Name: name, Kind: KindFloat, Integral: true}
+}
+
+// Len returns the number of rows stored.
+func (c *Column) Len() int {
+	if c.Kind == KindString {
+		return len(c.codes)
+	}
+	return len(c.floats)
+}
+
+// AppendString appends a string value; the empty string is NULL.
+func (c *Column) AppendString(v string) {
+	if c.Kind != KindString {
+		panic("db: AppendString on non-string column " + c.Name)
+	}
+	if v == "" {
+		c.codes = append(c.codes, -1)
+		return
+	}
+	id, ok := c.dictID[v]
+	if !ok {
+		id = int32(len(c.dict))
+		c.dict = append(c.dict, v)
+		c.dictID[v] = id
+	}
+	c.codes = append(c.codes, id)
+}
+
+// AppendFloat appends a numeric value; NaN is NULL.
+func (c *Column) AppendFloat(v float64) {
+	if c.Kind != KindFloat {
+		panic("db: AppendFloat on non-float column " + c.Name)
+	}
+	if !math.IsNaN(v) && v != math.Trunc(v) {
+		c.Integral = false
+	}
+	c.floats = append(c.floats, v)
+}
+
+// IsNull reports whether row i holds NULL.
+func (c *Column) IsNull(i int) bool {
+	if c.Kind == KindString {
+		return c.codes[i] < 0
+	}
+	return math.IsNaN(c.floats[i])
+}
+
+// Float returns the numeric value at row i (NaN when NULL or non-numeric).
+func (c *Column) Float(i int) float64 {
+	if c.Kind == KindFloat {
+		return c.floats[i]
+	}
+	return math.NaN()
+}
+
+// Code returns the dictionary code at row i (-1 when NULL or numeric).
+func (c *Column) Code(i int) int32 {
+	if c.Kind == KindString {
+		return c.codes[i]
+	}
+	return -1
+}
+
+// CodeOf returns the dictionary code of value v, or -1 if v never occurs.
+func (c *Column) CodeOf(v string) int32 {
+	if c.Kind != KindString {
+		return -1
+	}
+	if id, ok := c.dictID[v]; ok {
+		return id
+	}
+	return -1
+}
+
+// StringAt formats the value at row i for display.
+func (c *Column) StringAt(i int) string {
+	if c.IsNull(i) {
+		return ""
+	}
+	if c.Kind == KindString {
+		return c.dict[c.codes[i]]
+	}
+	if c.Integral {
+		return strconv.FormatInt(int64(c.floats[i]), 10)
+	}
+	return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+}
+
+// Dictionary returns the distinct non-null string values, in first-seen
+// order. The returned slice must not be modified.
+func (c *Column) Dictionary() []string {
+	if c.Kind != KindString {
+		return nil
+	}
+	return c.dict
+}
+
+// DistinctCount returns the number of distinct non-null values.
+func (c *Column) DistinctCount() int {
+	if c.Kind == KindString {
+		return len(c.dict)
+	}
+	seen := make(map[float64]struct{})
+	for _, v := range c.floats {
+		if !math.IsNaN(v) {
+			seen[v] = struct{}{}
+		}
+	}
+	return len(seen)
+}
+
+// DistinctFloats returns the sorted distinct non-null numeric values.
+func (c *Column) DistinctFloats() []float64 {
+	if c.Kind != KindFloat {
+		return nil
+	}
+	seen := make(map[float64]struct{})
+	for _, v := range c.floats {
+		if !math.IsNaN(v) {
+			seen[v] = struct{}{}
+		}
+	}
+	out := make([]float64, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Float64s(out)
+	return out
+}
+
+// RowsWithCode returns the row ids whose value has the given dictionary
+// code, using a lazily built index. The returned slice must not be modified.
+func (c *Column) RowsWithCode(code int32) []int32 {
+	if c.Kind != KindString || code < 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.valIndex == nil {
+		c.valIndex = make(map[int32][]int32)
+		for i, cd := range c.codes {
+			if cd >= 0 {
+				c.valIndex[cd] = append(c.valIndex[cd], int32(i))
+			}
+		}
+	}
+	return c.valIndex[code]
+}

@@ -1,0 +1,115 @@
+package db
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// LoadCSV reads a table from CSV data. The first record is the header. Type
+// inference mirrors the paper's setup (raw .csv files loaded untouched): a
+// column is numeric when every non-empty cell parses as a float (thousands
+// separators tolerated), otherwise it is text; empty cells are NULL either
+// way.
+func LoadCSV(r io.Reader, tableName string) (*Table, error) {
+	cr := csv.NewReader(r)
+	cr.TrimLeadingSpace = true
+	cr.FieldsPerRecord = -1
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("db: reading csv for %s: %w", tableName, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("db: csv for %s is empty", tableName)
+	}
+	header := records[0]
+	rows := records[1:]
+	ncols := len(header)
+
+	numeric := make([]bool, ncols)
+	for j := 0; j < ncols; j++ {
+		numeric[j] = true
+		nonEmpty := 0
+		for _, rec := range rows {
+			if j >= len(rec) {
+				continue
+			}
+			cell := strings.TrimSpace(rec[j])
+			if cell == "" {
+				continue
+			}
+			nonEmpty++
+			if _, err := parseNumericCell(cell); err != nil {
+				numeric[j] = false
+				break
+			}
+		}
+		if nonEmpty == 0 {
+			numeric[j] = false // all-empty columns default to text
+		}
+	}
+
+	cols := make([]*Column, ncols)
+	for j := 0; j < ncols; j++ {
+		name := strings.TrimSpace(header[j])
+		if name == "" {
+			name = fmt.Sprintf("col%d", j+1)
+		}
+		if numeric[j] {
+			cols[j] = NewFloatColumn(name)
+		} else {
+			cols[j] = NewStringColumn(name)
+		}
+	}
+	for _, rec := range rows {
+		for j := 0; j < ncols; j++ {
+			var cell string
+			if j < len(rec) {
+				cell = strings.TrimSpace(rec[j])
+			}
+			if numeric[j] {
+				if cell == "" {
+					cols[j].AppendFloat(math.NaN())
+				} else {
+					v, _ := parseNumericCell(cell)
+					cols[j].AppendFloat(v)
+				}
+			} else {
+				cols[j].AppendString(cell)
+			}
+		}
+	}
+	return NewTable(tableName, cols...)
+}
+
+// LoadCSVFile loads a table from a CSV file; the table name defaults to the
+// file's base name without extension.
+func LoadCSVFile(path, tableName string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if tableName == "" {
+		base := path
+		if i := strings.LastIndexByte(base, '/'); i >= 0 {
+			base = base[i+1:]
+		}
+		if i := strings.LastIndexByte(base, '.'); i > 0 {
+			base = base[:i]
+		}
+		tableName = base
+	}
+	return LoadCSV(f, tableName)
+}
+
+func parseNumericCell(cell string) (float64, error) {
+	s := strings.ReplaceAll(cell, ",", "")
+	s = strings.TrimSuffix(s, "%")
+	s = strings.TrimPrefix(s, "$")
+	return strconv.ParseFloat(s, 64)
+}

@@ -1,0 +1,209 @@
+package db
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ForeignKey declares that FromTable.FromColumn references ToTable's
+// primary-key column ToColumn (an N:1 edge in the schema graph).
+type ForeignKey struct {
+	FromTable, FromColumn string
+	ToTable, ToColumn     string
+}
+
+// Database is a set of tables connected by PK-FK constraints. The paper
+// assumes an acyclic schema (§6.3); AddForeignKey enforces it.
+type Database struct {
+	Name   string
+	tables []*Table
+	byName map[string]*Table
+	fks    []ForeignKey
+}
+
+// NewDatabase creates an empty database.
+func NewDatabase(name string) *Database {
+	return &Database{Name: name, byName: make(map[string]*Table)}
+}
+
+// AddTable registers a table; names must be unique.
+func (d *Database) AddTable(t *Table) error {
+	if _, dup := d.byName[t.Name]; dup {
+		return fmt.Errorf("db: duplicate table %s", t.Name)
+	}
+	d.tables = append(d.tables, t)
+	d.byName[t.Name] = t
+	return nil
+}
+
+// MustAddTable is AddTable that panics on error.
+func (d *Database) MustAddTable(t *Table) {
+	if err := d.AddTable(t); err != nil {
+		panic(err)
+	}
+}
+
+// AddForeignKey registers a PK-FK edge, validating both endpoints and
+// rejecting edges that would introduce a cycle in the (undirected) schema
+// graph, as the join-path logic assumes acyclicity.
+func (d *Database) AddForeignKey(fk ForeignKey) error {
+	from := d.byName[fk.FromTable]
+	to := d.byName[fk.ToTable]
+	if from == nil || to == nil {
+		return fmt.Errorf("db: foreign key references unknown table %s or %s", fk.FromTable, fk.ToTable)
+	}
+	if from.Column(fk.FromColumn) == nil {
+		return fmt.Errorf("db: table %s has no column %s", fk.FromTable, fk.FromColumn)
+	}
+	if to.Column(fk.ToColumn) == nil {
+		return fmt.Errorf("db: table %s has no column %s", fk.ToTable, fk.ToColumn)
+	}
+	if to.PrimaryKey != fk.ToColumn {
+		return fmt.Errorf("db: foreign key target %s.%s is not the primary key", fk.ToTable, fk.ToColumn)
+	}
+	if d.connected(fk.FromTable, fk.ToTable) {
+		return fmt.Errorf("db: foreign key %s->%s would create a cycle", fk.FromTable, fk.ToTable)
+	}
+	d.fks = append(d.fks, fk)
+	return nil
+}
+
+// MustAddForeignKey is AddForeignKey that panics on error.
+func (d *Database) MustAddForeignKey(fk ForeignKey) {
+	if err := d.AddForeignKey(fk); err != nil {
+		panic(err)
+	}
+}
+
+// Tables returns all tables in registration order.
+func (d *Database) Tables() []*Table { return d.tables }
+
+// Table returns the named table, or nil.
+func (d *Database) Table(name string) *Table { return d.byName[name] }
+
+// ForeignKeys returns the registered PK-FK edges.
+func (d *Database) ForeignKeys() []ForeignKey { return d.fks }
+
+// connected reports whether two tables are already linked through FK edges.
+func (d *Database) connected(a, b string) bool {
+	if a == b {
+		return true
+	}
+	adj := d.adjacency()
+	seen := map[string]bool{a: true}
+	queue := []string{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, nb := range adj[cur] {
+			if nb.other == b {
+				return true
+			}
+			if !seen[nb.other] {
+				seen[nb.other] = true
+				queue = append(queue, nb.other)
+			}
+		}
+	}
+	return false
+}
+
+type edge struct {
+	other string
+	fk    ForeignKey
+	// forward is true when traversing from FK side to PK side (N:1).
+	forward bool
+}
+
+func (d *Database) adjacency() map[string][]edge {
+	adj := make(map[string][]edge)
+	for _, fk := range d.fks {
+		adj[fk.FromTable] = append(adj[fk.FromTable], edge{other: fk.ToTable, fk: fk, forward: true})
+		adj[fk.ToTable] = append(adj[fk.ToTable], edge{other: fk.FromTable, fk: fk, forward: false})
+	}
+	return adj
+}
+
+// JoinStep is one hop of a join path.
+type JoinStep struct {
+	FK      ForeignKey
+	Forward bool   // true: current rows are on the FK (N) side, join adds the PK (1) side
+	Add     string // table added by this step
+}
+
+// JoinPath returns the tables and FK steps needed to connect the given
+// tables via PK-FK equi-joins (the paper's FROM-clause inference, §4.4). The
+// result starts from tables[0]. An error is returned when the tables cannot
+// be connected.
+func (d *Database) JoinPath(tables []string) (steps []JoinStep, err error) {
+	if len(tables) <= 1 {
+		return nil, nil
+	}
+	need := make(map[string]bool)
+	for _, t := range tables {
+		if d.byName[t] == nil {
+			return nil, fmt.Errorf("db: unknown table %s", t)
+		}
+		need[t] = true
+	}
+	adj := d.adjacency()
+	// BFS tree from tables[0]; because the schema is acyclic the discovered
+	// paths are unique.
+	parent := map[string]edge{}
+	seen := map[string]bool{tables[0]: true}
+	queue := []string{tables[0]}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if seen[e.other] {
+				continue
+			}
+			seen[e.other] = true
+			parent[e.other] = edge{other: cur, fk: e.fk, forward: e.forward}
+			queue = append(queue, e.other)
+		}
+	}
+	// Collect the union of path nodes from each needed table back to root.
+	inTree := map[string]bool{tables[0]: true}
+	for t := range need {
+		cur := t
+		for cur != tables[0] {
+			p, ok := parent[cur]
+			if !ok {
+				return nil, fmt.Errorf("db: tables %s and %s are not connected", tables[0], t)
+			}
+			inTree[cur] = true
+			cur = p.other
+		}
+	}
+	// Emit steps in BFS order from the root so each step attaches to an
+	// already-joined table.
+	var order []string
+	for t := range inTree {
+		if t != tables[0] {
+			order = append(order, t)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return depth(parent, order[i]) < depth(parent, order[j]) })
+	for _, t := range order {
+		// p.forward records the traversal direction from the BFS parent to t:
+		// true means the parent is on the FK (N) side and t contributes the
+		// PK (1) side, which is exactly JoinStep.Forward.
+		p := parent[t]
+		steps = append(steps, JoinStep{FK: p.fk, Forward: p.forward, Add: t})
+	}
+	return steps, nil
+}
+
+func depth(parent map[string]edge, t string) int {
+	d := 0
+	for {
+		p, ok := parent[t]
+		if !ok {
+			return d
+		}
+		t = p.other
+		d++
+	}
+}

@@ -1,0 +1,60 @@
+package db
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ParseDataDictionary reads a data dictionary (§4.2: optional mapping from
+// column names to free-text descriptions) in the common "column: description"
+// line format, with '#' comments. Returns name → description.
+func ParseDataDictionary(r io.Reader) (map[string]string, error) {
+	dict := make(map[string]string)
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		name, desc, ok := strings.Cut(text, ":")
+		if !ok {
+			return nil, fmt.Errorf("db: data dictionary line %d: missing ':'", line)
+		}
+		name = strings.TrimSpace(name)
+		desc = strings.TrimSpace(desc)
+		if name == "" {
+			return nil, fmt.Errorf("db: data dictionary line %d: empty column name", line)
+		}
+		dict[name] = desc
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return dict, nil
+}
+
+// ApplyDataDictionary sets column descriptions from a parsed dictionary.
+// Entries may be plain column names (applied to every table that has the
+// column) or qualified "table.column" names. Unknown entries are ignored, as
+// dictionaries often describe columns that were dropped from the CSV.
+func (d *Database) ApplyDataDictionary(dict map[string]string) {
+	for key, desc := range dict {
+		if tbl, col, ok := strings.Cut(key, "."); ok {
+			if t := d.Table(tbl); t != nil {
+				if c := t.Column(col); c != nil {
+					c.Description = desc
+				}
+			}
+			continue
+		}
+		for _, t := range d.tables {
+			if c := t.Column(key); c != nil {
+				c.Description = desc
+			}
+		}
+	}
+}

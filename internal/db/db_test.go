@@ -1,0 +1,294 @@
+package db
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func nflTable(t *testing.T) *Table {
+	t.Helper()
+	csvData := `name,team,games,category,year
+Art Schlichter,IND,indef,gambling,1983
+Josh Gordon,CLE,indef,substance abuse repeated offense,2014
+Stanley Wilson,CIN,indef,substance abuse repeated offense,1989
+Dexter Manley,WAS,indef,substance abuse repeated offense,1991
+Leon Lett,DAL,4,substance abuse,1995
+Ray Rice,BAL,2,personal conduct,2014
+`
+	tbl, err := LoadCSV(strings.NewReader(csvData), "nflsuspensions")
+	if err != nil {
+		t.Fatalf("LoadCSV: %v", err)
+	}
+	return tbl
+}
+
+func TestLoadCSVTypeInference(t *testing.T) {
+	tbl := nflTable(t)
+	if tbl.NumRows() != 6 {
+		t.Fatalf("NumRows = %d, want 6", tbl.NumRows())
+	}
+	if got := tbl.Column("games").Kind; got != KindString {
+		t.Errorf("games kind = %v, want string (mixed 'indef' and numbers)", got)
+	}
+	if got := tbl.Column("year").Kind; got != KindFloat {
+		t.Errorf("year kind = %v, want float", got)
+	}
+	if !tbl.Column("year").Integral {
+		t.Error("year should be integral")
+	}
+	if got := tbl.Column("name").Kind; got != KindString {
+		t.Errorf("name kind = %v, want string", got)
+	}
+}
+
+func TestLoadCSVNulls(t *testing.T) {
+	tbl, err := LoadCSV(strings.NewReader("a,b\n1,x\n,y\n3,\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, b := tbl.Column("a"), tbl.Column("b")
+	if !a.IsNull(1) || a.IsNull(0) || a.IsNull(2) {
+		t.Error("numeric null detection wrong")
+	}
+	if !b.IsNull(2) || b.IsNull(0) {
+		t.Error("string null detection wrong")
+	}
+}
+
+func TestLoadCSVNumericFormats(t *testing.T) {
+	tbl, err := LoadCSV(strings.NewReader("v\n\"1,234\"\n$5\n12%\n"), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := tbl.Column("v")
+	if c.Kind != KindFloat {
+		t.Fatalf("kind = %v, want float", c.Kind)
+	}
+	if c.Float(0) != 1234 || c.Float(1) != 5 || c.Float(2) != 12 {
+		t.Errorf("values = %v %v %v", c.Float(0), c.Float(1), c.Float(2))
+	}
+}
+
+func TestColumnDictionary(t *testing.T) {
+	tbl := nflTable(t)
+	cat := tbl.Column("category")
+	if got := cat.DistinctCount(); got != 4 {
+		t.Errorf("DistinctCount = %d, want 4", got)
+	}
+	code := cat.CodeOf("gambling")
+	if code < 0 {
+		t.Fatal("gambling not in dictionary")
+	}
+	rows := cat.RowsWithCode(code)
+	if len(rows) != 1 || rows[0] != 0 {
+		t.Errorf("RowsWithCode(gambling) = %v", rows)
+	}
+	if cat.CodeOf("nonexistent") != -1 {
+		t.Error("CodeOf should return -1 for unknown values")
+	}
+}
+
+func TestDistinctFloats(t *testing.T) {
+	c := NewFloatColumn("x")
+	for _, v := range []float64{3, 1, 3, 2, math.NaN(), 1} {
+		c.AppendFloat(v)
+	}
+	got := c.DistinctFloats()
+	want := []float64{1, 2, 3}
+	if len(got) != len(want) {
+		t.Fatalf("DistinctFloats = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("DistinctFloats[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if c.Integral {
+		t.Log("NaN does not affect integrality")
+	}
+}
+
+func TestStringAtFormatting(t *testing.T) {
+	c := NewFloatColumn("x")
+	c.AppendFloat(4)
+	if got := c.StringAt(0); got != "4" {
+		t.Errorf("integral StringAt = %q, want 4", got)
+	}
+	c2 := NewFloatColumn("y")
+	c2.AppendFloat(4.5)
+	if got := c2.StringAt(0); got != "4.5" {
+		t.Errorf("StringAt = %q, want 4.5", got)
+	}
+}
+
+func TestNewTableValidation(t *testing.T) {
+	a := NewFloatColumn("a")
+	a.AppendFloat(1)
+	b := NewFloatColumn("b")
+	if _, err := NewTable("t", a, b); err == nil {
+		t.Error("ragged columns should fail")
+	}
+	c := NewFloatColumn("a")
+	if _, err := NewTable("t", a, c); err == nil {
+		t.Error("duplicate column names should fail")
+	}
+}
+
+func twoTableDB(t *testing.T) *Database {
+	t.Helper()
+	players, err := LoadCSV(strings.NewReader(
+		"player_id,name,team_id\n1,Alice,10\n2,Bob,10\n3,Cara,20\n4,Dan,30\n"), "players")
+	if err != nil {
+		t.Fatal(err)
+	}
+	players.PrimaryKey = "player_id"
+	teams, err := LoadCSV(strings.NewReader(
+		"team_id,team_name,city\n10,Hawks,Atlanta\n20,Bulls,Chicago\n"), "teams")
+	if err != nil {
+		t.Fatal(err)
+	}
+	teams.PrimaryKey = "team_id"
+	d := NewDatabase("league")
+	d.MustAddTable(players)
+	d.MustAddTable(teams)
+	d.MustAddForeignKey(ForeignKey{FromTable: "players", FromColumn: "team_id", ToTable: "teams", ToColumn: "team_id"})
+	return d
+}
+
+func TestForeignKeyValidation(t *testing.T) {
+	d := twoTableDB(t)
+	if err := d.AddForeignKey(ForeignKey{FromTable: "players", FromColumn: "x", ToTable: "teams", ToColumn: "team_id"}); err == nil {
+		t.Error("unknown FK column should fail")
+	}
+	if err := d.AddForeignKey(ForeignKey{FromTable: "teams", FromColumn: "team_id", ToTable: "players", ToColumn: "player_id"}); err == nil {
+		t.Error("cycle-inducing FK should fail")
+	}
+}
+
+func TestJoinPathSingle(t *testing.T) {
+	d := twoTableDB(t)
+	steps, err := d.JoinPath([]string{"players"})
+	if err != nil || len(steps) != 0 {
+		t.Errorf("single-table join path: %v %v", steps, err)
+	}
+}
+
+func TestJoinViewForward(t *testing.T) {
+	// players (N) joined with teams (1): Dan has a dangling FK and drops.
+	d := twoTableDB(t)
+	v, err := BuildJoinView(d, []string{"players", "teams"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumRows() != 3 {
+		t.Fatalf("joined rows = %d, want 3 (dangling FK dropped)", v.NumRows())
+	}
+	name, err := v.Accessor("players", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, err := v.Accessor("teams", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[string]string{}
+	for r := 0; r < v.NumRows(); r++ {
+		n := name.Column().Dictionary()[name.Code(r)]
+		ct := city.Column().Dictionary()[city.Code(r)]
+		got[n] = ct
+	}
+	want := map[string]string{"Alice": "Atlanta", "Bob": "Atlanta", "Cara": "Chicago"}
+	for k, wv := range want {
+		if got[k] != wv {
+			t.Errorf("join result for %s = %q, want %q", k, got[k], wv)
+		}
+	}
+}
+
+func TestJoinViewBackward(t *testing.T) {
+	// Starting from teams (1-side) and expanding to players (N-side).
+	d := twoTableDB(t)
+	v, err := BuildJoinView(d, []string{"teams", "players"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumRows() != 3 {
+		t.Fatalf("joined rows = %d, want 3", v.NumRows())
+	}
+}
+
+func TestJoinViewUnknownColumn(t *testing.T) {
+	d := twoTableDB(t)
+	v, err := BuildJoinView(d, []string{"players"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := v.Accessor("players", "nope"); err == nil {
+		t.Error("unknown column should error")
+	}
+	if _, err := v.Accessor("teams", "city"); err == nil {
+		t.Error("table not in view should error")
+	}
+}
+
+func TestDataDictionary(t *testing.T) {
+	dict, err := ParseDataDictionary(strings.NewReader(`
+# comment
+games: Number of games suspended, or indef for lifetime bans
+players.name: Player full name
+`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dict) != 2 {
+		t.Fatalf("dict = %v", dict)
+	}
+	d := twoTableDB(t)
+	d.ApplyDataDictionary(dict)
+	if got := d.Table("players").Column("name").Description; got != "Player full name" {
+		t.Errorf("qualified dictionary entry not applied: %q", got)
+	}
+}
+
+func TestDataDictionaryErrors(t *testing.T) {
+	if _, err := ParseDataDictionary(strings.NewReader("no separator here\n")); err == nil {
+		t.Error("missing ':' should fail")
+	}
+	if _, err := ParseDataDictionary(strings.NewReader(": desc\n")); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestColumnRoundTripProperty(t *testing.T) {
+	// Appending any sequence of strings and reading back preserves values,
+	// and codes of equal strings are equal.
+	f := func(vals []string) bool {
+		c := NewStringColumn("s")
+		for _, v := range vals {
+			c.AppendString(v)
+		}
+		if c.Len() != len(vals) {
+			return false
+		}
+		for i, v := range vals {
+			if v == "" {
+				if !c.IsNull(i) {
+					return false
+				}
+				continue
+			}
+			if c.StringAt(i) != v {
+				return false
+			}
+			if c.Code(i) != c.CodeOf(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

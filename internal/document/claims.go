@@ -1,0 +1,83 @@
+package document
+
+import (
+	"aggchecker/internal/nlp"
+)
+
+// DetectClaims scans body sentences for check-worthy numeric mentions and
+// populates doc.Claims. The paper identifies candidate passages "via simple
+// heuristics" and delegates residual false positives to user feedback
+// (§3); our heuristics:
+//
+//   - digit tokens and spelled-out number words are candidates;
+//   - four-digit calendar years are skipped (they are almost always row
+//     values or dates, not aggregates);
+//   - ordinals ("first", "22nd") are skipped;
+//   - "one of …" is skipped (pronoun use);
+//   - "<number> <magnitude>" pairs ("1.5 million") merge into one claim;
+//   - "<number> percent" is marked as a percentage claim.
+//
+// Headlines are not scanned: a headline number lacks the sentence context
+// the translation pipeline needs and is restated in the body in our corpus,
+// as in the paper's test cases.
+func DetectClaims(doc *Document) {
+	doc.Claims = nil
+	for _, sent := range doc.Sentences {
+		toks := sent.Tokens
+		for i := 0; i < len(toks); i++ {
+			t := toks[i]
+			var pn nlp.ParsedNumber
+			span := 1
+			switch t.Kind {
+			case nlp.Number:
+				var ok bool
+				pn, ok = nlp.ParseNumericToken(t.Text)
+				if !ok {
+					continue
+				}
+				if nlp.LooksLikeYear(pn.Value, t.Text) {
+					continue
+				}
+				// "22nd": ordinal suffix follows the digits.
+				if i+1 < len(toks) && toks[i+1].Kind == nlp.Word && nlp.IsOrdinalSuffix(toks[i+1].Lower) {
+					continue
+				}
+			case nlp.Word:
+				v, ok := nlp.NumberWordValue(t.Lower)
+				if !ok || nlp.IsOrdinalWord(t.Lower) {
+					continue
+				}
+				// "one of the…" is a pronoun, not a claim.
+				if t.Lower == "one" && i+1 < len(toks) && toks[i+1].Lower == "of" {
+					continue
+				}
+				pn = nlp.ParsedNumber{Value: v, Text: t.Text}
+			default:
+				continue
+			}
+			// Magnitude suffix: "1.5 million", "two thousand".
+			if i+1 < len(toks) && toks[i+1].Kind == nlp.Word {
+				if mult, ok := nlp.MagnitudeWord(toks[i+1].Lower); ok {
+					pn.Value *= mult
+					pn.Text = pn.Text + " " + toks[i+1].Text
+					span = 2
+				}
+			}
+			// "41 percent" / "41 percentage points".
+			if i+span < len(toks) && toks[i+span].Kind == nlp.Word {
+				switch toks[i+span].Lower {
+				case "percent", "percentage", "pct":
+					pn.IsPercent = true
+				}
+			}
+			doc.Claims = append(doc.Claims, &Claim{
+				ID:         len(doc.Claims),
+				Sentence:   sent,
+				TokenIndex: i,
+				TokenSpan:  span,
+				Claimed:    pn,
+			})
+			i += span - 1
+		}
+	}
+}

@@ -1,0 +1,165 @@
+package document
+
+import (
+	"strings"
+	"testing"
+)
+
+const nflHTML = `<title>The NFL's Uneven History Of Punishing Domestic Violence</title>
+<h1>The NFL's Uneven History Of Punishing Domestic Violence</h1>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>
+<p>The most recent ban was handed out in 2014.</p>
+<h2>Shorter suspensions</h2>
+<p>The average suspension lasted 4 games.</p>`
+
+func TestParseHTMLStructure(t *testing.T) {
+	doc := ParseHTML(nflHTML)
+	if doc.Title != "The NFL's Uneven History Of Punishing Domestic Violence" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.Root.Children) != 1 {
+		t.Fatalf("root children = %d, want 1 (the h1)", len(doc.Root.Children))
+	}
+	h1 := doc.Root.Children[0]
+	if len(h1.Children) != 2 {
+		t.Fatalf("h1 children = %d, want 2 (the h2 sections)", len(h1.Children))
+	}
+	sec := h1.Children[0]
+	if sec.Headline != "Lifetime bans" {
+		t.Errorf("headline = %q", sec.Headline)
+	}
+	if len(sec.Paragraphs) != 2 {
+		t.Fatalf("paragraphs = %d, want 2", len(sec.Paragraphs))
+	}
+	if len(sec.Paragraphs[0].Sentences) != 2 {
+		t.Errorf("first paragraph sentences = %d, want 2", len(sec.Paragraphs[0].Sentences))
+	}
+}
+
+func TestParseHTMLAncestors(t *testing.T) {
+	doc := ParseHTML(nflHTML)
+	sec := doc.Root.Children[0].Children[0]
+	anc := sec.Ancestors()
+	if len(anc) != 3 {
+		t.Fatalf("ancestors = %d, want 3 (h2, h1, root)", len(anc))
+	}
+	if anc[0] != sec || anc[2] != doc.Root {
+		t.Error("ancestor order wrong")
+	}
+}
+
+func TestDetectClaimsPaperExample(t *testing.T) {
+	doc := ParseHTML(nflHTML)
+	// Expected claims: four, Three, one, 4 (games). 2014 is a year; skipped.
+	if len(doc.Claims) != 4 {
+		var texts []string
+		for _, c := range doc.Claims {
+			texts = append(texts, c.Text())
+		}
+		t.Fatalf("claims = %d (%v), want 4", len(doc.Claims), texts)
+	}
+	vals := []float64{4, 3, 1, 4}
+	for i, c := range doc.Claims {
+		if c.Claimed.Value != vals[i] {
+			t.Errorf("claim %d value = %v, want %v", i, c.Claimed.Value, vals[i])
+		}
+	}
+	// Claims 1 and 2 share a sentence (multi-claim sentence).
+	if doc.Claims[1].Sentence != doc.Claims[2].Sentence {
+		t.Error("claims 'three' and 'one' should share a sentence")
+	}
+}
+
+func TestDetectClaimsSkipsPronounOne(t *testing.T) {
+	doc := ParseText("One of the players was banned. Two were fined 50 dollars.")
+	// "One of" skipped; "Two" and "50" detected.
+	if len(doc.Claims) != 2 {
+		var texts []string
+		for _, c := range doc.Claims {
+			texts = append(texts, c.Text())
+		}
+		t.Fatalf("claims = %v, want [Two 50]", texts)
+	}
+}
+
+func TestDetectClaimsOrdinals(t *testing.T) {
+	doc := ParseText("He finished in 3rd place on May 22nd. The first try failed. There were 7 games.")
+	if len(doc.Claims) != 1 || doc.Claims[0].Claimed.Value != 7 {
+		t.Fatalf("claims = %+v, want only the 7", doc.Claims)
+	}
+}
+
+func TestDetectClaimsMagnitude(t *testing.T) {
+	doc := ParseText("The league earned 1.5 million dollars last season.")
+	if len(doc.Claims) != 1 {
+		t.Fatalf("claims = %d, want 1", len(doc.Claims))
+	}
+	c := doc.Claims[0]
+	if c.Claimed.Value != 1.5e6 || c.TokenSpan != 2 {
+		t.Errorf("claim = %+v", c.Claimed)
+	}
+}
+
+func TestDetectClaimsPercent(t *testing.T) {
+	doc := ParseText("About 41 percent of fliers agree. Another 13% disagree.")
+	if len(doc.Claims) != 2 {
+		t.Fatalf("claims = %d, want 2", len(doc.Claims))
+	}
+	if !doc.Claims[0].Claimed.IsPercent || !doc.Claims[1].Claimed.IsPercent {
+		t.Errorf("percent flags = %v %v", doc.Claims[0].Claimed, doc.Claims[1].Claimed)
+	}
+}
+
+func TestSentenceNavigation(t *testing.T) {
+	doc := ParseText("First sentence here. Second sentence with 5 games. Third one trails.")
+	if len(doc.Sentences) != 3 {
+		t.Fatalf("sentences = %d", len(doc.Sentences))
+	}
+	s2 := doc.Sentences[1]
+	if s2.Prev() != doc.Sentences[0] {
+		t.Error("Prev wrong")
+	}
+	if s2.First() != doc.Sentences[0] {
+		t.Error("First wrong")
+	}
+	if doc.Sentences[0].Prev() != nil {
+		t.Error("first sentence Prev should be nil")
+	}
+}
+
+func TestParseTextHeadings(t *testing.T) {
+	doc := ParseText("# Title Line\n\nBody with 3 values.\n\n## Sub\n\nMore text, 4 here.")
+	if doc.Title != "Title Line" {
+		t.Errorf("title = %q", doc.Title)
+	}
+	if len(doc.Root.Children) != 1 || len(doc.Root.Children[0].Children) != 1 {
+		t.Error("heading nesting wrong")
+	}
+	if len(doc.Claims) != 2 {
+		t.Errorf("claims = %d, want 2", len(doc.Claims))
+	}
+}
+
+func TestParseHTMLEntities(t *testing.T) {
+	doc := ParseHTML("<p>Research &amp; Development spent 7 dollars.</p>")
+	if !strings.Contains(doc.Sentences[0].Text, "Research & Development") {
+		t.Errorf("entities not decoded: %q", doc.Sentences[0].Text)
+	}
+}
+
+func TestParseHTMLMalformed(t *testing.T) {
+	// Unclosed tags and stray '<' must not panic or lose the tail text.
+	doc := ParseHTML("<p>Count was 9 <unclosed")
+	if len(doc.Claims) != 1 || doc.Claims[0].Claimed.Value != 9 {
+		t.Errorf("claims = %+v", doc.Claims)
+	}
+}
+
+func TestHeadlineNumbersNotClaims(t *testing.T) {
+	doc := ParseHTML("<h2>Top 10 moments</h2><p>He scored 3 times.</p>")
+	if len(doc.Claims) != 1 || doc.Claims[0].Claimed.Value != 3 {
+		t.Fatalf("headline number leaked into claims: %+v", doc.Claims)
+	}
+}

@@ -1,0 +1,242 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/fragments"
+)
+
+// Figure8Row is one data set's candidate-space size.
+type Figure8Row struct {
+	Case  string
+	Log10 float64
+}
+
+// RunFigure8 counts the Simple Aggregate Queries expressible over every
+// corpus data set (log scale, as in the paper where counts reach 10^12).
+func RunFigure8(o Options) []Figure8Row {
+	var rows []Figure8Row
+	for _, tc := range o.Corpus().Cases {
+		cat := fragments.BuildCatalog(tc.DB, fragments.DefaultOptions())
+		rows = append(rows, Figure8Row{Case: tc.Name, Log10: cat.CandidateSpaceLog10()})
+	}
+	return rows
+}
+
+// PrintFigure8 renders an ASCII log-scale chart.
+func PrintFigure8(w io.Writer, rows []Figure8Row) {
+	fmt.Fprintf(w, "Figure 8: Number of possible query candidates per data set (log10).\n")
+	for _, r := range rows {
+		bar := strings.Repeat("#", int(r.Log10))
+		fmt.Fprintf(w, "%-18s 10^%5.1f %s\n", r.Case, r.Log10, bar)
+	}
+}
+
+// Figure9Data reproduces the test-case analysis of Figure 9.
+type Figure9Data struct {
+	ClaimsPerArticle []int
+	ErrorsPerArticle []int
+	// TopNCoverage[n-1] is the mean per-document percentage of claims whose
+	// characteristics (function, column, predicate column set) are covered
+	// by the n most frequent instances in that document (Figure 9b).
+	TopNCoverage []float64
+	// PredBreakdown is the percentage of claims with 0, 1, 2+ predicates.
+	PredBreakdown [3]float64
+}
+
+// RunFigure9 computes the corpus ground-truth statistics.
+func RunFigure9(o Options) Figure9Data {
+	c := o.Corpus()
+	stats := c.ComputeStats()
+	data := Figure9Data{
+		ClaimsPerArticle: stats.ClaimsPerArticle,
+		ErrorsPerArticle: stats.ErrorsPerArticle,
+	}
+	total := float64(stats.Claims)
+	data.PredBreakdown = [3]float64{
+		100 * float64(stats.PredCounts[0]) / total,
+		100 * float64(stats.PredCounts[1]) / total,
+		100 * float64(stats.PredCounts[2]+stats.PredCounts[3]) / total,
+	}
+	// Figure 9b: per-document characteristic concentration.
+	maxN := 20
+	data.TopNCoverage = make([]float64, maxN)
+	for n := 1; n <= maxN; n++ {
+		var perDoc []float64
+		for _, tc := range c.Cases {
+			perDoc = append(perDoc, characteristicCoverage(tc, n))
+		}
+		var sum float64
+		for _, v := range perDoc {
+			sum += v
+		}
+		data.TopNCoverage[n-1] = sum / float64(len(perDoc))
+	}
+	return data
+}
+
+// characteristicCoverage computes, for one document, the percentage of
+// claims whose aggregation function, aggregation column AND predicate
+// column set are all within the document's n most frequent instances of
+// each characteristic (Figure 9b's definition).
+func characteristicCoverage(tc *corpus.TestCase, n int) float64 {
+	if len(tc.Truth) == 0 {
+		return 0
+	}
+	fnCount := map[string]int{}
+	colCount := map[string]int{}
+	predSetCount := map[string]int{}
+	keyOf := func(t corpus.ClaimTruth) (string, string, string) {
+		cols := make([]string, 0, len(t.Query.Preds))
+		for _, p := range t.Query.Preds {
+			cols = append(cols, p.Col.String())
+		}
+		sort.Strings(cols)
+		return t.Query.Agg.String(), t.Query.AggCol.String(), strings.Join(cols, "|")
+	}
+	for _, t := range tc.Truth {
+		f, c, p := keyOf(t)
+		fnCount[f]++
+		colCount[c]++
+		predSetCount[p]++
+	}
+	topSet := func(counts map[string]int) map[string]bool {
+		type kv struct {
+			k string
+			v int
+		}
+		var items []kv
+		for k, v := range counts {
+			items = append(items, kv{k, v})
+		}
+		sort.Slice(items, func(i, j int) bool {
+			if items[i].v != items[j].v {
+				return items[i].v > items[j].v
+			}
+			return items[i].k < items[j].k
+		})
+		out := map[string]bool{}
+		for i := 0; i < n && i < len(items); i++ {
+			out[items[i].k] = true
+		}
+		return out
+	}
+	topFn, topCol, topPred := topSet(fnCount), topSet(colCount), topSet(predSetCount)
+	covered := 0
+	for _, t := range tc.Truth {
+		f, c, p := keyOf(t)
+		if topFn[f] && topCol[c] && topPred[p] {
+			covered++
+		}
+	}
+	return 100 * float64(covered) / float64(len(tc.Truth))
+}
+
+// PrintFigure9 renders all three panels.
+func PrintFigure9(w io.Writer, d Figure9Data) {
+	fmt.Fprintf(w, "Figure 9a: claims per article (errors in parentheses)\n")
+	for i, c := range d.ClaimsPerArticle {
+		fmt.Fprintf(w, "%3d", c)
+		if d.ErrorsPerArticle[i] > 0 {
+			fmt.Fprintf(w, "(%d)", d.ErrorsPerArticle[i])
+		}
+		if (i+1)%10 == 0 {
+			fmt.Fprintln(w)
+		}
+	}
+	fmt.Fprintf(w, "\nFigure 9b: mean per-document coverage by top-N characteristics\n")
+	for n, v := range d.TopNCoverage {
+		fmt.Fprintf(w, "  top-%-2d %6.1f%%\n", n+1, v)
+	}
+	fmt.Fprintf(w, "Figure 9c: predicates per claim: zero %.0f%%, one %.0f%%, two+ %.0f%%\n",
+		d.PredBreakdown[0], d.PredBreakdown[1], d.PredBreakdown[2])
+}
+
+// Figure10Data holds coverage curves for total/correct/incorrect claims.
+type Figure10Data struct {
+	Ks        []int
+	Total     []float64
+	Correct   []float64
+	Incorrect []float64
+}
+
+// RunFigure10 computes top-k coverage curves from a main-configuration run.
+func RunFigure10(o Options) Figure10Data {
+	res := RunAutomated(o.Cases, o.BaseConfig())
+	var d Figure10Data
+	for k := 1; k <= 20; k++ {
+		d.Ks = append(d.Ks, k)
+		d.Total = append(d.Total, res.TopK(k))
+		d.Correct = append(d.Correct, res.TopKWhere(k, true))
+		d.Incorrect = append(d.Incorrect, res.TopKWhere(k, false))
+	}
+	return d
+}
+
+// PrintFigure10 renders the coverage curves.
+func PrintFigure10(w io.Writer, d Figure10Data) {
+	fmt.Fprintf(w, "Figure 10: top-k coverage (%%).\n%4s %8s %8s %10s\n", "k", "Total", "Correct", "Incorrect")
+	for i, k := range d.Ks {
+		fmt.Fprintf(w, "%4d %7.1f%% %7.1f%% %9.1f%%\n", k, d.Total[i], d.Correct[i], d.Incorrect[i])
+	}
+}
+
+// PrintFigure11 renders the keyword-context coverage ablation.
+func PrintFigure11(w io.Writer, rows []AccuracyRow) {
+	fmt.Fprintf(w, "Figure 11: top-k coverage by keyword context.\n")
+	fmt.Fprintf(w, "%-34s %8s %8s %8s\n", "Context", "Top-1", "Top-5", "Top-10")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-34s %7.1f%% %7.1f%% %7.1f%%\n",
+			r.Name, r.Result.TopK(1), r.Result.TopK(5), r.Result.TopK(10))
+	}
+}
+
+// Figure12Row is one pT setting's outcome.
+type Figure12Row struct {
+	PT                    float64
+	Recall, Precision, F1 float64
+}
+
+// RunFigure12 sweeps the true-claim prior pT.
+func RunFigure12(o Options, pts []float64) []Figure12Row {
+	var rows []Figure12Row
+	for _, pt := range pts {
+		cfg := o.BaseConfig()
+		cfg.Model.PT = pt
+		res := RunAutomated(o.Cases, cfg)
+		rows = append(rows, Figure12Row{
+			PT:     pt,
+			Recall: res.Confusion.Recall(), Precision: res.Confusion.Precision(),
+			F1: res.Confusion.F1(),
+		})
+	}
+	return rows
+}
+
+// PrintFigure12 renders the sweep.
+func PrintFigure12(w io.Writer, rows []Figure12Row) {
+	fmt.Fprintf(w, "Figure 12: parameter pT versus recall and precision.\n")
+	fmt.Fprintf(w, "%8s %8s %10s %8s\n", "pT", "Recall", "Precision", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8.4f %7.1f%% %9.1f%% %7.1f%%\n",
+			r.PT, 100*r.Recall, 100*r.Precision, 100*r.F1)
+	}
+}
+
+// PrintFigure13 renders the processing-budget sweeps.
+func PrintFigure13(w io.Writer, hits, aggs []AccuracyRow) {
+	fmt.Fprintf(w, "Figure 13: top-k coverage versus processing overheads.\n")
+	fmt.Fprintf(w, "%-22s %10s %8s %8s\n", "Budget", "Time", "Top-1", "Top-10")
+	for _, r := range hits {
+		fmt.Fprintf(w, "%-22s %9.1fs %7.1f%% %7.1f%%\n",
+			r.Name, r.Result.TotalTime.Seconds(), r.Result.TopK(1), r.Result.TopK(10))
+	}
+	for _, r := range aggs {
+		fmt.Fprintf(w, "%-22s %9.1fs %7.1f%% %7.1f%%\n",
+			r.Name, r.Result.TotalTime.Seconds(), r.Result.TopK(1), r.Result.TopK(10))
+	}
+}

@@ -1,0 +1,39 @@
+package experiments
+
+import (
+	"aggchecker/internal/core"
+	"aggchecker/internal/corpus"
+)
+
+// Options selects the corpus slice and budget for an experiment run. Quick
+// mode (used by tests and benchmarks) restricts the corpus and lowers the
+// evaluation budget; full mode reproduces the paper-scale run.
+type Options struct {
+	Cases []*corpus.TestCase
+	Quick bool
+	Seed  int64
+}
+
+// NewOptions loads the corpus and picks the experiment scale.
+func NewOptions(quick bool) Options {
+	c := corpus.MustLoad()
+	cases := c.Cases
+	if quick {
+		cases = cases[:12]
+	}
+	return Options{Cases: cases, Quick: quick, Seed: 7}
+}
+
+// BaseConfig returns the checker configuration for this scale.
+func (o Options) BaseConfig() core.Config {
+	cfg := core.DefaultConfig()
+	if o.Quick {
+		cfg.Model.EvalBudget = 400
+		cfg.Model.MaxEMIters = 3
+	}
+	return cfg
+}
+
+// Corpus returns the full corpus regardless of the case subset (used by
+// corpus-statistics figures).
+func (o Options) Corpus() *corpus.Corpus { return corpus.MustLoad() }

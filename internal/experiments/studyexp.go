@@ -1,0 +1,129 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"aggchecker/internal/study"
+)
+
+// StudyBundle caches the simulated on-site study so Tables 3/4/8 and
+// Figures 6/7 share one run, as in the paper.
+type StudyBundle struct {
+	Inputs []*study.CaseInput
+	Result *study.OnsiteResult
+}
+
+// RunStudy prepares checker outputs for the six study articles and
+// simulates the eight-user on-site study.
+func RunStudy(o Options) *StudyBundle {
+	cases := o.Corpus().StudyCases()
+	inputs := study.PrepareInputs(cases, o.BaseConfig())
+	return &StudyBundle{
+		Inputs: inputs,
+		Result: study.RunOnsiteStudy(inputs, 8, o.Seed),
+	}
+}
+
+// PrintTable3 renders the interface-feature shares.
+func PrintTable3(w io.Writer, b *StudyBundle) {
+	shares := b.Result.FeatureShares()
+	fmt.Fprintf(w, "Table 3: Verification by used AggChecker features.\n")
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n", "Top-1", "Top-5", "Top-10", "Custom")
+	fmt.Fprintf(w, "%-10s %-10s %-10s %-10s\n",
+		Pct(shares[study.ActionTop1]), Pct(shares[study.ActionTop5]),
+		Pct(shares[study.ActionTop10]), Pct(shares[study.ActionCustom]))
+}
+
+// PrintTable4 renders the on-site study quality comparison.
+func PrintTable4(w io.Writer, b *StudyBundle) {
+	agg, sql := b.Result.ToolConfusions()
+	fmt.Fprintf(w, "Table 4: Results of on-site user study.\n")
+	fmt.Fprintf(w, "%-20s %8s %10s %8s\n", "Tool", "Recall", "Precision", "F1")
+	fmt.Fprintf(w, "%-20s %7.1f%% %9.1f%% %7.1f%%\n", "AggChecker + User",
+		100*agg.Recall(), 100*agg.Precision(), 100*agg.F1())
+	fmt.Fprintf(w, "%-20s %7.1f%% %9.1f%% %7.1f%%\n", "SQL + User",
+		100*sql.Recall(), 100*sql.Precision(), 100*sql.F1())
+	fmt.Fprintf(w, "Mean AggChecker speedup: %.1fx (paper: ~6x)\n", b.Result.Speedup())
+}
+
+// PrintTable8 renders the user survey counts.
+func PrintTable8(w io.Writer, b *StudyBundle) {
+	counts := b.Result.SurveyCounts()
+	fmt.Fprintf(w, "Table 8: Results of user survey.\n")
+	fmt.Fprintf(w, "%-18s %6s %6s %8s %5s %6s\n", "Criterion", "SQL++", "SQL+", "SQL≈AC", "AC+", "AC++")
+	for _, crit := range []string{"Overall", "Learning", "Correct Claims", "Incorrect Claims"} {
+		row := counts[crit]
+		fmt.Fprintf(w, "%-18s %6d %6d %8d %5d %6d\n", crit, row[0], row[1], row[2], row[3], row[4])
+	}
+}
+
+// PrintTable11 renders the crowd-worker study.
+func PrintTable11(w io.Writer, o Options, b *StudyBundle) {
+	var doc, para *study.CaseInput
+	for _, in := range b.Inputs {
+		if len(in.Case.Truth) > 15 && doc == nil {
+			doc = in
+		}
+		if in.Case.Name == "nfl-suspensions" {
+			para = in
+		}
+	}
+	if para == nil {
+		para = b.Inputs[0]
+	}
+	rows := study.RunAMTStudy(doc, para, o.Seed)
+	fmt.Fprintf(w, "Table 11: Amazon Mechanical Turk results.\n")
+	fmt.Fprintf(w, "%-12s %-10s %8s %8s %10s %8s\n", "Tool", "Scope", "Workers", "Recall", "Precision", "F1")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-12s %-10s %8d %7.1f%% %9.1f%% %7.1f%%\n",
+			r.Tool, r.Scope, r.Workers,
+			100*r.Confusion.Recall(), 100*r.Confusion.Precision(), 100*r.Confusion.F1())
+	}
+}
+
+// PrintFigure6 renders the cumulative verified-claims curves.
+func PrintFigure6(w io.Writer, b *StudyBundle) {
+	fmt.Fprintf(w, "Figure 6: correctly verified claims over time (avg across users).\n")
+	for a, in := range b.Inputs {
+		budget := study.BudgetFor(in.Case)
+		agg := b.Result.VerifiedSeries(a, "aggchecker", 10)
+		sql := b.Result.VerifiedSeries(a, "sql", 10)
+		fmt.Fprintf(w, "%s (budget %.0fs, %d claims)\n", in.Case.Name, budget, len(in.Case.Truth))
+		fmt.Fprintf(w, "  t(s):      ")
+		for i := range agg {
+			fmt.Fprintf(w, "%6.0f", budget*float64(i)/float64(len(agg)-1))
+		}
+		fmt.Fprintf(w, "\n  AggChecker:")
+		for _, v := range agg {
+			fmt.Fprintf(w, "%6.1f", v)
+		}
+		fmt.Fprintf(w, "\n  SQL:       ")
+		for _, v := range sql {
+			fmt.Fprintf(w, "%6.1f", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintFigure7 renders verification throughput by user and article.
+func PrintFigure7(w io.Writer, b *StudyBundle) {
+	fmt.Fprintf(w, "Figure 7: claims verified per minute.\n")
+	fmt.Fprintf(w, "By user:    %-14s %s\n", "AggChecker", "SQL")
+	for u, p := range b.Result.UserThroughputs() {
+		fmt.Fprintf(w, "  user %d:   %-14s %s\n", u,
+			fmt.Sprintf("%.2f", p[0]), fmt.Sprintf("%.2f", p[1]))
+	}
+	fmt.Fprintf(w, "By article: %-14s %s\n", "AggChecker", "SQL")
+	for a, p := range b.Result.ArticleThroughputs() {
+		name := b.Inputs[a].Case.Name
+		fmt.Fprintf(w, "  %-24s %-8.2f %.2f\n", ellipsize(name, 24), p[0], p[1])
+	}
+}
+
+func ellipsize(s string, n int) string {
+	if len(s) <= n {
+		return s
+	}
+	return s[:n-1] + "…"
+}

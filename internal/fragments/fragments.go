@@ -1,0 +1,369 @@
+// Package fragments implements §4.2 of the paper: when a database is
+// loaded, AggChecker forms all potentially relevant query fragments —
+// aggregation functions, aggregation columns, and unary equality predicates
+// — associates each with a weighted keyword set (identifier decomposition,
+// WordNet synonyms, data-dictionary descriptions), and indexes the keyword
+// sets in an information-retrieval engine, one index per fragment category.
+package fragments
+
+import (
+	"math"
+	"strconv"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/ir"
+	"aggchecker/internal/nlp"
+	"aggchecker/internal/sqlexec"
+	"aggchecker/internal/wordnet"
+)
+
+// Kind classifies a query fragment.
+type Kind int
+
+const (
+	// FragFunc is an aggregation function fragment.
+	FragFunc Kind = iota
+	// FragColumn is an aggregation column fragment (including "*").
+	FragColumn
+	// FragPredicate is a unary equality predicate fragment.
+	FragPredicate
+)
+
+// Fragment is one candidate query part with its searchable keyword set.
+type Fragment struct {
+	ID   int
+	Kind Kind
+
+	Fn    sqlexec.AggFunc   // FragFunc
+	Col   sqlexec.ColumnRef // FragColumn (zero = "*") and FragPredicate
+	Value string            // FragPredicate literal (canonical string)
+
+	// DistinctOnly marks column fragments usable only under CountDistinct
+	// (text columns: they cannot be summed or averaged).
+	DistinctOnly bool
+
+	Keywords []ir.WeightedTerm // stemmed, weighted
+}
+
+// Options tunes catalog construction. The zero value is not useful; call
+// DefaultOptions.
+type Options struct {
+	// MaxLiteralsPerColumn caps predicate fragments per column (0 = all).
+	MaxLiteralsPerColumn int
+	// NumericPredicateMaxDistinct: integral numeric columns with at most
+	// this many distinct values also yield predicate fragments (years,
+	// small codes); high-cardinality measures do not.
+	NumericPredicateMaxDistinct int
+	// UseSynonyms widens fragment keywords with WordNet synonyms.
+	UseSynonyms bool
+	// Weights of keyword sources.
+	ValueWeight, ColumnWeight, TableWeight, SynonymFactor, DictWeight float64
+}
+
+// DefaultOptions mirrors the paper's configuration.
+func DefaultOptions() Options {
+	return Options{
+		MaxLiteralsPerColumn:        5000,
+		NumericPredicateMaxDistinct: 40,
+		UseSynonyms:                 true,
+		ValueWeight:                 1.0,
+		ColumnWeight:                0.6,
+		TableWeight:                 0.3,
+		SynonymFactor:               0.5,
+		DictWeight:                  0.5,
+	}
+}
+
+// Catalog holds the fragments of a database plus the per-category IR
+// indexes used by keyword matching (Algorithm 1's IndexFragments).
+type Catalog struct {
+	DB   *db.Database
+	Opts Options
+
+	Fragments []*Fragment // all, ID-indexed
+	Funcs     []*Fragment
+	Columns   []*Fragment
+	Preds     []*Fragment
+
+	FuncIndex *ir.Index
+	ColIndex  *ir.Index
+	PredIndex *ir.Index
+
+	// PredColumns are the distinct predicate columns in a stable order;
+	// prior parameters p_ri are indexed against this slice.
+	PredColumns []sqlexec.ColumnRef
+	// predsByColumn groups predicate fragments per column position.
+	predsByColumn [][]*Fragment
+}
+
+// BuildCatalog scans the database and constructs all fragments and indexes.
+func BuildCatalog(d *db.Database, opts Options) *Catalog {
+	c := &Catalog{DB: d, Opts: opts}
+	c.buildFunctions()
+	c.buildColumns()
+	c.buildPredicates()
+	c.FuncIndex = buildIndex(c.Funcs)
+	c.ColIndex = buildIndex(c.Columns)
+	c.PredIndex = buildIndex(c.Preds)
+	return c
+}
+
+func buildIndex(frags []*Fragment) *ir.Index {
+	ix := ir.NewIndex()
+	for _, f := range frags {
+		ix.Add(f.ID, f.Keywords)
+	}
+	ix.Build()
+	return ix
+}
+
+// Fragment returns the fragment with the given id.
+func (c *Catalog) Fragment(id int) *Fragment { return c.Fragments[id] }
+
+// PredsForColumn returns the predicate fragments of the i-th predicate
+// column.
+func (c *Catalog) PredsForColumn(i int) []*Fragment { return c.predsByColumn[i] }
+
+// PredColumnIndex returns the position of col in PredColumns, or -1.
+func (c *Catalog) PredColumnIndex(col sqlexec.ColumnRef) int {
+	for i, pc := range c.PredColumns {
+		if pc == col {
+			return i
+		}
+	}
+	return -1
+}
+
+func (c *Catalog) add(f *Fragment) *Fragment {
+	f.ID = len(c.Fragments)
+	c.Fragments = append(c.Fragments, f)
+	return f
+}
+
+// functionKeywords are the fixed keyword sets of the standard SQL
+// aggregation functions plus the paper's Percentage and
+// ConditionalProbability extensions.
+var functionKeywords = map[sqlexec.AggFunc][]string{
+	sqlexec.Count:                  {"count", "number", "total", "many", "times", "instances", "entries"},
+	sqlexec.CountDistinct:          {"distinct", "unique", "different", "count", "number", "separate", "individual", "various"},
+	sqlexec.Sum:                    {"sum", "total", "combined", "overall", "altogether", "cumulative", "together"},
+	sqlexec.Avg:                    {"average", "mean", "typical", "typically", "usual", "usually"},
+	sqlexec.Min:                    {"minimum", "least", "lowest", "fewest", "smallest", "shortest", "cheapest", "earliest", "worst"},
+	sqlexec.Max:                    {"maximum", "most", "highest", "largest", "biggest", "longest", "top", "greatest", "best", "record", "latest"},
+	sqlexec.Percentage:             {"percent", "percentage", "share", "proportion", "fraction", "rate", "ratio"},
+	sqlexec.ConditionalProbability: {"probability", "chance", "likelihood", "odds", "given", "conditional"},
+}
+
+func (c *Catalog) buildFunctions() {
+	for _, fn := range sqlexec.AggFuncs() {
+		kw := newKeywordSet()
+		for _, w := range functionKeywords[fn] {
+			kw.add(w, 1.0)
+		}
+		f := c.add(&Fragment{Kind: FragFunc, Fn: fn, Keywords: kw.terms()})
+		c.Funcs = append(c.Funcs, f)
+	}
+}
+
+func (c *Catalog) buildColumns() {
+	// The all-column "*": its keywords are the table-name words of every
+	// table, so that a claim like "four previous lifetime bans" can match
+	// Count(*) through the table name "nflsuspensions".
+	star := newKeywordSet()
+	for _, t := range c.DB.Tables() {
+		c.addIdentifierKeywords(star, t.Name, 1.0)
+	}
+	f := c.add(&Fragment{Kind: FragColumn, Col: sqlexec.ColumnRef{}, Keywords: star.terms()})
+	c.Columns = append(c.Columns, f)
+
+	for _, t := range c.DB.Tables() {
+		for _, col := range t.Columns {
+			kw := newKeywordSet()
+			c.addIdentifierKeywords(kw, col.Name, c.Opts.ValueWeight)
+			c.addIdentifierKeywords(kw, t.Name, c.Opts.TableWeight)
+			if col.Description != "" {
+				c.addDescriptionKeywords(kw, col.Description)
+			}
+			frag := &Fragment{
+				Kind:         FragColumn,
+				Col:          sqlexec.ColumnRef{Table: t.Name, Column: col.Name},
+				DistinctOnly: col.Kind == db.KindString,
+				Keywords:     kw.terms(),
+			}
+			c.Columns = append(c.Columns, c.add(frag))
+		}
+	}
+}
+
+func (c *Catalog) buildPredicates() {
+	for _, t := range c.DB.Tables() {
+		for _, col := range t.Columns {
+			ref := sqlexec.ColumnRef{Table: t.Name, Column: col.Name}
+			var literals []string
+			switch col.Kind {
+			case db.KindString:
+				literals = col.Dictionary()
+			case db.KindFloat:
+				if !col.Integral {
+					continue
+				}
+				distinct := col.DistinctFloats()
+				if len(distinct) == 0 || len(distinct) > c.Opts.NumericPredicateMaxDistinct {
+					continue
+				}
+				for _, v := range distinct {
+					literals = append(literals, strconv.FormatInt(int64(v), 10))
+				}
+			}
+			if c.Opts.MaxLiteralsPerColumn > 0 && len(literals) > c.Opts.MaxLiteralsPerColumn {
+				literals = literals[:c.Opts.MaxLiteralsPerColumn]
+			}
+			if len(literals) == 0 {
+				continue
+			}
+			colIdx := len(c.PredColumns)
+			c.PredColumns = append(c.PredColumns, ref)
+			c.predsByColumn = append(c.predsByColumn, nil)
+			for _, lit := range literals {
+				// Predicate keywords derive from the value name and the
+				// containing column/table names (§4.2). Data-dictionary
+				// descriptions deliberately stay on the column fragment
+				// only: attaching them to every literal would make all of a
+				// column's values look alike to keyword matching.
+				kw := newKeywordSet()
+				c.addLiteralKeywords(kw, lit)
+				c.addIdentifierKeywords(kw, col.Name, c.Opts.ColumnWeight)
+				c.addIdentifierKeywords(kw, t.Name, c.Opts.TableWeight)
+				frag := c.add(&Fragment{Kind: FragPredicate, Col: ref, Value: lit, Keywords: kw.terms()})
+				c.Preds = append(c.Preds, frag)
+				c.predsByColumn[colIdx] = append(c.predsByColumn[colIdx], frag)
+			}
+		}
+	}
+}
+
+// addIdentifierKeywords decomposes an identifier and adds each unit (plus
+// synonyms) at the given weight.
+func (c *Catalog) addIdentifierKeywords(kw *keywordSet, ident string, weight float64) {
+	for _, word := range wordnet.DecomposeIdentifier(ident) {
+		if nlp.IsStopword(word) {
+			continue
+		}
+		kw.add(word, weight)
+		if c.Opts.UseSynonyms {
+			for _, syn := range wordnet.Synonyms(word) {
+				kw.add(syn, weight*c.Opts.SynonymFactor)
+			}
+		}
+	}
+}
+
+// addLiteralKeywords tokenizes a literal value and adds its words (plus
+// synonyms) at full value weight; numbers inside values are indexed
+// verbatim ("week 4").
+func (c *Catalog) addLiteralKeywords(kw *keywordSet, lit string) {
+	for _, tok := range nlp.Tokenize(lit) {
+		switch tok.Kind {
+		case nlp.Word:
+			if nlp.IsStopword(tok.Lower) {
+				continue
+			}
+			kw.add(tok.Lower, c.Opts.ValueWeight)
+			if c.Opts.UseSynonyms {
+				for _, syn := range wordnet.Synonyms(tok.Lower) {
+					kw.add(syn, c.Opts.ValueWeight*c.Opts.SynonymFactor)
+				}
+			}
+		case nlp.Number:
+			kw.addVerbatim(tok.Lower, c.Opts.ValueWeight)
+		}
+	}
+}
+
+// addDescriptionKeywords indexes the data-dictionary description words.
+func (c *Catalog) addDescriptionKeywords(kw *keywordSet, desc string) {
+	for _, w := range nlp.ContentWords(desc) {
+		kw.add(w, c.Opts.DictWeight)
+	}
+}
+
+// keywordSet accumulates stem → max weight (duplicates keep the highest
+// weight rather than summing, so synonym expansion cannot dominate a
+// fragment's own name).
+type keywordSet struct {
+	weights map[string]float64
+	order   []string
+}
+
+func newKeywordSet() *keywordSet {
+	return &keywordSet{weights: make(map[string]float64)}
+}
+
+func (k *keywordSet) add(word string, weight float64) {
+	k.addVerbatim(nlp.Stem(word), weight)
+}
+
+func (k *keywordSet) addVerbatim(term string, weight float64) {
+	if term == "" || weight <= 0 {
+		return
+	}
+	if old, ok := k.weights[term]; ok {
+		if weight > old {
+			k.weights[term] = weight
+		}
+		return
+	}
+	k.weights[term] = weight
+	k.order = append(k.order, term)
+}
+
+func (k *keywordSet) terms() []ir.WeightedTerm {
+	out := make([]ir.WeightedTerm, 0, len(k.order))
+	for _, term := range k.order {
+		out = append(out, ir.WeightedTerm{Term: term, Weight: k.weights[term]})
+	}
+	return out
+}
+
+// CandidateSpaceLog10 returns log10 of the number of Simple Aggregate
+// Queries expressible over the catalog (Figure 8 of the paper): for every
+// aggregation function, the number of valid aggregation columns, times the
+// product over predicate columns of (1 + number of literals).
+func (c *Catalog) CandidateSpaceLog10() float64 {
+	var logPreds float64
+	for i := range c.PredColumns {
+		logPreds += math.Log10(1 + float64(len(c.predsByColumn[i])))
+	}
+	var total float64 // plain sum over functions of 10^(log cols + logPreds)
+	for _, fn := range sqlexec.AggFuncs() {
+		cols := 0
+		for _, cf := range c.Columns {
+			if validAggColumn(fn, cf) {
+				cols++
+			}
+		}
+		if cols == 0 {
+			continue
+		}
+		total += math.Pow(10, math.Log10(float64(cols))+logPreds)
+	}
+	if total == 0 {
+		return 0
+	}
+	return math.Log10(total)
+}
+
+// validAggColumn reports whether a column fragment can serve as the
+// aggregation column of fn (mirrors the candidate model of package model).
+func validAggColumn(fn sqlexec.AggFunc, col *Fragment) bool {
+	if fn.StarOnly() {
+		return col.Col.IsStar()
+	}
+	if col.Col.IsStar() {
+		return false
+	}
+	if fn == sqlexec.CountDistinct {
+		return true
+	}
+	return !col.DistinctOnly
+}

@@ -1,0 +1,206 @@
+package fragments
+
+import (
+	"strings"
+	"testing"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/ir"
+	"aggchecker/internal/nlp"
+	"aggchecker/internal/sqlexec"
+)
+
+func nflDB(t *testing.T) *db.Database {
+	t.Helper()
+	csvData := `name,team,games,category,year
+Art Schlichter,IND,indef,gambling,1983
+Josh Gordon,CLE,indef,substance abuse repeated offense,2014
+Stanley Wilson,CIN,indef,substance abuse repeated offense,1989
+Leon Lett,DAL,4,substance abuse,1995
+Ray Rice,BAL,2,personal conduct,2014
+`
+	tbl, err := db.LoadCSV(strings.NewReader(csvData), "nflsuspensions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase("nfl")
+	d.MustAddTable(tbl)
+	return d
+}
+
+func TestBuildCatalogCounts(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	if len(c.Funcs) != 8 {
+		t.Errorf("functions = %d, want 8", len(c.Funcs))
+	}
+	// Columns: star + 5 table columns.
+	if len(c.Columns) != 6 {
+		t.Errorf("columns = %d, want 6", len(c.Columns))
+	}
+	// Predicate columns: name, team, games, category (strings) + year
+	// (integral, low distinct count).
+	if len(c.PredColumns) != 5 {
+		t.Errorf("predicate columns = %d (%v), want 5", len(c.PredColumns), c.PredColumns)
+	}
+}
+
+func TestPredicateFragmentsPerColumn(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	gi := c.PredColumnIndex(sqlexec.ColumnRef{Table: "nflsuspensions", Column: "games"})
+	if gi < 0 {
+		t.Fatal("games not a predicate column")
+	}
+	preds := c.PredsForColumn(gi)
+	if len(preds) != 3 { // indef, 4, 2
+		t.Errorf("games literals = %d, want 3", len(preds))
+	}
+	found := false
+	for _, p := range preds {
+		if p.Value == "indef" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("games = indef fragment missing")
+	}
+}
+
+func TestPredicateRetrievalByValueKeyword(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	hits := c.PredIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("gambling"), Weight: 1}}, 5)
+	if len(hits) == 0 {
+		t.Fatal("no hits for gambling")
+	}
+	f := c.Fragment(hits[0].ID)
+	if f.Kind != FragPredicate || f.Value != "gambling" {
+		t.Errorf("top hit = %+v, want category=gambling", f)
+	}
+}
+
+func TestPredicateRetrievalViaSynonym(t *testing.T) {
+	// "lifetime bans" should reach games='indef' through the synonym group
+	// {lifetime, permanent, indefinite, indef} and table-name keywords.
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	hits := c.PredIndex.Search([]ir.WeightedTerm{
+		{Term: nlp.Stem("lifetime"), Weight: 1},
+		{Term: nlp.Stem("bans"), Weight: 1},
+	}, 5)
+	if len(hits) == 0 {
+		t.Fatal("no hits for lifetime bans")
+	}
+	found := false
+	for _, h := range hits {
+		f := c.Fragment(h.ID)
+		if f.Value == "indef" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("games=indef not retrieved for 'lifetime bans'")
+	}
+}
+
+func TestSynonymsToggle(t *testing.T) {
+	opts := DefaultOptions()
+	opts.UseSynonyms = false
+	c := BuildCatalog(nflDB(t), opts)
+	hits := c.PredIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("lifetime"), Weight: 1}}, 5)
+	for _, h := range hits {
+		if c.Fragment(h.ID).Value == "indef" {
+			t.Error("without synonyms, 'lifetime' should not retrieve games=indef")
+		}
+	}
+}
+
+func TestStarColumnKeywords(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	// The star fragment carries table-name derived keywords: "suspensions"
+	// (and via synonyms "bans").
+	hits := c.ColIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("bans"), Weight: 1}}, 3)
+	if len(hits) == 0 {
+		t.Fatal("no column hits for 'bans'")
+	}
+	f := c.Fragment(hits[0].ID)
+	if !f.Col.IsStar() {
+		t.Errorf("top column hit = %v, want star", f.Col)
+	}
+}
+
+func TestFunctionFragments(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	hits := c.FuncIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("average"), Weight: 1}}, 1)
+	if len(hits) != 1 || c.Fragment(hits[0].ID).Fn != sqlexec.Avg {
+		t.Errorf("average should retrieve Avg, got %v", hits)
+	}
+	hits = c.FuncIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("percent"), Weight: 1}}, 1)
+	if len(hits) != 1 || c.Fragment(hits[0].ID).Fn != sqlexec.Percentage {
+		t.Errorf("percent should retrieve Percentage, got %v", hits)
+	}
+}
+
+func TestNumericPredicateColumnGate(t *testing.T) {
+	// A high-cardinality numeric column must not become a predicate column.
+	vals := db.NewFloatColumn("measure")
+	cat := db.NewStringColumn("cat")
+	for i := 0; i < 100; i++ {
+		vals.AppendFloat(float64(i) + 0.5)
+		cat.AppendString("x")
+	}
+	d := db.NewDatabase("t")
+	d.MustAddTable(db.MustNewTable("t", vals, cat))
+	c := BuildCatalog(d, DefaultOptions())
+	if got := len(c.PredColumns); got != 1 {
+		t.Errorf("predicate columns = %d (%v), want 1 (only cat)", got, c.PredColumns)
+	}
+}
+
+func TestDataDictionaryKeywords(t *testing.T) {
+	d := nflDB(t)
+	d.ApplyDataDictionary(map[string]string{
+		"games": "duration of the punishment measured in matches",
+	})
+	c := BuildCatalog(d, DefaultOptions())
+	hits := c.ColIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("punishment"), Weight: 1}}, 10)
+	found := false
+	for _, h := range hits {
+		if c.Fragment(h.ID).Col.Column == "games" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("data dictionary description keywords not indexed on the column fragment")
+	}
+	// Description words must NOT discriminate between literals of the
+	// column: no predicate fragment carries them. Probe with "duration",
+	// which occurs only in the description ("punishment" would also match
+	// through table-name synonyms).
+	predHits := c.PredIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("duration"), Weight: 1}}, 10)
+	for _, h := range predHits {
+		if c.Fragment(h.ID).Col.Column == "games" {
+			t.Error("data dictionary description leaked into predicate keywords")
+		}
+	}
+}
+
+func TestCandidateSpaceLog10(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	got := c.CandidateSpaceLog10()
+	// 5 predicate columns with 6,5,3,3,3 literals → product of (1+n) =
+	// 7*6*4*4*4 = 2688 predicate combinations; times columns per function.
+	if got < 3 || got > 8 {
+		t.Errorf("CandidateSpaceLog10 = %v, want within [3, 8]", got)
+	}
+}
+
+func TestFragmentIDsConsistent(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	for i, f := range c.Fragments {
+		if f.ID != i {
+			t.Fatalf("fragment %d has ID %d", i, f.ID)
+		}
+	}
+	// Every categorized fragment appears in the global slice.
+	if len(c.Fragments) != len(c.Funcs)+len(c.Columns)+len(c.Preds) {
+		t.Errorf("fragment partition sizes inconsistent")
+	}
+}

@@ -1,0 +1,142 @@
+// Package ir implements the information-retrieval engine AggChecker uses to
+// rank query fragments by claim keywords. It substitutes for Apache Lucene
+// (§4 of the paper): documents are the keyword sets of query fragments,
+// queries are the weighted claim keyword sets of Algorithm 2, and scores are
+// a BM25-flavoured TF-IDF. AggChecker consumes the scores only after
+// per-category normalization inside the probabilistic model, so any
+// well-behaved ranking function reproduces the paper's signal; BM25 is the
+// modern default of the engine the paper used.
+package ir
+
+import (
+	"math"
+	"sort"
+)
+
+// BM25 constants (Lucene defaults).
+const (
+	k1 = 1.2
+	b  = 0.75
+)
+
+// WeightedTerm is a term with a weight. For documents the weight acts as a
+// fractional term frequency (fragment keywords derived from a literal value
+// weigh more than ones derived from the containing table name); for queries
+// it is the claim-keyword weight of Algorithm 2.
+type WeightedTerm struct {
+	Term   string
+	Weight float64
+}
+
+// Hit is one retrieval result.
+type Hit struct {
+	ID    int
+	Score float64
+}
+
+type posting struct {
+	doc int // index into docLens
+	tf  float64
+}
+
+// Index is an in-memory inverted index. Add all documents, then call Build
+// before searching. The zero value is not usable; use NewIndex.
+type Index struct {
+	postings map[string][]posting
+	docIDs   []int
+	docLens  []float64
+	avgLen   float64
+	idf      map[string]float64
+	built    bool
+}
+
+// NewIndex returns an empty index.
+func NewIndex() *Index {
+	return &Index{postings: make(map[string][]posting)}
+}
+
+// Add indexes a document under the caller-assigned id. Terms should already
+// be normalized (lowercased, stemmed). Duplicate terms accumulate weight.
+func (ix *Index) Add(id int, terms []WeightedTerm) {
+	doc := len(ix.docIDs)
+	ix.docIDs = append(ix.docIDs, id)
+	var length float64
+	agg := make(map[string]float64, len(terms))
+	for _, t := range terms {
+		if t.Term == "" || t.Weight <= 0 {
+			continue
+		}
+		agg[t.Term] += t.Weight
+		length += t.Weight
+	}
+	for term, tf := range agg {
+		ix.postings[term] = append(ix.postings[term], posting{doc: doc, tf: tf})
+	}
+	ix.docLens = append(ix.docLens, length)
+	ix.built = false
+}
+
+// Build finalizes statistics (document frequencies, average length). It must
+// be called after the last Add and before the first Search; Search calls it
+// lazily as a convenience.
+func (ix *Index) Build() {
+	n := len(ix.docIDs)
+	ix.idf = make(map[string]float64, len(ix.postings))
+	var total float64
+	for _, l := range ix.docLens {
+		total += l
+	}
+	if n > 0 {
+		ix.avgLen = total / float64(n)
+	}
+	if ix.avgLen == 0 {
+		ix.avgLen = 1
+	}
+	for term, plist := range ix.postings {
+		df := float64(len(plist))
+		ix.idf[term] = math.Log(1 + (float64(n)-df+0.5)/(df+0.5))
+	}
+	ix.built = true
+}
+
+// Len returns the number of indexed documents.
+func (ix *Index) Len() int { return len(ix.docIDs) }
+
+// Search scores all documents against the weighted query and returns the
+// top k hits by score (ties broken by ascending id for determinism). k <= 0
+// returns all matching documents.
+func (ix *Index) Search(query []WeightedTerm, k int) []Hit {
+	if !ix.built {
+		ix.Build()
+	}
+	scores := make(map[int]float64)
+	for _, qt := range query {
+		if qt.Weight <= 0 {
+			continue
+		}
+		plist, ok := ix.postings[qt.Term]
+		if !ok {
+			continue
+		}
+		idf := ix.idf[qt.Term]
+		for _, p := range plist {
+			norm := k1 * (1 - b + b*ix.docLens[p.doc]/ix.avgLen)
+			sat := p.tf * (k1 + 1) / (p.tf + norm)
+			scores[p.doc] += qt.Weight * idf * sat
+		}
+	}
+	hits := make([]Hit, 0, len(scores))
+	for doc, s := range scores {
+		hits = append(hits, Hit{ID: ix.docIDs[doc], Score: s})
+	}
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Score != hits[j].Score {
+			return hits[i].Score > hits[j].Score
+		}
+		return hits[i].ID < hits[j].ID
+	})
+	if k > 0 && len(hits) > k {
+		hits = hits[:k]
+	}
+	return hits
+}

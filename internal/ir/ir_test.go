@@ -1,0 +1,142 @@
+package ir
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func wt(pairs ...interface{}) []WeightedTerm {
+	var out []WeightedTerm
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, WeightedTerm{Term: pairs[i].(string), Weight: pairs[i+1].(float64)})
+	}
+	return out
+}
+
+func buildSample() *Index {
+	ix := NewIndex()
+	ix.Add(1, wt("game", 1.0, "suspens", 1.0, "indef", 1.0))
+	ix.Add(2, wt("categori", 1.0, "gambl", 1.0, "suspens", 0.5))
+	ix.Add(3, wt("categori", 1.0, "substanc", 1.0, "abus", 1.0, "suspens", 0.5))
+	ix.Add(4, wt("player", 1.0, "name", 1.0))
+	ix.Build()
+	return ix
+}
+
+func TestSearchRanking(t *testing.T) {
+	ix := buildSample()
+	hits := ix.Search(wt("gambl", 1.0), 10)
+	if len(hits) != 1 || hits[0].ID != 2 {
+		t.Fatalf("Search(gambl) = %v, want doc 2 only", hits)
+	}
+	hits = ix.Search(wt("suspens", 1.0, "indef", 1.0), 10)
+	if len(hits) == 0 || hits[0].ID != 1 {
+		t.Fatalf("Search(suspens indef) top hit = %v, want doc 1", hits)
+	}
+}
+
+func TestSearchQueryWeights(t *testing.T) {
+	ix := buildSample()
+	// Heavier weight on "gambl" should rank doc 2 above doc 3 even though
+	// both match "categori".
+	hits := ix.Search(wt("categori", 0.2, "gambl", 1.0), 10)
+	if len(hits) < 2 || hits[0].ID != 2 {
+		t.Fatalf("weighted search = %v, want doc 2 first", hits)
+	}
+	// Flip the emphasized term.
+	hits = ix.Search(wt("categori", 0.2, "substanc", 1.0), 10)
+	if len(hits) < 2 || hits[0].ID != 3 {
+		t.Fatalf("weighted search = %v, want doc 3 first", hits)
+	}
+}
+
+func TestSearchTopK(t *testing.T) {
+	ix := buildSample()
+	hits := ix.Search(wt("suspens", 1.0), 2)
+	if len(hits) != 2 {
+		t.Fatalf("top-2 returned %d hits", len(hits))
+	}
+}
+
+func TestSearchNoMatch(t *testing.T) {
+	ix := buildSample()
+	if hits := ix.Search(wt("zzz", 1.0), 5); len(hits) != 0 {
+		t.Fatalf("unexpected hits %v", hits)
+	}
+	if hits := ix.Search(nil, 5); len(hits) != 0 {
+		t.Fatalf("nil query returned hits %v", hits)
+	}
+}
+
+func TestIDFPrefersRareTerms(t *testing.T) {
+	ix := NewIndex()
+	for i := 0; i < 50; i++ {
+		ix.Add(i, wt("common", 1.0))
+	}
+	ix.Add(100, wt("common", 1.0, "rare", 1.0))
+	ix.Add(101, wt("rare", 1.0))
+	ix.Build()
+	hits := ix.Search(wt("common", 1.0, "rare", 1.0), 3)
+	// The two docs containing the rare term must beat every common-only doc
+	// (BM25 length normalization decides their relative order).
+	top := map[int]bool{hits[0].ID: true, hits[1].ID: true}
+	if !top[100] || !top[101] {
+		t.Fatalf("docs with the rare term should occupy the top two ranks: %v", hits)
+	}
+	if hits[2].Score >= hits[1].Score {
+		t.Fatalf("common-only doc should score below rare-term docs: %v", hits)
+	}
+}
+
+func TestDeterministicTieBreak(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(9, wt("x", 1.0))
+	ix.Add(3, wt("x", 1.0))
+	ix.Add(7, wt("x", 1.0))
+	ix.Build()
+	hits := ix.Search(wt("x", 1.0), 10)
+	if hits[0].ID != 3 || hits[1].ID != 7 || hits[2].ID != 9 {
+		t.Fatalf("ties not broken by id: %v", hits)
+	}
+}
+
+func TestDuplicateTermsAccumulate(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, wt("a", 1.0, "a", 1.0, "b", 1.0))
+	ix.Add(2, wt("a", 1.0, "b", 1.0))
+	ix.Build()
+	hits := ix.Search(wt("a", 1.0), 2)
+	if len(hits) != 2 || hits[0].ID != 1 {
+		t.Fatalf("higher tf should score higher: %v", hits)
+	}
+}
+
+func TestSearchScoresMonotoneInWeight(t *testing.T) {
+	ix := buildSample()
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		w := rng.Float64() + 0.01
+		lo := ix.Search(wt("gambl", w), 1)
+		hi := ix.Search(wt("gambl", w*2), 1)
+		if len(lo) != 1 || len(hi) != 1 {
+			t.Fatal("expected hits")
+		}
+		if hi[0].Score <= lo[0].Score {
+			t.Fatalf("score not monotone in query weight: %v vs %v", hi[0], lo[0])
+		}
+	}
+}
+
+func TestLazyBuild(t *testing.T) {
+	ix := NewIndex()
+	ix.Add(1, wt("a", 1.0))
+	// Search without an explicit Build call must still work.
+	if hits := ix.Search(wt("a", 1.0), 1); len(hits) != 1 {
+		t.Fatalf("lazy build failed: %v", hits)
+	}
+	// Adding after Build then searching again re-finalizes.
+	ix.Add(2, wt("a", 1.0))
+	if hits := ix.Search(wt("a", 1.0), 5); len(hits) != 2 {
+		t.Fatalf("re-build after Add failed: %v", hits)
+	}
+}

@@ -1,0 +1,221 @@
+// Package keywords implements Algorithms 1 and 2 of the paper: extracting a
+// weighted keyword context for each claim from the document structure, and
+// matching it against the fragment indexes to obtain per-category relevance
+// scores. The keyword sources beyond the claim sentence (previous sentence,
+// paragraph start, synonyms, headlines) are individually toggleable — they
+// are the ablation axes of Figure 11 and the first block of Table 5.
+package keywords
+
+import (
+	"aggchecker/internal/document"
+	"aggchecker/internal/fragments"
+	"aggchecker/internal/ir"
+	"aggchecker/internal/nlp"
+	"aggchecker/internal/wordnet"
+)
+
+// ContextConfig selects the keyword sources of Algorithm 2.
+type ContextConfig struct {
+	UsePrevSentence   bool
+	UseParagraphStart bool
+	UseSynonyms       bool
+	UseHeadlines      bool
+
+	// NeighborWeight scales keywords from the previous sentence and the
+	// paragraph's first sentence (0.4·m in Algorithm 2, m the minimum
+	// same-sentence weight).
+	NeighborWeight float64
+	// HeadlineWeight scales headline keywords (0.7·m in Algorithm 2).
+	HeadlineWeight float64
+	// SynonymFactor scales a synonym relative to its source keyword.
+	SynonymFactor float64
+}
+
+// DefaultContext returns the paper's configuration (all sources on).
+func DefaultContext() ContextConfig {
+	return ContextConfig{
+		UsePrevSentence:   true,
+		UseParagraphStart: true,
+		UseSynonyms:       true,
+		UseHeadlines:      true,
+		NeighborWeight:    0.4,
+		HeadlineWeight:    0.7,
+		SynonymFactor:     0.5,
+	}
+}
+
+// ClaimKeywords implements Algorithm 2: it assigns every context keyword of
+// claim c a weight from the claim-sentence phrase tree and the document
+// hierarchy. Returned terms are stemmed and deduplicated keeping the
+// maximum weight.
+func ClaimKeywords(c *document.Claim, cfg ContextConfig) []ir.WeightedTerm {
+	set := newWeightSet()
+
+	// Keywords in the claim sentence, weighted by inverse tree distance to
+	// the claimed number.
+	sent := c.Sentence
+	tree := sent.Tree()
+	minWeight := 1.0
+	for _, tok := range sent.Tokens {
+		if tok.Kind != nlp.Word || tok.IsStop() {
+			continue
+		}
+		if tok.Pos >= c.TokenIndex && tok.Pos < c.TokenIndex+c.TokenSpan {
+			continue // the claimed value itself
+		}
+		if _, isNum := nlp.NumberWordValue(tok.Lower); isNum {
+			continue // other claims' number words are not context keywords
+		}
+		d := tree.Distance(tok.Pos, c.TokenIndex)
+		if d == 0 {
+			d = 1
+		}
+		w := 1.0 / float64(d)
+		if w < minWeight {
+			minWeight = w
+		}
+		set.add(tok.Stem, w)
+	}
+	m := minWeight
+
+	// Previous sentence and paragraph start at 0.4·m.
+	if cfg.UsePrevSentence {
+		if prev := sent.Prev(); prev != nil {
+			addSentence(set, prev, cfg.NeighborWeight*m)
+		}
+	}
+	if cfg.UseParagraphStart {
+		if first := sent.First(); first != nil && first != sent {
+			// Skip when the paragraph start is also the previous sentence
+			// and that source already contributed.
+			if !(cfg.UsePrevSentence && first == sent.Prev()) {
+				addSentence(set, first, cfg.NeighborWeight*m)
+			}
+		}
+	}
+
+	// Preceding headlines at 0.7·m, walking up the section hierarchy.
+	if cfg.UseHeadlines {
+		for _, sec := range sent.Paragraph.Section.Ancestors() {
+			if sec.Headline == "" {
+				continue
+			}
+			for _, tok := range sec.HeadlineTokens() {
+				if tok.Kind == nlp.Word && !tok.IsStop() {
+					set.add(tok.Stem, cfg.HeadlineWeight*m)
+				}
+			}
+		}
+	}
+
+	// Claim-side synonym expansion (the "+Synonyms" ablation source).
+	if cfg.UseSynonyms {
+		base := set.items() // snapshot before expansion
+		for _, it := range base {
+			for _, syn := range wordnet.Synonyms(it.word) {
+				set.add(nlp.Stem(syn), it.weight*cfg.SynonymFactor)
+			}
+		}
+	}
+
+	return set.terms()
+}
+
+func addSentence(set *weightSet, s *document.Sentence, weight float64) {
+	for _, tok := range s.Tokens {
+		if tok.Kind != nlp.Word || tok.IsStop() {
+			continue
+		}
+		if _, isNum := nlp.NumberWordValue(tok.Lower); isNum {
+			continue
+		}
+		set.add(tok.Stem, weight)
+	}
+}
+
+// Scores holds the per-category relevance scores of one claim: fragment ID
+// → score, for the fragments retrieved within the top-k budget.
+type Scores struct {
+	Funcs map[int]float64
+	Cols  map[int]float64
+	Preds map[int]float64
+	// Keywords preserves the claim's keyword context for diagnostics.
+	Keywords []ir.WeightedTerm
+}
+
+// Match implements Algorithm 1 for a single claim: it extracts the keyword
+// context and queries the three fragment indexes. topK bounds the number of
+// hits per category ("# Hits" in Table 5 / Figure 13); functions are always
+// retrieved exhaustively — there are only eight.
+func Match(cat *fragments.Catalog, claim *document.Claim, cfg ContextConfig, topK int) Scores {
+	kw := ClaimKeywords(claim, cfg)
+	s := Scores{
+		Funcs:    hitsToMap(cat.FuncIndex.Search(kw, 0)),
+		Cols:     hitsToMap(cat.ColIndex.Search(kw, topK)),
+		Preds:    hitsToMap(cat.PredIndex.Search(kw, topK)),
+		Keywords: kw,
+	}
+	return s
+}
+
+// MatchAll runs Match for every claim of a document.
+func MatchAll(cat *fragments.Catalog, doc *document.Document, cfg ContextConfig, topK int) []Scores {
+	out := make([]Scores, len(doc.Claims))
+	for i, c := range doc.Claims {
+		out[i] = Match(cat, c, cfg, topK)
+	}
+	return out
+}
+
+func hitsToMap(hits []ir.Hit) map[int]float64 {
+	m := make(map[int]float64, len(hits))
+	for _, h := range hits {
+		m[h.ID] = h.Score
+	}
+	return m
+}
+
+// weightSet accumulates stem → max weight preserving insertion order.
+type weightSet struct {
+	weights map[string]float64
+	order   []string
+}
+
+type weightItem struct {
+	word   string
+	weight float64
+}
+
+func newWeightSet() *weightSet {
+	return &weightSet{weights: make(map[string]float64)}
+}
+
+func (s *weightSet) add(stem string, weight float64) {
+	if stem == "" || weight <= 0 {
+		return
+	}
+	if old, ok := s.weights[stem]; ok {
+		if weight > old {
+			s.weights[stem] = weight
+		}
+		return
+	}
+	s.weights[stem] = weight
+	s.order = append(s.order, stem)
+}
+
+func (s *weightSet) items() []weightItem {
+	out := make([]weightItem, 0, len(s.order))
+	for _, w := range s.order {
+		out = append(out, weightItem{word: w, weight: s.weights[w]})
+	}
+	return out
+}
+
+func (s *weightSet) terms() []ir.WeightedTerm {
+	out := make([]ir.WeightedTerm, 0, len(s.order))
+	for _, w := range s.order {
+		out = append(out, ir.WeightedTerm{Term: w, Weight: s.weights[w]})
+	}
+	return out
+}

@@ -1,0 +1,225 @@
+package keywords
+
+import (
+	"strings"
+	"testing"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/document"
+	"aggchecker/internal/fragments"
+	"aggchecker/internal/nlp"
+)
+
+const nflHTML = `<h1>The NFL's Uneven History Of Punishing Domestic Violence</h1>
+<h2>Lifetime bans</h2>
+<p>There were only four previous lifetime bans in my database.
+Three were for repeated substance abuse, one was for gambling.</p>`
+
+func parseNFL(t *testing.T) *document.Document {
+	t.Helper()
+	doc := document.ParseHTML(nflHTML)
+	if len(doc.Claims) != 3 {
+		t.Fatalf("claims = %d, want 3", len(doc.Claims))
+	}
+	return doc
+}
+
+func TestClaimKeywordsTreeWeights(t *testing.T) {
+	doc := parseNFL(t)
+	// Claim "one" (value 1): "gambling" must outweigh "substance"/"abuse".
+	claimOne := doc.Claims[2]
+	kw := ClaimKeywords(claimOne, DefaultContext())
+	var wGamble, wSubstance float64
+	for _, term := range kw {
+		switch term.Term {
+		case nlp.Stem("gambling"):
+			wGamble = term.Weight
+		case nlp.Stem("substance"):
+			wSubstance = term.Weight
+		}
+	}
+	if wGamble == 0 || wSubstance == 0 {
+		t.Fatalf("keywords missing: gambling=%v substance=%v (%v)", wGamble, wSubstance, kw)
+	}
+	if wGamble <= wSubstance {
+		t.Errorf("gambling (%v) should outweigh substance (%v) for claim 'one'", wGamble, wSubstance)
+	}
+	// And the reverse for claim "three".
+	claimThree := doc.Claims[1]
+	kw3 := ClaimKeywords(claimThree, DefaultContext())
+	wGamble, wSubstance = 0, 0
+	for _, term := range kw3 {
+		switch term.Term {
+		case nlp.Stem("gambling"):
+			wGamble = term.Weight
+		case nlp.Stem("substance"):
+			wSubstance = term.Weight
+		}
+	}
+	if wSubstance <= wGamble {
+		t.Errorf("substance (%v) should outweigh gambling (%v) for claim 'three'", wSubstance, wGamble)
+	}
+}
+
+func TestClaimKeywordsContextSources(t *testing.T) {
+	doc := parseNFL(t)
+	claimOne := doc.Claims[2] // second sentence: context must supply "lifetime"
+	full := ClaimKeywords(claimOne, DefaultContext())
+	hasLifetime := false
+	hasHeadlineWord := false
+	for _, term := range full {
+		if term.Term == nlp.Stem("lifetime") {
+			hasLifetime = true
+		}
+		if term.Term == nlp.Stem("punishing") {
+			hasHeadlineWord = true
+		}
+	}
+	if !hasLifetime {
+		t.Error("previous-sentence keyword 'lifetime' missing from context")
+	}
+	if !hasHeadlineWord {
+		t.Error("headline keyword 'punishing' missing from context")
+	}
+
+	// Sentence-only configuration loses both.
+	bare := ClaimKeywords(claimOne, ContextConfig{})
+	for _, term := range bare {
+		if term.Term == nlp.Stem("lifetime") {
+			t.Error("sentence-only context should not include 'lifetime'")
+		}
+		if term.Term == nlp.Stem("punishing") {
+			t.Error("sentence-only context should not include headline words")
+		}
+	}
+}
+
+func TestClaimKeywordsNeighborWeightScaling(t *testing.T) {
+	doc := parseNFL(t)
+	claimOne := doc.Claims[2]
+	cfg := DefaultContext()
+	kw := ClaimKeywords(claimOne, cfg)
+	// Context keywords are scaled by m (the minimum in-sentence weight), so
+	// they must be strictly below the maximum same-sentence weight.
+	var maxSent, lifetime float64
+	for _, term := range kw {
+		if term.Term == nlp.Stem("gambling") && term.Weight > maxSent {
+			maxSent = term.Weight
+		}
+		if term.Term == nlp.Stem("lifetime") {
+			lifetime = term.Weight
+		}
+	}
+	if lifetime >= maxSent {
+		t.Errorf("context keyword weight %v should be below in-sentence max %v", lifetime, maxSent)
+	}
+}
+
+func TestClaimKeywordsExcludesNumbers(t *testing.T) {
+	doc := parseNFL(t)
+	for _, c := range doc.Claims {
+		for _, term := range ClaimKeywords(c, DefaultContext()) {
+			if term.Term == "three" || term.Term == "four" || term.Term == "one" {
+				t.Errorf("claim %d context contains number word %q", c.ID, term.Term)
+			}
+		}
+	}
+}
+
+func TestClaimKeywordsSynonyms(t *testing.T) {
+	doc := parseNFL(t)
+	claimFour := doc.Claims[0] // "four previous lifetime bans"
+	cfg := DefaultContext()
+	kw := ClaimKeywords(claimFour, cfg)
+	hasSuspension := false
+	for _, term := range kw {
+		if term.Term == nlp.Stem("suspension") {
+			hasSuspension = true
+		}
+	}
+	if !hasSuspension {
+		t.Error("synonym 'suspension' of 'bans' missing")
+	}
+	cfg.UseSynonyms = false
+	for _, term := range ClaimKeywords(claimFour, cfg) {
+		if term.Term == nlp.Stem("suspension") {
+			t.Error("synonyms disabled but synonym term present")
+		}
+	}
+}
+
+func TestMatchScoresGroundTruthFragments(t *testing.T) {
+	csvData := `name,team,games,category,year
+Art Schlichter,IND,indef,gambling,1983
+Josh Gordon,CLE,indef,substance abuse repeated offense,2014
+Stanley Wilson,CIN,indef,substance abuse repeated offense,1989
+Leon Lett,DAL,4,substance abuse,1995
+`
+	tbl, err := db.LoadCSV(strings.NewReader(csvData), "nflsuspensions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase("nfl")
+	d.MustAddTable(tbl)
+	cat := fragments.BuildCatalog(d, fragments.DefaultOptions())
+	doc := parseNFL(t)
+	claimOne := doc.Claims[2]
+	s := Match(cat, claimOne, DefaultContext(), 20)
+	// The gambling predicate fragment must be retrieved with a positive
+	// score.
+	found := false
+	for id, score := range s.Preds {
+		f := cat.Fragment(id)
+		if f.Value == "gambling" && score > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("gambling predicate not retrieved for claim 'one'")
+	}
+	// The claim sentence never names an aggregation function — the paper
+	// reports 30% of claims are implicit like this — so function scores may
+	// legitimately be empty; the probabilistic model smooths over them.
+	doc2 := document.ParseText("The total number of suspensions is 4.")
+	s2 := Match(cat, doc2.Claims[0], DefaultContext(), 20)
+	if len(s2.Funcs) == 0 {
+		t.Error("explicit 'total number' should retrieve function fragments")
+	}
+}
+
+func TestMatchAllLength(t *testing.T) {
+	csvData := "a,b\nx,1\ny,2\n"
+	tbl, err := db.LoadCSV(strings.NewReader(csvData), "t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase("d")
+	d.MustAddTable(tbl)
+	cat := fragments.BuildCatalog(d, fragments.DefaultOptions())
+	doc := document.ParseText("There are 2 rows. The average b is 1.5.")
+	ss := MatchAll(cat, doc, DefaultContext(), 10)
+	if len(ss) != len(doc.Claims) {
+		t.Errorf("MatchAll returned %d scores for %d claims", len(ss), len(doc.Claims))
+	}
+}
+
+func TestTopKBudget(t *testing.T) {
+	// With topK=1 at most one predicate fragment is retrieved per claim.
+	csvData := `games,category
+indef,gambling
+4,substance abuse
+2,personal conduct
+`
+	tbl, err := db.LoadCSV(strings.NewReader(csvData), "nflsuspensions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase("nfl")
+	d.MustAddTable(tbl)
+	cat := fragments.BuildCatalog(d, fragments.DefaultOptions())
+	doc := parseNFL(t)
+	s := Match(cat, doc.Claims[2], DefaultContext(), 1)
+	if len(s.Preds) > 1 {
+		t.Errorf("topK=1 returned %d predicate scores", len(s.Preds))
+	}
+}

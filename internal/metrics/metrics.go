@@ -1,0 +1,86 @@
+// Package metrics implements the evaluation measures of §7: precision and
+// recall over erroneous claims (Definitions 4 and 5), F1, and top-k
+// coverage of ground-truth queries (Definition 6).
+package metrics
+
+// Confusion tallies verdicts against ground truth for the "erroneous claim"
+// detection task: positives are claims flagged erroneous.
+type Confusion struct {
+	TP int // flagged erroneous, truly erroneous
+	FP int // flagged erroneous, actually correct
+	FN int // passed as correct, truly erroneous
+	TN int // passed as correct, actually correct
+}
+
+// Add records one claim outcome.
+func (c *Confusion) Add(flagged, trulyErroneous bool) {
+	switch {
+	case flagged && trulyErroneous:
+		c.TP++
+	case flagged && !trulyErroneous:
+		c.FP++
+	case !flagged && trulyErroneous:
+		c.FN++
+	default:
+		c.TN++
+	}
+}
+
+// Precision is the fraction of flagged claims that are truly erroneous
+// (Definition 4).
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall is the fraction of truly erroneous claims that were flagged
+// (Definition 5).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// F1 is the harmonic mean of precision and recall.
+func (c Confusion) F1() float64 {
+	p, r := c.Precision(), c.Recall()
+	if p+r == 0 {
+		return 0
+	}
+	return 2 * p * r / (p + r)
+}
+
+// Total returns the number of recorded claims.
+func (c Confusion) Total() int { return c.TP + c.FP + c.FN + c.TN }
+
+// TopKCoverage computes Definition 6 over ground-truth ranks: ranks[i] is
+// the 0-based position of claim i's matching query in the system's ranked
+// list, or -1 when absent. The result is the percentage of claims whose
+// rank is < k.
+func TopKCoverage(ranks []int, k int) float64 {
+	if len(ranks) == 0 {
+		return 0
+	}
+	hit := 0
+	for _, r := range ranks {
+		if r >= 0 && r < k {
+			hit++
+		}
+	}
+	return 100 * float64(hit) / float64(len(ranks))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var t float64
+	for _, x := range xs {
+		t += x
+	}
+	return t / float64(len(xs))
+}

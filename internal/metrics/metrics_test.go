@@ -1,0 +1,87 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfusionBasics(t *testing.T) {
+	var c Confusion
+	c.Add(true, true)   // TP
+	c.Add(true, false)  // FP
+	c.Add(false, true)  // FN
+	c.Add(false, false) // TN
+	if c.TP != 1 || c.FP != 1 || c.FN != 1 || c.TN != 1 {
+		t.Fatalf("confusion = %+v", c)
+	}
+	if c.Precision() != 0.5 || c.Recall() != 0.5 || c.F1() != 0.5 {
+		t.Errorf("P=%v R=%v F1=%v, want 0.5 each", c.Precision(), c.Recall(), c.F1())
+	}
+	if c.Total() != 4 {
+		t.Errorf("total = %d", c.Total())
+	}
+}
+
+func TestConfusionEdgeCases(t *testing.T) {
+	var c Confusion
+	if c.Precision() != 0 || c.Recall() != 0 || c.F1() != 0 {
+		t.Error("empty confusion should have zero metrics")
+	}
+	c.Add(false, false)
+	if c.Precision() != 0 || c.Recall() != 0 {
+		t.Error("no positives: metrics zero")
+	}
+}
+
+func TestF1IsHarmonicMean(t *testing.T) {
+	c := Confusion{TP: 30, FP: 10, FN: 20}
+	p, r := c.Precision(), c.Recall()
+	want := 2 * p * r / (p + r)
+	if math.Abs(c.F1()-want) > 1e-12 {
+		t.Errorf("F1 = %v, want %v", c.F1(), want)
+	}
+}
+
+func TestTopKCoverage(t *testing.T) {
+	ranks := []int{0, 0, 3, 9, -1, 25}
+	cases := []struct {
+		k    int
+		want float64
+	}{
+		{1, 100.0 * 2 / 6},
+		{5, 100.0 * 3 / 6},
+		{10, 100.0 * 4 / 6},
+		{100, 100.0 * 5 / 6},
+	}
+	for _, c := range cases {
+		if got := TopKCoverage(ranks, c.k); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("TopKCoverage(%d) = %v, want %v", c.k, got, c.want)
+		}
+	}
+	if TopKCoverage(nil, 5) != 0 {
+		t.Error("empty ranks should give 0")
+	}
+}
+
+func TestTopKCoverageMonotoneInK(t *testing.T) {
+	f := func(ranks []int, k1, k2 uint8) bool {
+		a, b := int(k1%30)+1, int(k2%30)+1
+		if a > b {
+			a, b = b, a
+		}
+		return TopKCoverage(ranks, a) <= TopKCoverage(ranks, b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("mean of empty should be 0")
+	}
+	if got := Mean([]float64{1, 2, 3}); got != 2 {
+		t.Errorf("Mean = %v", got)
+	}
+}

@@ -1,0 +1,192 @@
+package model
+
+import (
+	"math"
+
+	"aggchecker/internal/fragments"
+	"aggchecker/internal/sqlexec"
+)
+
+// Priors are the document-theme parameters Θ of §5.2: a distribution over
+// aggregation functions, a distribution over aggregation-column fragments,
+// and an independent Bernoulli restriction probability per predicate
+// column.
+type Priors struct {
+	// Fn[f] is the prior of aggregation function f; sums to 1.
+	Fn []float64
+	// Col[i] is the prior of the i-th column fragment of the catalog
+	// (index 0 = "*"); sums to 1.
+	Col []float64
+	// Restrict[j] is the probability that a claim query places an equality
+	// predicate on the j-th predicate column of the catalog.
+	Restrict []float64
+}
+
+// initialFnPrior seeds the aggregation-function prior before the first EM
+// iteration. The paper initializes Θ uniformly, but 30% of claims state no
+// function at all (§7.3) and a uniform start leaves Count and CountDistinct
+// exactly tied for them — on small data sets CountDistinct then wins through
+// accidental result matches. English claims overwhelmingly default to plain
+// counts, so we seed a mild linguistic preference (EM overwrites Θ from the
+// first maximization step either way); DESIGN.md records the deviation.
+var initialFnPrior = map[sqlexec.AggFunc]float64{
+	sqlexec.Count:                  0.40,
+	sqlexec.Sum:                    0.11,
+	sqlexec.Avg:                    0.11,
+	sqlexec.Percentage:             0.11,
+	sqlexec.Max:                    0.09,
+	sqlexec.Min:                    0.07,
+	sqlexec.CountDistinct:          0.04,
+	sqlexec.ConditionalProbability: 0.07,
+}
+
+// UniformPriors initializes Θ before the first EM iteration (Algorithm 3
+// line 6): the seeded function prior above, uniform aggregation-column
+// priors, and restriction probabilities at the implied neutral rate — the
+// expected predicates per claim (one, per Figure 9c) spread over the
+// predicate columns, clamped to [0.05, 0.5].
+func UniformPriors(cat *fragments.Catalog) *Priors {
+	p := &Priors{
+		Fn:       make([]float64, len(cat.Funcs)),
+		Col:      make([]float64, len(cat.Columns)),
+		Restrict: make([]float64, len(cat.PredColumns)),
+	}
+	for i := range p.Fn {
+		p.Fn[i] = initialFnPrior[sqlexec.AggFunc(i)]
+	}
+	for i := range p.Col {
+		p.Col[i] = 1.0 / float64(len(p.Col))
+	}
+	r := 0.25
+	if n := len(p.Restrict); n > 0 {
+		r = math.Min(0.5, math.Max(0.05, 1.0/float64(n)))
+	}
+	for i := range p.Restrict {
+		p.Restrict[i] = r
+	}
+	return p
+}
+
+// Clone deep-copies the priors.
+func (p *Priors) Clone() *Priors {
+	q := &Priors{
+		Fn:       append([]float64(nil), p.Fn...),
+		Col:      append([]float64(nil), p.Col...),
+		Restrict: append([]float64(nil), p.Restrict...),
+	}
+	return q
+}
+
+// MaxDelta returns the largest absolute component difference between two
+// prior vectors (the EM convergence criterion).
+func (p *Priors) MaxDelta(q *Priors) float64 {
+	d := 0.0
+	for i := range p.Fn {
+		d = math.Max(d, math.Abs(p.Fn[i]-q.Fn[i]))
+	}
+	for i := range p.Col {
+		d = math.Max(d, math.Abs(p.Col[i]-q.Col[i]))
+	}
+	for i := range p.Restrict {
+		d = math.Max(d, math.Abs(p.Restrict[i]-q.Restrict[i]))
+	}
+	return d
+}
+
+// priorStats accumulates the sufficient statistics of the maximization step
+// (expected or maximum-likelihood usage counts per query characteristic).
+type priorStats struct {
+	fn       []float64
+	col      []float64
+	restrict []float64
+	claims   float64
+}
+
+func newPriorStats(cat *fragments.Catalog) *priorStats {
+	return &priorStats{
+		fn:       make([]float64, len(cat.Funcs)),
+		col:      make([]float64, len(cat.Columns)),
+		restrict: make([]float64, len(cat.PredColumns)),
+	}
+}
+
+// addQuery registers one maximum-likelihood query (hard EM).
+func (s *priorStats) addQuery(cat *fragments.Catalog, q sqlexec.Query) {
+	s.claims++
+	s.fn[int(q.Agg)]++
+	s.col[colFragIndex(cat, q.AggCol)]++
+	for _, pred := range q.Preds {
+		if j := cat.PredColumnIndex(pred.Col); j >= 0 {
+			s.restrict[j]++
+		}
+	}
+}
+
+// colFragIndex maps an aggregation column reference to its position within
+// cat.Columns (0 is the star fragment).
+func colFragIndex(cat *fragments.Catalog, col sqlexec.ColumnRef) int {
+	for i, f := range cat.Columns {
+		if f.Col == col {
+			return i
+		}
+	}
+	return 0
+}
+
+// maximize produces the updated priors (Algorithm 3 line 17) with Dirichlet
+// smoothing alpha. Function smoothing uses the linguistic seed prior as the
+// Dirichlet mean so that, on documents with few claims, ties between
+// implicit functions keep resolving toward the plain count reading instead
+// of locking onto an early accidental match.
+func (s *priorStats) maximize(alpha float64) *Priors {
+	fnAlpha := make([]float64, len(s.fn))
+	for i := range fnAlpha {
+		fnAlpha[i] = alpha * float64(len(s.fn)) * initialFnPrior[sqlexec.AggFunc(i)]
+	}
+	p := &Priors{
+		Fn:       normalizeWithVec(s.fn, fnAlpha),
+		Col:      normalizeWith(s.col, alpha),
+		Restrict: make([]float64, len(s.restrict)),
+	}
+	n := s.claims
+	for i, c := range s.restrict {
+		p.Restrict[i] = (c + alpha) / (n + 2*alpha)
+	}
+	return p
+}
+
+func normalizeWithVec(counts, alphas []float64) []float64 {
+	out := make([]float64, len(counts))
+	total := 0.0
+	for i, c := range counts {
+		total += c + alphas[i]
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1.0 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range counts {
+		out[i] = (c + alphas[i]) / total
+	}
+	return out
+}
+
+func normalizeWith(counts []float64, alpha float64) []float64 {
+	out := make([]float64, len(counts))
+	total := 0.0
+	for _, c := range counts {
+		total += c + alpha
+	}
+	if total == 0 {
+		for i := range out {
+			out[i] = 1.0 / float64(len(out))
+		}
+		return out
+	}
+	for i, c := range counts {
+		out[i] = (c + alpha) / total
+	}
+	return out
+}

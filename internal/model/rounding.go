@@ -1,0 +1,53 @@
+package model
+
+import "math"
+
+// maxSigDigits bounds the rounding functions considered admissible.
+const maxSigDigits = 12
+
+// Matches implements Definition 1's correctness test: a claim with value
+// claimed is satisfied by query result r when some admissible rounding of r
+// equals claimed. Rounding to any number of significant digits is
+// admissible, so the test is ∃ k ∈ 1…12: round(r, k significant digits) =
+// claimed. Examples from the paper: result 4.0 matches claim "four"; result
+// 14 does not match claim "13" (no significant-digit rounding of 14 yields
+// 13); result 40.8 matches claim "41".
+func Matches(result, claimed float64) bool {
+	if math.IsNaN(result) || math.IsInf(result, 0) {
+		return false
+	}
+	if result == claimed {
+		return true
+	}
+	if claimed == 0 {
+		// Significant-digit rounding never maps a non-zero value to zero.
+		return result == 0
+	}
+	for k := 1; k <= maxSigDigits; k++ {
+		if approxEqual(RoundSig(result, k), claimed) {
+			return true
+		}
+	}
+	return false
+}
+
+// RoundSig rounds x to k significant digits (k >= 1).
+func RoundSig(x float64, k int) float64 {
+	if x == 0 || math.IsNaN(x) || math.IsInf(x, 0) {
+		return x
+	}
+	mag := math.Floor(math.Log10(math.Abs(x)))
+	scale := math.Pow(10, float64(k-1)-mag)
+	return math.Round(x*scale) / scale
+}
+
+// approxEqual compares with a relative tolerance to absorb float error from
+// the scale/unscale round trip.
+func approxEqual(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	diff := math.Abs(a - b)
+	norm := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= norm*1e-9
+}

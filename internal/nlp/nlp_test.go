@@ -1,0 +1,296 @@
+package nlp
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTokenizeWords(t *testing.T) {
+	toks := Tokenize("There were only four previous lifetime bans in my database.")
+	var words []string
+	for _, tok := range toks {
+		if tok.Kind == Word {
+			words = append(words, tok.Lower)
+		}
+	}
+	want := []string{"there", "were", "only", "four", "previous", "lifetime", "bans", "in", "my", "database"}
+	if len(words) != len(want) {
+		t.Fatalf("got %d words %v, want %d", len(words), words, len(want))
+	}
+	for i := range want {
+		if words[i] != want[i] {
+			t.Errorf("word %d = %q, want %q", i, words[i], want[i])
+		}
+	}
+}
+
+func TestTokenizeNumbers(t *testing.T) {
+	cases := []struct {
+		in   string
+		text string
+	}{
+		{"There were 1,234 rows", "1,234"},
+		{"roughly 13.6 games", "13.6"},
+		{"about 41% of fliers", "41%"},
+		{"only 4 bans", "4"},
+	}
+	for _, c := range cases {
+		toks := Tokenize(c.in)
+		found := false
+		for _, tok := range toks {
+			if tok.Kind == Number && tok.Text == c.text {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("Tokenize(%q): number token %q not found in %v", c.in, c.text, toks)
+		}
+	}
+}
+
+func TestTokenizeKeepsApostropheAndHyphen(t *testing.T) {
+	toks := Tokenize("i'm self-taught")
+	if len(toks) != 2 {
+		t.Fatalf("got %d tokens %v, want 2", len(toks), toks)
+	}
+	if toks[0].Lower != "i'm" || toks[1].Lower != "self-taught" {
+		t.Errorf("got %q %q", toks[0].Lower, toks[1].Lower)
+	}
+}
+
+func TestPorterStem(t *testing.T) {
+	cases := map[string]string{
+		"caresses":    "caress",
+		"ponies":      "poni",
+		"ties":        "ti",
+		"caress":      "caress",
+		"cats":        "cat",
+		"feed":        "feed",
+		"agreed":      "agre",
+		"plastered":   "plaster",
+		"bled":        "bled",
+		"motoring":    "motor",
+		"sing":        "sing",
+		"conflated":   "conflat",
+		"troubled":    "troubl",
+		"sized":       "size",
+		"hopping":     "hop",
+		"tanned":      "tan",
+		"falling":     "fall",
+		"hissing":     "hiss",
+		"fizzed":      "fizz",
+		"failing":     "fail",
+		"filing":      "file",
+		"happy":       "happi",
+		"sky":         "sky",
+		"relational":  "relat",
+		"conditional": "condit",
+		"rational":    "ration",
+		"valenci":     "valenc",
+		"hesitanci":   "hesit",
+		"digitizer":   "digit",
+		"suspensions": "suspens",
+		"gambling":    "gambl",
+		"categories":  "categori",
+		"abuses":      "abus",
+	}
+	for in, want := range cases {
+		if got := Stem(in); got != want {
+			t.Errorf("Stem(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestStemStability(t *testing.T) {
+	// Different inflections of the same lemma share a stem.
+	groups := [][]string{
+		{"suspension", "suspensions"},
+		{"ban", "bans", "banned", "banning"},
+		{"candidate", "candidates"},
+		{"donation", "donations"},
+	}
+	for _, g := range groups {
+		base := Stem(g[0])
+		for _, w := range g[1:] {
+			if Stem(w) != base {
+				t.Errorf("Stem(%q)=%q != Stem(%q)=%q", w, Stem(w), g[0], base)
+			}
+		}
+	}
+}
+
+func TestSplitSentences(t *testing.T) {
+	text := "There were only four previous lifetime bans in my database - three were for repeated substance abuse, one was for gambling. The most recent was Mr. Smith. He returned in 2014!"
+	got := SplitSentences(text)
+	if len(got) != 3 {
+		t.Fatalf("got %d sentences: %q", len(got), got)
+	}
+	if !strings.HasPrefix(got[1], "The most recent") {
+		t.Errorf("sentence 1 = %q", got[1])
+	}
+	if !strings.HasSuffix(got[2], "2014!") {
+		t.Errorf("sentence 2 = %q", got[2])
+	}
+}
+
+func TestSplitSentencesAbbreviations(t *testing.T) {
+	got := SplitSentences("Dr. Jones spoke. Approx. half agreed.")
+	if len(got) != 2 {
+		t.Fatalf("got %d sentences: %q", len(got), got)
+	}
+}
+
+func TestParseNumericToken(t *testing.T) {
+	cases := []struct {
+		in      string
+		val     float64
+		percent bool
+	}{
+		{"4", 4, false},
+		{"1,234", 1234, false},
+		{"13.6", 13.6, false},
+		{"41%", 41, true},
+		{"0.5", 0.5, false},
+	}
+	for _, c := range cases {
+		pn, ok := ParseNumericToken(c.in)
+		if !ok {
+			t.Fatalf("ParseNumericToken(%q) failed", c.in)
+		}
+		if pn.Value != c.val || pn.IsPercent != c.percent {
+			t.Errorf("ParseNumericToken(%q) = %+v", c.in, pn)
+		}
+	}
+	if _, ok := ParseNumericToken("abc"); ok {
+		t.Error("ParseNumericToken accepted non-number")
+	}
+}
+
+func TestNumberWordValue(t *testing.T) {
+	cases := map[string]float64{
+		"four": 4, "thirteen": 13, "twenty": 20, "twenty-one": 21,
+		"ninety-nine": 99, "zero": 0, "Three": 3,
+	}
+	for in, want := range cases {
+		got, ok := NumberWordValue(in)
+		if !ok || got != want {
+			t.Errorf("NumberWordValue(%q) = %v,%v want %v", in, got, ok, want)
+		}
+	}
+	for _, w := range []string{"fourish", "one-hundred-two", "banana", ""} {
+		if _, ok := NumberWordValue(w); ok {
+			t.Errorf("NumberWordValue(%q) unexpectedly parsed", w)
+		}
+	}
+}
+
+func TestLooksLikeYear(t *testing.T) {
+	if !LooksLikeYear(2014, "2014") {
+		t.Error("2014 should look like a year")
+	}
+	if LooksLikeYear(2014, "2,014") {
+		t.Error("2,014 should not look like a year")
+	}
+	if LooksLikeYear(41, "41") {
+		t.Error("41 should not look like a year")
+	}
+	if LooksLikeYear(1999.5, "1999.5") {
+		t.Error("decimal should not look like a year")
+	}
+}
+
+func TestPhraseTreePaperExample(t *testing.T) {
+	// "three were for repeated substance abuse, one was for gambling"
+	toks := Tokenize("three were for repeated substance abuse, one was for gambling")
+	pt := BuildPhraseTree(toks)
+	idx := func(w string) int {
+		for _, tok := range toks {
+			if tok.Lower == w {
+				return tok.Pos
+			}
+		}
+		t.Fatalf("token %q not found", w)
+		return -1
+	}
+	dOne := pt.Distance(idx("one"), idx("gambling"))
+	dThree := pt.Distance(idx("three"), idx("gambling"))
+	if dOne >= dThree {
+		t.Errorf("gambling should be closer to 'one' (%d) than 'three' (%d)", dOne, dThree)
+	}
+	dSubst := pt.Distance(idx("three"), idx("substance"))
+	dOneSubst := pt.Distance(idx("one"), idx("substance"))
+	if dSubst >= dOneSubst {
+		t.Errorf("substance should be closer to 'three' (%d) than 'one' (%d)", dSubst, dOneSubst)
+	}
+}
+
+func TestPhraseTreeDistanceProperties(t *testing.T) {
+	toks := Tokenize("the quick brown fox, which jumped over the lazy dog; it ran far away")
+	pt := BuildPhraseTree(toks)
+	f := func(i, j uint8) bool {
+		a := int(i) % len(toks)
+		b := int(j) % len(toks)
+		d1 := pt.Distance(a, b)
+		d2 := pt.Distance(b, a)
+		if d1 != d2 {
+			return false
+		}
+		if a == b && d1 != 0 {
+			return false
+		}
+		if a != b && (d1 < 2 || d1 > 8) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStemProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	letters := "abcdefghijklmnopqrstuvwxyz"
+	for i := 0; i < 500; i++ {
+		n := 1 + rng.Intn(12)
+		var sb strings.Builder
+		for j := 0; j < n; j++ {
+			sb.WriteByte(letters[rng.Intn(len(letters))])
+		}
+		w := sb.String()
+		s := Stem(w)
+		if len(s) == 0 {
+			t.Fatalf("Stem(%q) is empty", w)
+		}
+		if len(s) > len(w)+1 {
+			t.Fatalf("Stem(%q)=%q grew by more than one rune", w, s)
+		}
+	}
+}
+
+func TestContentWordsFiltersStopwords(t *testing.T) {
+	got := ContentWords("The number of bans in the database")
+	want := []string{"number", "bans", "database"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("word %d = %q want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestOrdinals(t *testing.T) {
+	if !IsOrdinalWord("first") || IsOrdinalWord("firstly") {
+		t.Error("ordinal word detection failed")
+	}
+	if !IsOrdinalSuffix("nd") || IsOrdinalSuffix("xx") {
+		t.Error("ordinal suffix detection failed")
+	}
+	if m, ok := MagnitudeWord("million"); !ok || m != 1e6 {
+		t.Error("magnitude word failed")
+	}
+}

@@ -1,0 +1,103 @@
+package nlp
+
+import (
+	"strconv"
+	"strings"
+)
+
+// ParsedNumber is a numeric mention extracted from text, normalized to a
+// float value. Claims carry such a mention as their claimed query result.
+type ParsedNumber struct {
+	Value     float64
+	IsPercent bool // written with % or followed by "percent"
+	Text      string
+}
+
+// ParseNumericToken parses a Number token ("4", "1,234", "13.6", "41%").
+func ParseNumericToken(text string) (ParsedNumber, bool) {
+	pn := ParsedNumber{Text: text}
+	s := text
+	if strings.HasSuffix(s, "%") {
+		pn.IsPercent = true
+		s = s[:len(s)-1]
+	}
+	s = strings.ReplaceAll(s, ",", "")
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return ParsedNumber{}, false
+	}
+	pn.Value = v
+	return pn, true
+}
+
+var numberWords = map[string]float64{
+	"zero": 0, "one": 1, "two": 2, "three": 3, "four": 4, "five": 5,
+	"six": 6, "seven": 7, "eight": 8, "nine": 9, "ten": 10,
+	"eleven": 11, "twelve": 12, "thirteen": 13, "fourteen": 14,
+	"fifteen": 15, "sixteen": 16, "seventeen": 17, "eighteen": 18,
+	"nineteen": 19, "twenty": 20, "thirty": 30, "forty": 40, "fifty": 50,
+	"sixty": 60, "seventy": 70, "eighty": 80, "ninety": 90,
+	"hundred": 100, "thousand": 1000,
+}
+
+var magnitudeWords = map[string]float64{
+	"hundred": 100, "thousand": 1e3, "million": 1e6, "billion": 1e9,
+	"trillion": 1e12,
+}
+
+var ordinalWords = map[string]bool{
+	"first": true, "second": true, "third": true, "fourth": true,
+	"fifth": true, "sixth": true, "seventh": true, "eighth": true,
+	"ninth": true, "tenth": true,
+}
+
+// NumberWordValue parses a spelled-out number word, including hyphenated
+// tens-units compounds such as "twenty-one".
+func NumberWordValue(word string) (float64, bool) {
+	w := strings.ToLower(word)
+	if v, ok := numberWords[w]; ok {
+		return v, true
+	}
+	if tens, units, found := strings.Cut(w, "-"); found {
+		tv, ok1 := numberWords[tens]
+		uv, ok2 := numberWords[units]
+		if ok1 && ok2 && tv >= 20 && tv <= 90 && uv >= 1 && uv <= 9 {
+			return tv + uv, true
+		}
+	}
+	return 0, false
+}
+
+// MagnitudeWord returns the multiplier of a magnitude word such as
+// "million", used when combining "1.5 million" into a single value.
+func MagnitudeWord(word string) (float64, bool) {
+	v, ok := magnitudeWords[strings.ToLower(word)]
+	return v, ok
+}
+
+// IsOrdinalWord reports whether word is a small ordinal ("first"…"tenth");
+// ordinals are rarely claimed query results.
+func IsOrdinalWord(word string) bool { return ordinalWords[strings.ToLower(word)] }
+
+// IsOrdinalSuffix reports whether word is an ordinal suffix token that
+// follows a digit run, as in "22nd" → ["22" "nd"].
+func IsOrdinalSuffix(word string) bool {
+	switch strings.ToLower(word) {
+	case "st", "nd", "rd", "th":
+		return true
+	}
+	return false
+}
+
+// LooksLikeYear reports whether v is plausibly a calendar year mention: a
+// four-digit integer in [1800, 2100]. The claim detector skips such numbers
+// unless they carry a percent sign.
+func LooksLikeYear(v float64, text string) bool {
+	if v != float64(int64(v)) {
+		return false
+	}
+	if strings.Contains(text, ",") || strings.Contains(text, ".") || strings.Contains(text, "%") {
+		return false
+	}
+	return v >= 1800 && v <= 2100 && len(text) == 4
+}

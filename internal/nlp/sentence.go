@@ -1,0 +1,94 @@
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// abbreviations that end with a period but do not terminate a sentence.
+var abbreviations = map[string]bool{
+	"mr": true, "mrs": true, "ms": true, "dr": true, "prof": true,
+	"sr": true, "jr": true, "st": true, "vs": true, "etc": true,
+	"e.g": true, "i.e": true, "inc": true, "corp": true, "u.s": true,
+	"no": true, "fig": true, "jan": true, "feb": true, "mar": true,
+	"apr": true, "jun": true, "jul": true, "aug": true, "sep": true,
+	"sept": true, "oct": true, "nov": true, "dec": true, "approx": true,
+}
+
+// SplitSentences splits a paragraph of plain text into sentences. The
+// splitter is rule-based: a sentence ends at '.', '!' or '?' unless the
+// period terminates a known abbreviation, a single initial, or a number
+// (decimal points are consumed by the tokenizer, but "4." at end of list
+// items is still guarded). Quotes and closing brackets after the terminator
+// are attached to the finished sentence.
+func SplitSentences(text string) []string {
+	var sentences []string
+	runes := []rune(text)
+	start := 0
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		if r == '.' || r == '!' || r == '?' {
+			if r == '.' && isAbbreviationDot(runes, i) {
+				i++
+				continue
+			}
+			// Consume runs of terminators ("?!", "...") and trailing quotes.
+			j := i + 1
+			for j < len(runes) && (runes[j] == '.' || runes[j] == '!' || runes[j] == '?') {
+				j++
+			}
+			for j < len(runes) && (runes[j] == '"' || runes[j] == '\'' || runes[j] == '”' || runes[j] == '’' || runes[j] == ')' || runes[j] == ']') {
+				j++
+			}
+			s := strings.TrimSpace(string(runes[start:j]))
+			if s != "" {
+				sentences = append(sentences, s)
+			}
+			start = j
+			i = j
+			continue
+		}
+		i++
+	}
+	if tail := strings.TrimSpace(string(runes[start:])); tail != "" {
+		sentences = append(sentences, tail)
+	}
+	return sentences
+}
+
+// isAbbreviationDot reports whether the period at runes[i] belongs to an
+// abbreviation, an initial, or an intra-number dot rather than ending a
+// sentence.
+func isAbbreviationDot(runes []rune, i int) bool {
+	// Dot between digits (defensive; ordinarily pre-tokenization text).
+	if i > 0 && i+1 < len(runes) && unicode.IsDigit(runes[i-1]) && unicode.IsDigit(runes[i+1]) {
+		return true
+	}
+	// Collect the word immediately before the dot.
+	j := i - 1
+	for j >= 0 && (unicode.IsLetter(runes[j]) || runes[j] == '.') {
+		j--
+	}
+	word := strings.ToLower(string(runes[j+1 : i]))
+	if word == "" {
+		return false
+	}
+	if abbreviations[word] {
+		return true
+	}
+	// Single capital initial, e.g. "John D. Smith".
+	if len(word) == 1 && unicode.IsUpper(runes[i-1]) {
+		return true
+	}
+	// If the next non-space rune is lowercase, the dot is unlikely to end a
+	// sentence ("approx. half").
+	k := i + 1
+	for k < len(runes) && unicode.IsSpace(runes[k]) {
+		k++
+	}
+	if k < len(runes) && unicode.IsLower(runes[k]) && k > i+1 {
+		return true
+	}
+	return false
+}

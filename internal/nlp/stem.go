@@ -1,0 +1,256 @@
+package nlp
+
+// Stem returns the Porter stem of a lowercased word. It implements the
+// classic Porter (1980) algorithm, steps 1a through 5b. Inputs that are not
+// plain ASCII lowercase words are returned unchanged except for safe suffix
+// handling; the stemmer is only used for keyword normalization, so exact
+// linguistic fidelity beyond Porter's rules is not required.
+func Stem(word string) string {
+	if len(word) <= 2 {
+		return word
+	}
+	b := []byte(word)
+	for _, c := range b {
+		if c < 'a' || c > 'z' {
+			if c != '\'' && c != '-' {
+				return word // non-ASCII or mixed token: leave untouched
+			}
+		}
+	}
+	b = step1a(b)
+	b = step1b(b)
+	b = step1c(b)
+	b = step2(b)
+	b = step3(b)
+	b = step4(b)
+	b = step5a(b)
+	b = step5b(b)
+	return string(b)
+}
+
+func isCons(b []byte, i int) bool {
+	switch b[i] {
+	case 'a', 'e', 'i', 'o', 'u':
+		return false
+	case 'y':
+		if i == 0 {
+			return true
+		}
+		return !isCons(b, i-1)
+	default:
+		return true
+	}
+}
+
+// measure computes the Porter "measure" m of the stem b: the number of
+// vowel-consonant sequences [C](VC)^m[V].
+func measure(b []byte) int {
+	n := 0
+	i := 0
+	// skip initial consonants
+	for i < len(b) && isCons(b, i) {
+		i++
+	}
+	for i < len(b) {
+		// skip vowels
+		for i < len(b) && !isCons(b, i) {
+			i++
+		}
+		if i >= len(b) {
+			break
+		}
+		n++
+		for i < len(b) && isCons(b, i) {
+			i++
+		}
+	}
+	return n
+}
+
+func containsVowel(b []byte) bool {
+	for i := range b {
+		if !isCons(b, i) {
+			return true
+		}
+	}
+	return false
+}
+
+func endsDoubleCons(b []byte) bool {
+	n := len(b)
+	return n >= 2 && b[n-1] == b[n-2] && isCons(b, n-1)
+}
+
+// cvc reports whether b ends consonant-vowel-consonant where the final
+// consonant is not w, x or y.
+func cvc(b []byte) bool {
+	n := len(b)
+	if n < 3 {
+		return false
+	}
+	if !isCons(b, n-3) || isCons(b, n-2) || !isCons(b, n-1) {
+		return false
+	}
+	switch b[n-1] {
+	case 'w', 'x', 'y':
+		return false
+	}
+	return true
+}
+
+func hasSuffix(b []byte, s string) bool {
+	if len(b) < len(s) {
+		return false
+	}
+	return string(b[len(b)-len(s):]) == s
+}
+
+// replaceIf replaces suffix old by new if the measure of the remaining stem
+// satisfies cond. Returns the (possibly new) slice and whether old matched.
+func replaceIf(b []byte, old, new string, cond func(stem []byte) bool) ([]byte, bool) {
+	if !hasSuffix(b, old) {
+		return b, false
+	}
+	stem := b[:len(b)-len(old)]
+	if cond != nil && !cond(stem) {
+		return b, true
+	}
+	out := make([]byte, 0, len(stem)+len(new))
+	out = append(out, stem...)
+	out = append(out, new...)
+	return out, true
+}
+
+func mGreater(n int) func([]byte) bool {
+	return func(stem []byte) bool { return measure(stem) > n }
+}
+
+func step1a(b []byte) []byte {
+	switch {
+	case hasSuffix(b, "sses"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ies"):
+		return b[:len(b)-2]
+	case hasSuffix(b, "ss"):
+		return b
+	case hasSuffix(b, "s"):
+		return b[:len(b)-1]
+	}
+	return b
+}
+
+func step1b(b []byte) []byte {
+	if hasSuffix(b, "eed") {
+		if measure(b[:len(b)-3]) > 0 {
+			return b[:len(b)-1]
+		}
+		return b
+	}
+	matched := false
+	if hasSuffix(b, "ed") && containsVowel(b[:len(b)-2]) {
+		b = b[:len(b)-2]
+		matched = true
+	} else if hasSuffix(b, "ing") && containsVowel(b[:len(b)-3]) {
+		b = b[:len(b)-3]
+		matched = true
+	}
+	if !matched {
+		return b
+	}
+	switch {
+	case hasSuffix(b, "at"), hasSuffix(b, "bl"), hasSuffix(b, "iz"):
+		return append(b, 'e')
+	case endsDoubleCons(b):
+		last := b[len(b)-1]
+		if last != 'l' && last != 's' && last != 'z' {
+			return b[:len(b)-1]
+		}
+	case measure(b) == 1 && cvc(b):
+		return append(b, 'e')
+	}
+	return b
+}
+
+func step1c(b []byte) []byte {
+	if hasSuffix(b, "y") && containsVowel(b[:len(b)-1]) {
+		b = append(b[:len(b)-1], 'i')
+	}
+	return b
+}
+
+var step2Rules = []struct{ old, new string }{
+	{"ational", "ate"}, {"tional", "tion"}, {"enci", "ence"}, {"anci", "ance"},
+	{"izer", "ize"}, {"abli", "able"}, {"alli", "al"}, {"entli", "ent"},
+	{"eli", "e"}, {"ousli", "ous"}, {"ization", "ize"}, {"ation", "ate"},
+	{"ator", "ate"}, {"alism", "al"}, {"iveness", "ive"}, {"fulness", "ful"},
+	{"ousness", "ous"}, {"aliti", "al"}, {"iviti", "ive"}, {"biliti", "ble"},
+}
+
+func step2(b []byte) []byte {
+	for _, r := range step2Rules {
+		if nb, ok := replaceIf(b, r.old, r.new, mGreater(0)); ok {
+			return nb
+		}
+	}
+	return b
+}
+
+var step3Rules = []struct{ old, new string }{
+	{"icate", "ic"}, {"ative", ""}, {"alize", "al"}, {"iciti", "ic"},
+	{"ical", "ic"}, {"ful", ""}, {"ness", ""},
+}
+
+func step3(b []byte) []byte {
+	for _, r := range step3Rules {
+		if nb, ok := replaceIf(b, r.old, r.new, mGreater(0)); ok {
+			return nb
+		}
+	}
+	return b
+}
+
+var step4Suffixes = []string{
+	"al", "ance", "ence", "er", "ic", "able", "ible", "ant", "ement",
+	"ment", "ent", "ou", "ism", "ate", "iti", "ous", "ive", "ize",
+}
+
+func step4(b []byte) []byte {
+	for _, s := range step4Suffixes {
+		if !hasSuffix(b, s) {
+			continue
+		}
+		stem := b[:len(b)-len(s)]
+		if s == "ion" {
+			break // handled below
+		}
+		if measure(stem) > 1 {
+			return stem
+		}
+		return b
+	}
+	if hasSuffix(b, "ion") {
+		stem := b[:len(b)-3]
+		if len(stem) > 0 && (stem[len(stem)-1] == 's' || stem[len(stem)-1] == 't') && measure(stem) > 1 {
+			return stem
+		}
+	}
+	return b
+}
+
+func step5a(b []byte) []byte {
+	if hasSuffix(b, "e") {
+		stem := b[:len(b)-1]
+		m := measure(stem)
+		if m > 1 || (m == 1 && !cvc(stem)) {
+			return stem
+		}
+	}
+	return b
+}
+
+func step5b(b []byte) []byte {
+	if measure(b) > 1 && endsDoubleCons(b) && b[len(b)-1] == 'l' {
+		return b[:len(b)-1]
+	}
+	return b
+}

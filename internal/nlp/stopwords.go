@@ -1,0 +1,35 @@
+package nlp
+
+// stopwords is the stopword list applied when extracting claim keywords and
+// fragment keywords. It mirrors the common English IR stoplist (roughly the
+// Lucene/Snowball default) plus a few corpus-specific function words. Number
+// words are deliberately NOT stopwords: they carry claimed values.
+var stopwords = map[string]bool{}
+
+func init() {
+	list := []string{
+		"a", "an", "and", "are", "as", "at", "be", "been", "but", "by",
+		"can", "could", "did", "do", "does", "for", "from", "had", "has",
+		"have", "he", "her", "hers", "him", "his", "how", "i", "if", "in",
+		"into", "is", "it", "its", "just", "may", "me", "might", "more",
+		"most", "must", "my", "no", "nor", "not", "of", "on", "only",
+		"or", "our", "ours", "out", "over", "own", "shall", "she", "should",
+		"so", "some", "such", "than", "that", "the", "their", "theirs",
+		"them", "then", "there", "these", "they", "this", "those", "through",
+		"to", "too", "under", "up", "us", "was", "we", "were", "what",
+		"when", "where", "which", "while", "who", "whom", "why", "will",
+		"with", "would", "you", "your", "yours",
+		// light verbs and discourse words frequent in news prose
+		"also", "about", "according", "across", "after", "again", "against",
+		"all", "among", "any", "because", "before", "being", "below",
+		"between", "both", "down", "during", "each", "few", "further",
+		"here", "itself", "now", "off", "once", "other", "same", "until",
+		"very", "s", "t", "don", "yet", "per", "said", "says", "told",
+	}
+	for _, w := range list {
+		stopwords[w] = true
+	}
+}
+
+// IsStopword reports whether the lowercased word is on the stoplist.
+func IsStopword(w string) bool { return stopwords[w] }

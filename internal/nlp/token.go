@@ -1,0 +1,128 @@
+// Package nlp provides the natural-language substrate used by AggChecker:
+// tokenization, sentence splitting, Porter stemming, stopword filtering,
+// numeral parsing (digits and number words), and a deterministic heuristic
+// phrase tree that substitutes for the Stanford dependency parser. The tree
+// is consumed only through TreeDistance, which Algorithm 2 of the paper uses
+// to weight claim keywords by proximity to the claimed number.
+package nlp
+
+import (
+	"strings"
+	"unicode"
+)
+
+// TokenKind classifies a token produced by Tokenize.
+type TokenKind int
+
+const (
+	// Word is an alphabetic token (may contain internal apostrophes or
+	// hyphens, e.g. "self-taught", "don't").
+	Word TokenKind = iota
+	// Number is a numeric token ("4", "1,234", "13.6", "41%").
+	Number
+	// Punct is a punctuation token significant for phrase segmentation.
+	Punct
+)
+
+// Token is a single lexical unit of a sentence.
+type Token struct {
+	Text  string // original text
+	Lower string // lowercased text
+	Stem  string // Porter stem of Lower (words only; otherwise Lower)
+	Kind  TokenKind
+	Pos   int // token index within its sentence
+}
+
+// IsStop reports whether the token is a stopword.
+func (t Token) IsStop() bool { return t.Kind == Word && stopwords[t.Lower] }
+
+// Tokenize splits text into tokens. Words keep internal apostrophes and
+// hyphens; numbers keep thousands separators, decimal points and a trailing
+// percent sign; every other non-space rune becomes a Punct token.
+func Tokenize(text string) []Token {
+	var tokens []Token
+	runes := []rune(text)
+	i := 0
+	for i < len(runes) {
+		r := runes[i]
+		switch {
+		case unicode.IsSpace(r):
+			i++
+		case unicode.IsLetter(r):
+			j := i + 1
+			for j < len(runes) {
+				rj := runes[j]
+				if unicode.IsLetter(rj) || unicode.IsDigit(rj) {
+					j++
+					continue
+				}
+				// Internal apostrophe or hyphen joined on both sides by
+				// letters stays inside the word ("o'clock", "self-taught").
+				if (rj == '\'' || rj == '’' || rj == '-') && j+1 < len(runes) && unicode.IsLetter(runes[j+1]) {
+					j += 2
+					continue
+				}
+				break
+			}
+			text := string(runes[i:j])
+			tokens = append(tokens, newToken(text, Word, len(tokens)))
+			i = j
+		case unicode.IsDigit(r):
+			j := i + 1
+			for j < len(runes) {
+				rj := runes[j]
+				if unicode.IsDigit(rj) {
+					j++
+					continue
+				}
+				// Thousands separator or decimal point surrounded by digits.
+				if (rj == ',' || rj == '.') && j+1 < len(runes) && unicode.IsDigit(runes[j+1]) {
+					j += 2
+					continue
+				}
+				break
+			}
+			if j < len(runes) && runes[j] == '%' {
+				j++
+			}
+			text := string(runes[i:j])
+			tokens = append(tokens, newToken(text, Number, len(tokens)))
+			i = j
+		default:
+			tokens = append(tokens, newToken(string(r), Punct, len(tokens)))
+			i++
+		}
+	}
+	return tokens
+}
+
+func newToken(text string, kind TokenKind, pos int) Token {
+	lower := strings.ToLower(text)
+	stem := lower
+	if kind == Word {
+		stem = Stem(lower)
+	}
+	return Token{Text: text, Lower: lower, Stem: stem, Kind: kind, Pos: pos}
+}
+
+// ContentWords returns the lowercased non-stopword word tokens of text.
+func ContentWords(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if t.Kind == Word && !t.IsStop() {
+			out = append(out, t.Lower)
+		}
+	}
+	return out
+}
+
+// ContentStems returns the Porter stems of the non-stopword word tokens.
+func ContentStems(text string) []string {
+	var out []string
+	for _, t := range Tokenize(text) {
+		if t.Kind == Word && !t.IsStop() {
+			out = append(out, t.Stem)
+		}
+	}
+	return out
+}

@@ -1,0 +1,377 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"aggchecker/internal/db"
+)
+
+// maxCubeDims bounds the number of cube dimensions; the paper expects at
+// most three predicates per claim in newspaper articles (§6.3, m = 3).
+const maxCubeDims = 3
+
+// DimSpec is one cube dimension: a predicate column together with the
+// literals of non-zero marginal probability. All other values are coded to a
+// common default by the InOrDefault mapping (§6.2), which keeps the cube
+// result small while still answering every related candidate.
+type DimSpec struct {
+	Col      ColumnRef
+	Literals []string
+}
+
+// AggRequest names one aggregate to compute in a cube pass.
+type AggRequest struct {
+	Fn  AggFunc
+	Col ColumnRef
+}
+
+func (r AggRequest) key() string { return r.Fn.String() + "(" + r.Col.String() + ")" }
+
+// Cell codes: literal index >= 0; cellOther codes "some value outside the
+// relevant literal set or NULL"; cellAny means the dimension is not grouped
+// (the cube's rolled-up level).
+const (
+	cellAny   int16 = -1
+	cellOther int16 = -2
+)
+
+type cellKey [maxCubeDims]int16
+
+// trackedCol is an aggregation column tracked during a cube pass.
+type trackedCol struct {
+	ref          ColumnRef
+	needDistinct bool
+}
+
+// CubeResult holds the cells of one cube query: for every combination of
+// dimension values (including rolled-up levels) the accumulators of every
+// tracked aggregation column plus the star column (index 0).
+type CubeResult struct {
+	Tables []string
+	Dims   []DimSpec
+
+	dimIndex map[string]int     // ColumnRef.String() -> dim position
+	litIndex []map[string]int16 // per dim: literal -> code
+	cols     []trackedCol       // tracked columns; cols[0] is star
+	colIndex map[string]int
+	cells    map[cellKey][]*accumulator // parallel to cols
+}
+
+func newCubeResult(tables []string, dims []DimSpec) *CubeResult {
+	r := &CubeResult{
+		Tables:   tables,
+		Dims:     dims,
+		dimIndex: make(map[string]int, len(dims)),
+		colIndex: make(map[string]int),
+		cells:    make(map[cellKey][]*accumulator),
+	}
+	for i, d := range dims {
+		r.dimIndex[d.Col.String()] = i
+		idx := make(map[string]int16, len(d.Literals))
+		for j, lit := range d.Literals {
+			idx[lit] = int16(j)
+		}
+		r.litIndex = append(r.litIndex, idx)
+	}
+	r.cols = []trackedCol{{ref: ColumnRef{}}} // star
+	r.colIndex[ColumnRef{}.String()] = 0
+	return r
+}
+
+// hasColumn reports whether the column is tracked with the needed flags.
+func (r *CubeResult) hasColumn(ref ColumnRef, needDistinct bool) bool {
+	i, ok := r.colIndex[ref.String()]
+	if !ok {
+		return false
+	}
+	return !needDistinct || r.cols[i].needDistinct
+}
+
+// CanAnswer reports whether the cube covers query q: all predicates fall on
+// cube dimensions with known literals and the aggregation column is tracked.
+func (r *CubeResult) CanAnswer(q Query) bool {
+	if _, ok := r.cellFor(q.Preds); !ok {
+		return false
+	}
+	if q.AggCol.IsStar() {
+		return true
+	}
+	return r.hasColumn(q.AggCol, q.Agg == CountDistinct)
+}
+
+// cellFor maps predicates to the cube cell key.
+func (r *CubeResult) cellFor(preds []Predicate) (cellKey, bool) {
+	key := cellKey{cellAny, cellAny, cellAny}
+	for _, p := range preds {
+		di, ok := r.dimIndex[p.Col.String()]
+		if !ok {
+			return key, false
+		}
+		li, ok := r.litIndex[di][p.Value]
+		if !ok {
+			return key, false
+		}
+		if key[di] != cellAny {
+			return key, false // two predicates on the same column
+		}
+		key[di] = li
+	}
+	return key, true
+}
+
+// acc returns the accumulator of column ci at the cell, or nil when no row
+// fell into the cell (semantically an all-zero accumulator).
+func (r *CubeResult) acc(key cellKey, ci int) *accumulator {
+	cell, ok := r.cells[key]
+	if !ok {
+		return nil
+	}
+	return cell[ci]
+}
+
+// Value answers query q from the cube. The second return is false when the
+// cube does not cover the query.
+func (r *CubeResult) Value(q Query) (float64, bool) {
+	key, ok := r.cellFor(q.Preds)
+	if !ok {
+		return 0, false
+	}
+	star := q.AggCol.IsStar()
+	ci := 0
+	if !star {
+		ci, ok = r.colIndex[q.AggCol.String()]
+		if !ok {
+			return 0, false
+		}
+		if q.Agg == CountDistinct && !r.cols[ci].needDistinct {
+			return 0, false
+		}
+	}
+	a := r.acc(key, ci)
+	var base *accumulator
+	switch q.Agg {
+	case Percentage:
+		baseKey := cellKey{cellAny, cellAny, cellAny}
+		base = r.acc(baseKey, ci)
+	case ConditionalProbability:
+		baseKey := cellKey{cellAny, cellAny, cellAny}
+		if len(q.Preds) > 0 {
+			var ok2 bool
+			baseKey, ok2 = r.cellFor(q.Preds[:1])
+			if !ok2 {
+				return 0, false
+			}
+		}
+		base = r.acc(baseKey, ci)
+	}
+	if a == nil {
+		// Empty cell: counts are zero, other aggregates undefined.
+		a = newAccumulator(q.Agg == CountDistinct)
+	}
+	return a.finalize(q.Agg, star, base), true
+}
+
+// signature identifies a cube by join scope and dimension set (the paper's
+// cache index granularity is one aggregation function + column + dimension
+// set; we key the cell store by scope+dims and track columns inside it,
+// which is the same sharing structure with one map level fewer).
+func cubeSignature(tables []string, dims []DimSpec) string {
+	ts := make([]string, len(tables))
+	copy(ts, tables)
+	sort.Strings(ts)
+	ds := make([]string, len(dims))
+	for i, d := range dims {
+		ds[i] = d.Col.String()
+	}
+	sort.Strings(ds)
+	return strings.Join(ts, ",") + "|" + strings.Join(ds, ",")
+}
+
+// computeCube runs one scan over the joined view, accumulating every tracked
+// column at every cell of the cube lattice (2^|dims| updates per row).
+func computeCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	if len(dims) > maxCubeDims {
+		return nil, fmt.Errorf("sqlexec: %d cube dimensions exceeds maximum %d", len(dims), maxCubeDims)
+	}
+	r := newCubeResult(tables, dims)
+	// Install tracked columns (beyond star at index 0).
+	for _, tc := range cols {
+		if tc.ref.IsStar() {
+			if tc.needDistinct {
+				return nil, fmt.Errorf("sqlexec: distinct count over * is not supported")
+			}
+			continue
+		}
+		if i, ok := r.colIndex[tc.ref.String()]; ok {
+			if tc.needDistinct {
+				r.cols[i].needDistinct = true
+			}
+			continue
+		}
+		r.colIndex[tc.ref.String()] = len(r.cols)
+		r.cols = append(r.cols, tc)
+	}
+
+	// Resolve dimension accessors and per-row literal coders.
+	type dimCoder struct {
+		acc   db.ColumnAccessor
+		isStr bool
+		// For string dims: dictionary code -> literal index.
+		codeToLit map[int32]int16
+		// For numeric dims: value -> literal index.
+		floatToLit map[float64]int16
+	}
+	coders := make([]dimCoder, len(dims))
+	for i, d := range dims {
+		acc, err := view.Accessor(d.Col.Table, d.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		dc := dimCoder{acc: acc, isStr: acc.Column().Kind == db.KindString}
+		if dc.isStr {
+			dc.codeToLit = make(map[int32]int16, len(d.Literals))
+			for j, lit := range d.Literals {
+				if code := acc.Column().CodeOf(lit); code >= 0 {
+					dc.codeToLit[code] = int16(j)
+				}
+			}
+		} else {
+			dc.floatToLit = make(map[float64]int16, len(d.Literals))
+			for j, lit := range d.Literals {
+				if v, err := parseLiteralFloat(lit); err == nil {
+					dc.floatToLit[v] = int16(j)
+				}
+			}
+		}
+		coders[i] = dc
+	}
+
+	// Resolve aggregation column accessors (index 0 = star, no accessor).
+	type colReader struct {
+		acc   db.ColumnAccessor
+		isStr bool
+	}
+	readers := make([]colReader, len(r.cols))
+	for i := 1; i < len(r.cols); i++ {
+		acc, err := view.Accessor(r.cols[i].ref.Table, r.cols[i].ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		readers[i] = colReader{acc: acc, isStr: acc.Column().Kind == db.KindString}
+	}
+
+	nsubsets := 1 << len(dims)
+	n := view.NumRows()
+	var rowCodes [maxCubeDims]int16
+	for row := 0; row < n; row++ {
+		for i := range coders {
+			dc := &coders[i]
+			code := cellOther
+			if dc.isStr {
+				if c := dc.acc.Code(row); c >= 0 {
+					if li, ok := dc.codeToLit[c]; ok {
+						code = li
+					}
+				}
+			} else {
+				v := dc.acc.Float(row)
+				if !math.IsNaN(v) {
+					if li, ok := dc.floatToLit[v]; ok {
+						code = li
+					}
+				}
+			}
+			rowCodes[i] = code
+		}
+		for mask := 0; mask < nsubsets; mask++ {
+			key := cellKey{cellAny, cellAny, cellAny}
+			for i := 0; i < len(dims); i++ {
+				if mask&(1<<i) != 0 {
+					key[i] = rowCodes[i]
+				}
+			}
+			cell, ok := r.cells[key]
+			if !ok {
+				cell = make([]*accumulator, len(r.cols))
+				for i := range cell {
+					cell[i] = newAccumulator(r.cols[i].needDistinct)
+				}
+				r.cells[key] = cell
+			}
+			cell[0].addRow(false, math.NaN(), 0) // star: row count only
+			for i := 1; i < len(r.cols); i++ {
+				rd := readers[i]
+				if rd.isStr {
+					c := rd.acc.Code(row)
+					cell[i].addRow(c < 0, math.NaN(), uint64(uint32(c)))
+				} else {
+					v := rd.acc.Float(row)
+					cell[i].addRow(math.IsNaN(v), v, math.Float64bits(v))
+				}
+			}
+		}
+	}
+	return r, nil
+}
+
+// merge folds the tracked columns of other (computed over identical scope
+// and dims) into r, used when the cache holds a cube lacking some columns.
+func (r *CubeResult) merge(other *CubeResult) {
+	offset := len(r.cols)
+	newCols := 0
+	colMap := make([]int, len(other.cols)) // other col idx -> r col idx (-1 skip)
+	for i, tc := range other.cols {
+		if i == 0 {
+			colMap[i] = -1 // star already tracked
+			continue
+		}
+		if j, ok := r.colIndex[tc.ref.String()]; ok {
+			if tc.needDistinct && !r.cols[j].needDistinct {
+				// Replace stats for this column with the distinct-capable ones.
+				r.cols[j].needDistinct = true
+				colMap[i] = j
+				continue
+			}
+			colMap[i] = -1
+			continue
+		}
+		colMap[i] = offset + newCols
+		r.colIndex[tc.ref.String()] = offset + newCols
+		r.cols = append(r.cols, tc)
+		newCols++
+	}
+	for key, otherCell := range other.cells {
+		cell, ok := r.cells[key]
+		if !ok {
+			cell = make([]*accumulator, offset)
+			for i := 0; i < offset; i++ {
+				cell[i] = newAccumulator(r.cols[i].needDistinct)
+			}
+			r.cells[key] = cell
+		}
+		// Grow to the new width.
+		for len(cell) < len(r.cols) {
+			cell = append(cell, nil)
+		}
+		for i, target := range colMap {
+			if target < 0 {
+				continue
+			}
+			cell[target] = otherCell[i]
+		}
+		r.cells[key] = cell
+	}
+	// Fill holes for cells other didn't touch (only possible when other was
+	// computed over the same data, so cells must coincide; defensive).
+	for key, cell := range r.cells {
+		for i := range cell {
+			if cell[i] == nil {
+				cell[i] = newAccumulator(r.cols[i].needDistinct)
+			}
+		}
+		r.cells[key] = cell
+	}
+}

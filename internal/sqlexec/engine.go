@@ -1,0 +1,371 @@
+package sqlexec
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"aggchecker/internal/db"
+)
+
+// Stats counts the work performed by an Engine; Table 6 of the paper is
+// regenerated from these counters plus wall-clock time.
+type Stats struct {
+	RowsScanned   atomic.Int64
+	CubePasses    atomic.Int64
+	CacheHits     atomic.Int64
+	CacheMisses   atomic.Int64
+	DirectQueries atomic.Int64
+	CubeAnswers   atomic.Int64
+}
+
+// Snapshot returns a plain copy of the counters.
+func (s *Stats) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"rows_scanned":   s.RowsScanned.Load(),
+		"cube_passes":    s.CubePasses.Load(),
+		"cache_hits":     s.CacheHits.Load(),
+		"cache_misses":   s.CacheMisses.Load(),
+		"direct_queries": s.DirectQueries.Load(),
+		"cube_answers":   s.CubeAnswers.Load(),
+	}
+}
+
+// Engine evaluates Simple Aggregate Queries over a database. It caches join
+// views and cube results; the cube cache persists across claims and EM
+// iterations exactly as §6.3 prescribes (results are generated for all
+// literals with non-zero marginal probability for any claim of the
+// document, so the cache key needs no literal set).
+type Engine struct {
+	DB    *db.Database
+	Stats Stats
+
+	mu        sync.Mutex
+	views     map[string]*db.JoinView
+	cubeCache map[string]*CubeResult
+	caching   bool
+}
+
+// NewEngine creates an engine with cube-result caching enabled.
+func NewEngine(d *db.Database) *Engine {
+	return &Engine{
+		DB:        d,
+		views:     make(map[string]*db.JoinView),
+		cubeCache: make(map[string]*CubeResult),
+		caching:   true,
+	}
+}
+
+// CachingEnabled reports whether cube results are cached.
+func (e *Engine) CachingEnabled() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.caching
+}
+
+// SetCaching toggles the cube-result cache (Table 6's "+ Caching" row turns
+// this off to isolate the effect of query merging).
+func (e *Engine) SetCaching(on bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.caching = on
+	if !on {
+		e.cubeCache = make(map[string]*CubeResult)
+	}
+}
+
+// ResetCache drops all cached cube results (join views are kept: they are
+// part of the storage layer, not the evaluation strategy).
+func (e *Engine) ResetCache() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.cubeCache = make(map[string]*CubeResult)
+}
+
+// DefaultTable returns the name of the first table, used to anchor queries
+// that reference no column (pure Count(*) with no predicates).
+func (e *Engine) DefaultTable() string {
+	ts := e.DB.Tables()
+	if len(ts) == 0 {
+		return ""
+	}
+	return ts[0].Name
+}
+
+// view returns the (cached) join view over the given tables.
+func (e *Engine) view(tables []string) (*db.JoinView, error) {
+	key := strings.Join(sortedCopy(tables), ",")
+	e.mu.Lock()
+	v, ok := e.views[key]
+	e.mu.Unlock()
+	if ok {
+		return v, nil
+	}
+	v, err := db.BuildJoinView(e.DB, tables)
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.views[key] = v
+	e.mu.Unlock()
+	return v, nil
+}
+
+func sortedCopy(ss []string) []string {
+	out := make([]string, len(ss))
+	copy(out, ss)
+	sort.Strings(out)
+	return out
+}
+
+// Evaluate runs a single query with a dedicated scan (the naive strategy of
+// Table 6). Percentage and ConditionalProbability require denominator
+// statistics and therefore accumulate two cells in the same scan.
+func (e *Engine) Evaluate(q Query) (float64, error) {
+	tables := q.Tables(e.DefaultTable())
+	view, err := e.view(tables)
+	if err != nil {
+		return math.NaN(), err
+	}
+	e.Stats.DirectQueries.Add(1)
+	e.Stats.RowsScanned.Add(int64(view.NumRows()))
+
+	matchers, err := buildMatchers(view, q.Preds)
+	if err != nil {
+		return math.NaN(), err
+	}
+	star := q.AggCol.IsStar()
+	var aggAcc db.ColumnAccessor
+	aggIsStr := false
+	if !star {
+		aggAcc, err = view.Accessor(q.AggCol.Table, q.AggCol.Column)
+		if err != nil {
+			return math.NaN(), err
+		}
+		aggIsStr = aggAcc.Column().Kind == db.KindString
+	}
+
+	main := newAccumulator(q.Agg == CountDistinct)
+	var base *accumulator
+	needBase := q.Agg == Percentage || q.Agg == ConditionalProbability
+	if needBase {
+		base = newAccumulator(false)
+	}
+	n := view.NumRows()
+	for row := 0; row < n; row++ {
+		all := true
+		for i := range matchers {
+			if !matchers[i](row) {
+				all = false
+				break
+			}
+		}
+		inBase := false
+		if needBase {
+			switch q.Agg {
+			case Percentage:
+				inBase = true
+			case ConditionalProbability:
+				inBase = len(matchers) == 0 || matchers[0](row)
+			}
+		}
+		if !all && !inBase {
+			continue
+		}
+		var null bool
+		var v float64
+		var key uint64
+		if star {
+			null, v = false, math.NaN()
+		} else if aggIsStr {
+			c := aggAcc.Code(row)
+			null, v, key = c < 0, math.NaN(), uint64(uint32(c))
+		} else {
+			v = aggAcc.Float(row)
+			null, key = math.IsNaN(v), math.Float64bits(v)
+		}
+		if all {
+			main.addRow(null, v, key)
+		}
+		if inBase {
+			base.addRow(null, v, key)
+		}
+	}
+	return main.finalize(q.Agg, star, base), nil
+}
+
+// buildMatchers compiles predicates into per-row match functions.
+func buildMatchers(view *db.JoinView, preds []Predicate) ([]func(int) bool, error) {
+	matchers := make([]func(int) bool, 0, len(preds))
+	for _, p := range preds {
+		acc, err := view.Accessor(p.Col.Table, p.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		if acc.Column().Kind == db.KindString {
+			code := acc.Column().CodeOf(p.Value)
+			a := acc
+			matchers = append(matchers, func(row int) bool { return a.Code(row) == code && code >= 0 })
+		} else {
+			want, err := parseLiteralFloat(p.Value)
+			if err != nil {
+				// Non-numeric literal on a numeric column never matches.
+				matchers = append(matchers, func(int) bool { return false })
+				continue
+			}
+			a := acc
+			matchers = append(matchers, func(row int) bool { return a.Float(row) == want })
+		}
+	}
+	return matchers, nil
+}
+
+func parseLiteralFloat(lit string) (float64, error) {
+	return strconv.ParseFloat(strings.TrimSpace(lit), 64)
+}
+
+// CubeFor returns a cube result covering the given dimensions and aggregate
+// requests over the join scope, reusing or extending a cached cube when
+// caching is enabled. The requests are translated into tracked columns
+// (star is always tracked).
+func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
+	cols := trackedColsFor(reqs)
+	sig := cubeSignature(tables, dims)
+
+	e.mu.Lock()
+	cached, ok := e.cubeCache[sig]
+	caching := e.caching
+	e.mu.Unlock()
+
+	if caching && ok {
+		// Check coverage; extend with the missing columns if needed.
+		var missing []trackedCol
+		for _, tc := range cols {
+			if tc.ref.IsStar() {
+				continue
+			}
+			if !cached.hasColumn(tc.ref, tc.needDistinct) {
+				missing = append(missing, tc)
+			}
+		}
+		if len(missing) == 0 {
+			e.Stats.CacheHits.Add(1)
+			return cached, nil
+		}
+		view, err := e.view(tables)
+		if err != nil {
+			return nil, err
+		}
+		// Literal sets may differ between the cached cube and the request;
+		// recompute only when the cached dims cannot encode the request.
+		if !sameDims(cached.Dims, dims) {
+			fresh, err := e.runCube(view, tables, dims, cols)
+			if err != nil {
+				return nil, err
+			}
+			e.mu.Lock()
+			e.cubeCache[sig] = fresh
+			e.mu.Unlock()
+			e.Stats.CacheMisses.Add(1)
+			return fresh, nil
+		}
+		extra, err := e.runCube(view, tables, dims, missing)
+		if err != nil {
+			return nil, err
+		}
+		e.mu.Lock()
+		cached.merge(extra)
+		e.mu.Unlock()
+		e.Stats.CacheHits.Add(1)
+		return cached, nil
+	}
+
+	view, err := e.view(tables)
+	if err != nil {
+		return nil, err
+	}
+	fresh, err := e.runCube(view, tables, dims, cols)
+	if err != nil {
+		return nil, err
+	}
+	if caching {
+		e.mu.Lock()
+		e.cubeCache[sig] = fresh
+		e.mu.Unlock()
+		e.Stats.CacheMisses.Add(1)
+	}
+	return fresh, nil
+}
+
+func (e *Engine) runCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	e.Stats.CubePasses.Add(1)
+	e.Stats.RowsScanned.Add(int64(view.NumRows()))
+	return computeCube(view, tables, dims, cols)
+}
+
+// trackedColsFor deduplicates aggregate requests into tracked columns.
+func trackedColsFor(reqs []AggRequest) []trackedCol {
+	byKey := make(map[string]*trackedCol)
+	var order []string
+	for _, r := range reqs {
+		if r.Col.IsStar() {
+			continue
+		}
+		k := r.Col.String()
+		tc, ok := byKey[k]
+		if !ok {
+			tc = &trackedCol{ref: r.Col}
+			byKey[k] = tc
+			order = append(order, k)
+		}
+		if r.Fn == CountDistinct {
+			tc.needDistinct = true
+		}
+	}
+	out := make([]trackedCol, 0, len(order))
+	for _, k := range order {
+		out = append(out, *byKey[k])
+	}
+	return out
+}
+
+// sameDims reports whether two dimension specs have identical columns and
+// literal sets (order-insensitive on columns, order-sensitive on literals
+// because literal indexes are positional).
+func sameDims(a, b []DimSpec) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	am := make(map[string][]string, len(a))
+	for _, d := range a {
+		am[d.Col.String()] = d.Literals
+	}
+	for _, d := range b {
+		lits, ok := am[d.Col.String()]
+		if !ok || len(lits) != len(d.Literals) {
+			return false
+		}
+		for i := range lits {
+			if lits[i] != d.Literals[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// AnswerFromCube evaluates q against a cube, recording the answered-query
+// statistic. It returns an error when the cube does not cover q (callers
+// are expected to construct covering cubes).
+func (e *Engine) AnswerFromCube(r *CubeResult, q Query) (float64, error) {
+	v, ok := r.Value(q)
+	if !ok {
+		return math.NaN(), fmt.Errorf("sqlexec: cube %v does not cover query %s", r.Dims, q.Key())
+	}
+	e.Stats.CubeAnswers.Add(1)
+	return v, nil
+}

@@ -1,0 +1,171 @@
+package sqlparse
+
+import (
+	"strings"
+	"testing"
+
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/db"
+	"aggchecker/internal/sqlexec"
+)
+
+func testDB(t *testing.T) *db.Database {
+	t.Helper()
+	tbl, err := db.LoadCSV(strings.NewReader(
+		"games,category,year,fine\nindef,gambling,1983,100\n4,substance abuse,1995,50\n"),
+		"nflsuspensions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := db.NewDatabase("nfl")
+	d.MustAddTable(tbl)
+	return d
+}
+
+func TestParseCountStar(t *testing.T) {
+	d := testDB(t)
+	q, err := Parse("SELECT Count(*) FROM nflsuspensions WHERE games = 'indef'", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Agg != sqlexec.Count || !q.AggCol.IsStar() {
+		t.Errorf("query = %+v", q)
+	}
+	if len(q.Preds) != 1 || q.Preds[0].Value != "indef" || q.Preds[0].Col.Table != "nflsuspensions" {
+		t.Errorf("preds = %+v", q.Preds)
+	}
+}
+
+func TestParseMultiPredicate(t *testing.T) {
+	d := testDB(t)
+	q, err := Parse(
+		"SELECT Count(*) FROM nflsuspensions WHERE games = 'indef' AND category = 'substance abuse'", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Preds) != 2 {
+		t.Fatalf("preds = %+v", q.Preds)
+	}
+	if q.Preds[1].Value != "substance abuse" {
+		t.Errorf("multi-word literal lost: %q", q.Preds[1].Value)
+	}
+}
+
+func TestParseAggFunctions(t *testing.T) {
+	d := testDB(t)
+	cases := map[string]sqlexec.AggFunc{
+		"SELECT Sum(fine) FROM nflsuspensions":                           sqlexec.Sum,
+		"SELECT AVG(fine) FROM nflsuspensions":                           sqlexec.Avg,
+		"select min(year) from nflsuspensions":                           sqlexec.Min,
+		"SELECT Max(year) FROM nflsuspensions":                           sqlexec.Max,
+		"SELECT CountDistinct(category) FROM nflsuspensions":             sqlexec.CountDistinct,
+		"SELECT Count(DISTINCT category) FROM nflsuspensions":            sqlexec.CountDistinct,
+		"SELECT Percentage(*) FROM nflsuspensions WHERE games = 'indef'": sqlexec.Percentage,
+	}
+	for input, want := range cases {
+		q, err := Parse(input, d)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", input, err)
+			continue
+		}
+		if want == sqlexec.CountDistinct && q.Agg == sqlexec.Count {
+			// COUNT(DISTINCT c) must become CountDistinct.
+			t.Errorf("Parse(%q): got plain Count", input)
+			continue
+		}
+		if q.Agg != want && !(want == sqlexec.CountDistinct && q.Agg == sqlexec.CountDistinct) {
+			t.Errorf("Parse(%q) agg = %v, want %v", input, q.Agg, want)
+		}
+	}
+}
+
+func TestParseCountDistinctSugar(t *testing.T) {
+	d := testDB(t)
+	q, err := Parse("SELECT Count(DISTINCT category) FROM nflsuspensions", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Count(DISTINCT c) parses as Count with the distinct flag folded into
+	// the column position; semantically we map it to CountDistinct.
+	if q.AggCol.Column != "category" {
+		t.Errorf("agg col = %v", q.AggCol)
+	}
+}
+
+func TestParseQualifiedColumns(t *testing.T) {
+	d := testDB(t)
+	q, err := Parse("SELECT Count(*) FROM nflsuspensions WHERE nflsuspensions.games = 'indef'", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Col.Table != "nflsuspensions" {
+		t.Errorf("qualified column lost table: %+v", q.Preds[0])
+	}
+}
+
+func TestParseEscapedQuote(t *testing.T) {
+	tbl, _ := db.LoadCSV(strings.NewReader("education\ni'm self-taught\n"), "survey")
+	d := db.NewDatabase("s")
+	d.MustAddTable(tbl)
+	q, err := Parse("SELECT Percentage(*) FROM survey WHERE education = 'i''m self-taught'", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Preds[0].Value != "i'm self-taught" {
+		t.Errorf("escaped literal = %q", q.Preds[0].Value)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	d := testDB(t)
+	bad := []string{
+		"",
+		"SELECT",
+		"SELECT Frobnicate(*) FROM nflsuspensions",
+		"SELECT Count(*) WHERE games = 'indef'",
+		"SELECT Count(*) FROM nflsuspensions WHERE games = ",
+		"SELECT Count(*) FROM nflsuspensions WHERE nope = 'x'",
+		"SELECT Count(*) FROM nosuchtable WHERE games = 'indef'",
+		"SELECT Count(*) FROM nflsuspensions WHERE games = 'unterminated",
+		"SELECT Count(*) FROM nflsuspensions trailing junk",
+	}
+	for _, input := range bad {
+		if _, err := Parse(input, d); err == nil {
+			t.Errorf("Parse(%q) should fail", input)
+		}
+	}
+}
+
+func TestParseRoundTripsCorpusGroundTruth(t *testing.T) {
+	// Every ground-truth query rendered by Query.SQL must parse back to an
+	// equal query — the contract between corpusgen output and this parser.
+	c := corpus.MustLoad()
+	for _, tc := range c.Cases[:10] {
+		defaultTable := tc.DB.Tables()[0].Name
+		for i, truth := range tc.Truth {
+			sql := truth.Query.SQL(defaultTable)
+			got, err := Parse(sql, tc.DB)
+			if err != nil {
+				t.Fatalf("%s claim %d: Parse(%q): %v", tc.Name, i, sql, err)
+			}
+			if got.Key() != truth.Query.Key() {
+				t.Errorf("%s claim %d: round trip %q != %q", tc.Name, i, got.Key(), truth.Query.Key())
+			}
+		}
+	}
+}
+
+func TestParsedQueryEvaluates(t *testing.T) {
+	d := testDB(t)
+	q, err := Parse("SELECT Count(*) FROM nflsuspensions WHERE games = 'indef'", d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := sqlexec.NewEngine(d).Evaluate(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v != 1 {
+		t.Errorf("evaluated to %v, want 1", v)
+	}
+}

@@ -1,0 +1,68 @@
+package study
+
+import (
+	"aggchecker/internal/metrics"
+)
+
+// AMTRow is one row of Table 11.
+type AMTRow struct {
+	Tool      string
+	Scope     string
+	Workers   int
+	Confusion metrics.Confusion
+}
+
+// RunAMTStudy simulates the Mechanical Turk experiment (Appendix D): crowd
+// workers verify a long article end to end (document scope) and, in a
+// second round, a two-sentence excerpt over a small data set (paragraph
+// scope), with the AggChecker versus a shared spreadsheet. Respondent
+// counts mirror the paper's (19 and 13 for the document-scope conditions —
+// not all tasks were picked up — and 50 each for paragraph scope).
+func RunAMTStudy(docCase, paraCase *CaseInput, seed int64) []AMTRow {
+	p := CrowdParams()
+	rows := []AMTRow{
+		{Tool: "AggChecker", Scope: "Document", Workers: 19},
+		{Tool: "G-Sheet", Scope: "Document", Workers: 13},
+		{Tool: "AggChecker", Scope: "Paragraph", Workers: 50},
+		{Tool: "G-Sheet", Scope: "Paragraph", Workers: 50},
+	}
+
+	var sessions [][]*Session = make([][]*Session, 4)
+	for w := 0; w < rows[0].Workers; w++ {
+		sessions[0] = append(sessions[0],
+			RunAggCheckerSession(docCase, p, w, 1500, seed+int64(w)))
+	}
+	for w := 0; w < rows[1].Workers; w++ {
+		sessions[1] = append(sessions[1],
+			RunSpreadsheetSession(docCase, p, w, 1500, false, seed+1000+int64(w)))
+	}
+	for w := 0; w < rows[2].Workers; w++ {
+		sessions[2] = append(sessions[2],
+			runScopedAggSession(paraCase, p, w, 240, seed+2000+int64(w)))
+	}
+	for w := 0; w < rows[3].Workers; w++ {
+		sessions[3] = append(sessions[3],
+			RunSpreadsheetSession(paraCase, p, w, 240, true, seed+3000+int64(w)))
+	}
+	for i := range rows {
+		rows[i].Confusion = ConfusionOf(sessions[i])
+	}
+	return rows
+}
+
+// runScopedAggSession limits an AggChecker session to the error-bearing
+// paragraph's claims (the paragraph excerpt).
+func runScopedAggSession(in *CaseInput, p Params, user int, budget float64, seed int64) *Session {
+	start, end := ParagraphScopeOf(in)
+	s := RunAggCheckerSession(in, p, user, budget, seed)
+	scoped := &Session{
+		User: s.User, Case: s.Case, Tool: s.Tool,
+		Budget: s.Budget, Elapsed: s.Elapsed, ScopeStart: start, ScopeEnd: end,
+	}
+	for _, e := range s.Events {
+		if e.ClaimIdx >= start && e.ClaimIdx < end {
+			scoped.Events = append(scoped.Events, e)
+		}
+	}
+	return scoped
+}

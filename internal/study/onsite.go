@@ -1,0 +1,236 @@
+package study
+
+import (
+	"aggchecker/internal/metrics"
+)
+
+// OnsiteResult is the simulated §7.2 study: eight users, six articles,
+// alternating tools, time budgets per article length.
+type OnsiteResult struct {
+	Inputs      []*CaseInput
+	AggSessions []*Session
+	SQLSessions []*Session
+	Users       int
+}
+
+// RunOnsiteStudy alternates tools across the user × article grid exactly as
+// the paper describes (no user verifies the same document twice; each
+// article is verified by both tools).
+func RunOnsiteStudy(inputs []*CaseInput, users int, seed int64) *OnsiteResult {
+	res := &OnsiteResult{Inputs: inputs, Users: users}
+	p := ExpertParams()
+	for u := 0; u < users; u++ {
+		for a, in := range inputs {
+			budget := BudgetFor(in.Case)
+			sessionSeed := seed + int64(u*1000+a)
+			if (u+a)%2 == 0 {
+				res.AggSessions = append(res.AggSessions,
+					RunAggCheckerSession(in, p, u, budget, sessionSeed))
+			} else {
+				res.SQLSessions = append(res.SQLSessions,
+					RunSQLSession(in, p, u, budget, sessionSeed))
+			}
+		}
+	}
+	return res
+}
+
+// FeatureShares computes Table 3: the fraction of verified claims resolved
+// through each interface feature.
+func (r *OnsiteResult) FeatureShares() map[Action]float64 {
+	counts := map[Action]int{}
+	total := 0
+	for _, s := range r.AggSessions {
+		for _, e := range s.Events {
+			if !e.Verified {
+				continue
+			}
+			counts[e.Action]++
+			total++
+		}
+	}
+	out := map[Action]float64{}
+	if total == 0 {
+		return out
+	}
+	for a, c := range counts {
+		out[a] = float64(c) / float64(total)
+	}
+	return out
+}
+
+// ToolConfusions computes Table 4: user-level recall/precision/F1 per tool.
+func (r *OnsiteResult) ToolConfusions() (agg, sql metrics.Confusion) {
+	return ConfusionOf(r.AggSessions), ConfusionOf(r.SQLSessions)
+}
+
+// throughputOf averages sessions' claims-per-minute.
+func throughputOf(sessions []*Session) float64 {
+	if len(sessions) == 0 {
+		return 0
+	}
+	var t float64
+	for _, s := range sessions {
+		t += s.Throughput()
+	}
+	return t / float64(len(sessions))
+}
+
+// UserThroughputs returns per-user (aggchecker, sql) claims-per-minute
+// pairs (Figure 7, left).
+func (r *OnsiteResult) UserThroughputs() [][2]float64 {
+	out := make([][2]float64, r.Users)
+	for u := 0; u < r.Users; u++ {
+		var agg, sql []*Session
+		for _, s := range r.AggSessions {
+			if s.User == u {
+				agg = append(agg, s)
+			}
+		}
+		for _, s := range r.SQLSessions {
+			if s.User == u {
+				sql = append(sql, s)
+			}
+		}
+		out[u] = [2]float64{throughputOf(agg), throughputOf(sql)}
+	}
+	return out
+}
+
+// ArticleThroughputs returns per-article pairs (Figure 7, right).
+func (r *OnsiteResult) ArticleThroughputs() [][2]float64 {
+	out := make([][2]float64, len(r.Inputs))
+	for a, in := range r.Inputs {
+		var agg, sql []*Session
+		for _, s := range r.AggSessions {
+			if s.Case == in.Case {
+				agg = append(agg, s)
+			}
+		}
+		for _, s := range r.SQLSessions {
+			if s.Case == in.Case {
+				sql = append(sql, s)
+			}
+		}
+		out[a] = [2]float64{throughputOf(agg), throughputOf(sql)}
+	}
+	return out
+}
+
+// Speedup is the mean AggChecker/SQL throughput ratio across users with
+// both tools (the paper's headline ≈6×).
+func (r *OnsiteResult) Speedup() float64 {
+	pairs := r.UserThroughputs()
+	var total float64
+	n := 0
+	for _, p := range pairs {
+		if p[1] > 0 {
+			total += p[0] / p[1]
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
+}
+
+// VerifiedSeries samples the average cumulative verified-claims curve of an
+// article for one tool at the given number of grid points (Figure 6).
+func (r *OnsiteResult) VerifiedSeries(article int, tool string, points int) []float64 {
+	in := r.Inputs[article]
+	budget := BudgetFor(in.Case)
+	var sessions []*Session
+	pool := r.AggSessions
+	if tool == "sql" {
+		pool = r.SQLSessions
+	}
+	for _, s := range pool {
+		if s.Case == in.Case {
+			sessions = append(sessions, s)
+		}
+	}
+	out := make([]float64, points+1)
+	if len(sessions) == 0 {
+		return out
+	}
+	for i := 0; i <= points; i++ {
+		t := budget * float64(i) / float64(points)
+		var sum float64
+		for _, s := range sessions {
+			sum += float64(s.VerifiedAt(t))
+		}
+		out[i] = sum / float64(len(sessions))
+	}
+	return out
+}
+
+// SurveyCounts derives Table 8: per-criterion preference counts on the
+// five-point scale [SQL++, SQL+, SQL≈AC, AC+, AC++]. Preferences follow
+// each simulated user's own outcomes: overall from the throughput ratio,
+// learning from interface complexity (queries composed per verified claim),
+// and the claim-type rows from per-type verification success.
+func (r *OnsiteResult) SurveyCounts() map[string][5]int {
+	out := map[string][5]int{}
+	users := r.UserThroughputs()
+	bucket := func(ratio float64) int {
+		switch {
+		case ratio < 0.75:
+			return 0
+		case ratio < 1.25:
+			return 2
+		case ratio < 3.5:
+			return 3
+		default:
+			return 4
+		}
+	}
+	var overall, learning, correct, incorrect [5]int
+	for u, p := range users {
+		ratio := 99.0
+		if p[1] > 0 {
+			ratio = p[0] / p[1]
+		}
+		overall[bucket(ratio)]++
+		// Learning: SQL requires query authoring for every claim, the
+		// interface needs clicks; model as an even stronger preference.
+		learning[bucket(ratio*1.4)]++
+		// Per claim type: ratio of verified correct/incorrect claims.
+		cAgg, cSQL, iAgg, iSQL := r.typeVerified(u)
+		correct[bucket(safeRatio(cAgg, cSQL))]++
+		incorrect[bucket(safeRatio(iAgg, iSQL))]++
+	}
+	out["Overall"] = overall
+	out["Learning"] = learning
+	out["Correct Claims"] = correct
+	out["Incorrect Claims"] = incorrect
+	return out
+}
+
+func safeRatio(a, b float64) float64 {
+	if b == 0 {
+		return 99
+	}
+	return a / b
+}
+
+// typeVerified counts a user's verified claims split by ground-truth
+// correctness for each tool.
+func (r *OnsiteResult) typeVerified(user int) (cAgg, cSQL, iAgg, iSQL float64) {
+	count := func(sessions []*Session, correct bool) float64 {
+		var n float64
+		for _, s := range sessions {
+			if s.User != user {
+				continue
+			}
+			for _, e := range s.Events {
+				if e.Verified && s.Case.Truth[e.ClaimIdx].Correct == correct {
+					n++
+				}
+			}
+		}
+		return n
+	}
+	return count(r.AggSessions, true), count(r.SQLSessions, true),
+		count(r.AggSessions, false), count(r.SQLSessions, false)
+}

@@ -1,0 +1,180 @@
+package study
+
+import (
+	"testing"
+
+	"aggchecker/internal/core"
+	"aggchecker/internal/corpus"
+)
+
+var cachedInputs []*CaseInput
+
+func studyInputs(t *testing.T) []*CaseInput {
+	t.Helper()
+	if cachedInputs != nil {
+		return cachedInputs
+	}
+	c := corpus.MustLoad()
+	cfg := core.DefaultConfig()
+	cfg.Model.EvalBudget = 400
+	cfg.Model.MaxEMIters = 3
+	cachedInputs = PrepareInputs(c.StudyCases(), cfg)
+	return cachedInputs
+}
+
+func TestOnsiteStudySpeedup(t *testing.T) {
+	inputs := studyInputs(t)
+	res := RunOnsiteStudy(inputs, 8, 7)
+	speedup := res.Speedup()
+	// The paper reports ≈6×; the shape requirement is a large multiple.
+	if speedup < 3 {
+		t.Errorf("AggChecker speedup = %.1fx, want >= 3x", speedup)
+	}
+	t.Logf("speedup = %.1fx", speedup)
+}
+
+func TestOnsiteStudyToolQuality(t *testing.T) {
+	inputs := studyInputs(t)
+	res := RunOnsiteStudy(inputs, 8, 7)
+	agg, sql := res.ToolConfusions()
+	if agg.Recall() <= sql.Recall() {
+		t.Errorf("AggChecker recall %.2f should beat SQL recall %.2f", agg.Recall(), sql.Recall())
+	}
+	if agg.F1() <= sql.F1() {
+		t.Errorf("AggChecker F1 %.2f should beat SQL F1 %.2f", agg.F1(), sql.F1())
+	}
+	if agg.Recall() < 0.8 {
+		t.Errorf("AggChecker user recall = %.2f, want near-perfect (paper: 100%%)", agg.Recall())
+	}
+}
+
+func TestFeatureShares(t *testing.T) {
+	inputs := studyInputs(t)
+	res := RunOnsiteStudy(inputs, 8, 7)
+	shares := res.FeatureShares()
+	var total float64
+	for _, v := range shares {
+		total += v
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Errorf("feature shares sum to %v", total)
+	}
+	// Top-1 should dominate, as in Table 3 (44.5% top-1, 38.1% top-5).
+	if shares[ActionTop1] < shares[ActionTop10] {
+		t.Errorf("top-1 share %.2f should exceed top-10 share %.2f",
+			shares[ActionTop1], shares[ActionTop10])
+	}
+}
+
+func TestVerifiedSeriesMonotone(t *testing.T) {
+	inputs := studyInputs(t)
+	res := RunOnsiteStudy(inputs, 8, 7)
+	for a := range inputs {
+		for _, tool := range []string{"aggchecker", "sql"} {
+			series := res.VerifiedSeries(a, tool, 20)
+			for i := 1; i < len(series); i++ {
+				if series[i] < series[i-1] {
+					t.Fatalf("article %d %s: series not monotone: %v", a, tool, series)
+				}
+			}
+		}
+	}
+	// AggChecker curves should dominate SQL curves at the end of the
+	// session for most articles (Figure 6).
+	wins := 0
+	for a := range inputs {
+		agg := res.VerifiedSeries(a, "aggchecker", 20)
+		sql := res.VerifiedSeries(a, "sql", 20)
+		if agg[len(agg)-1] > sql[len(sql)-1] {
+			wins++
+		}
+	}
+	if wins < len(inputs)-1 {
+		t.Errorf("AggChecker should out-verify SQL on nearly all articles, won %d/%d", wins, len(inputs))
+	}
+}
+
+func TestSessionDeterminism(t *testing.T) {
+	inputs := studyInputs(t)
+	a := RunAggCheckerSession(inputs[0], ExpertParams(), 0, 300, 99)
+	b := RunAggCheckerSession(inputs[0], ExpertParams(), 0, 300, 99)
+	if len(a.Events) != len(b.Events) || a.Elapsed != b.Elapsed {
+		t.Error("same seed produced different sessions")
+	}
+}
+
+func TestBudgetEnforced(t *testing.T) {
+	inputs := studyInputs(t)
+	s := RunSQLSession(inputs[0], ExpertParams(), 0, 60, 5)
+	if s.Elapsed > 60 {
+		t.Errorf("elapsed %v exceeds budget", s.Elapsed)
+	}
+	for _, e := range s.Events {
+		if e.EndTime > 60 {
+			t.Errorf("event at %v past budget", e.EndTime)
+		}
+	}
+}
+
+func TestAMTStudyShape(t *testing.T) {
+	inputs := studyInputs(t)
+	// Document scope: a long article; paragraph scope: the NFL case.
+	var docCase, paraCase *CaseInput
+	for _, in := range inputs {
+		if len(in.Case.Truth) > 15 && docCase == nil {
+			docCase = in
+		}
+		if in.Case.Name == "nfl-suspensions" {
+			paraCase = in
+		}
+	}
+	if docCase == nil || paraCase == nil {
+		t.Fatal("study cases missing")
+	}
+	rows := RunAMTStudy(docCase, paraCase, 11)
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	byKey := map[string]AMTRow{}
+	for _, r := range rows {
+		byKey[r.Tool+"/"+r.Scope] = r
+	}
+	// Table 11's shape: G-Sheet recall ≈ 0 at document scope; AggChecker
+	// beats G-Sheet at both scopes; paragraph scope improves both tools.
+	if g := byKey["G-Sheet/Document"].Confusion.Recall(); g > 0.1 {
+		t.Errorf("G-Sheet document recall = %.2f, want ≈ 0", g)
+	}
+	aggDoc := byKey["AggChecker/Document"].Confusion
+	aggPara := byKey["AggChecker/Paragraph"].Confusion
+	gPara := byKey["G-Sheet/Paragraph"].Confusion
+	if aggDoc.Recall() <= byKey["G-Sheet/Document"].Confusion.Recall() {
+		t.Error("AggChecker should beat G-Sheet at document scope")
+	}
+	if aggPara.F1() <= gPara.F1() {
+		t.Errorf("AggChecker paragraph F1 %.2f should beat G-Sheet %.2f", aggPara.F1(), gPara.F1())
+	}
+}
+
+func TestSurveyCounts(t *testing.T) {
+	inputs := studyInputs(t)
+	res := RunOnsiteStudy(inputs, 8, 7)
+	counts := res.SurveyCounts()
+	for _, crit := range []string{"Overall", "Learning", "Correct Claims", "Incorrect Claims"} {
+		row, ok := counts[crit]
+		if !ok {
+			t.Fatalf("criterion %s missing", crit)
+		}
+		total := 0
+		for _, v := range row {
+			total += v
+		}
+		if total != 8 {
+			t.Errorf("%s: %d responses, want 8", crit, total)
+		}
+		// Preference mass should sit on the AggChecker side (paper: no SQL
+		// preferences at all).
+		if row[0]+row[1] > row[3]+row[4] {
+			t.Errorf("%s: SQL-side preferences dominate: %v", crit, row)
+		}
+	}
+}

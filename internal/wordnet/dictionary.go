@@ -1,0 +1,178 @@
+package wordnet
+
+import (
+	"strings"
+
+	"aggchecker/internal/nlp"
+)
+
+// extraDictionary lists common English words that appear inside concatenated
+// column identifiers but are not members of any synonym group. Together with
+// the synonym vocabulary they form the dictionary used to decompose column
+// names such as "nflsuspensions" → ["nfl", "suspensions"] (§4.2).
+var extraDictionary = []string{
+	"nfl", "nba", "mlb", "nhl", "fifa", "id", "key", "code", "status",
+	"start", "end", "begin", "finish", "first", "last", "full", "short",
+	"long", "new", "old", "high", "low", "big", "small", "home", "away",
+	"east", "west", "north", "south", "per", "capita", "gross", "net",
+	"raw", "adjusted", "real", "nominal", "annual", "monthly", "weekly",
+	"daily", "hourly", "index", "level", "grade", "rank", "order", "desc",
+	"description", "info", "detail", "note", "comment", "source", "target",
+	"owner", "user", "admin", "type", "sub", "super", "main", "primary",
+	"secondary", "active", "inactive", "open", "closed", "public",
+	"private", "local", "global", "state", "county", "zip", "postal",
+	"phone", "email", "address", "web", "site", "url", "page", "view",
+	"click", "visit", "session", "duration", "length", "width", "height",
+	"weight", "depth", "speed", "distance", "miles", "km", "meters",
+	"feet", "pounds", "kg", "tons", "dollars", "euros", "usd", "amount",
+	"balance", "limit", "cap", "floor", "ceiling", "quota", "goal",
+	"target", "actual", "estimate", "forecast", "projection", "history",
+	"current", "previous", "next", "future", "past", "recent", "latest",
+	"men", "women", "male", "female", "adult", "child", "children",
+	"senior", "junior", "youth", "group", "band", "club", "org",
+	"organization", "dept", "department", "division", "unit", "branch",
+	"office", "agency", "bureau", "ministry", "board", "council",
+	"commission", "authority", "service", "system", "program", "project",
+	"plan", "scheme", "fund", "grant", "award", "prize", "bonus",
+	"penalty", "fine", "fee", "toll", "fare", "rent", "lease",
+}
+
+var dictionary map[string]bool
+
+func init() {
+	dictionary = make(map[string]bool)
+	for _, g := range groups {
+		for _, w := range g {
+			dictionary[w] = true
+		}
+	}
+	for _, w := range extraDictionary {
+		dictionary[w] = true
+	}
+}
+
+// IsDictionaryWord reports whether w (lowercase) is a known English word or
+// domain abbreviation usable as a unit when decomposing identifiers. Stemmed
+// membership also counts, so plural forms resolve.
+func IsDictionaryWord(w string) bool {
+	if len(w) < 2 {
+		return false
+	}
+	if dictionary[w] {
+		return true
+	}
+	// Accept inflected forms whose stem has a dictionary entry with the same
+	// stem (e.g. "suspensions").
+	stem := nlp.Stem(w)
+	if stem != w {
+		if _, ok := index[stem]; ok {
+			return true
+		}
+	}
+	return false
+}
+
+// DecomposeIdentifier splits a database identifier into lowercase word
+// units. It first splits on explicit separators (underscore, hyphen, space,
+// digit boundaries) and camelCase humps; any remaining run that is not a
+// dictionary word is segmented greedily against the dictionary, longest
+// match first, as the paper prescribes for concatenated column names.
+func DecomposeIdentifier(ident string) []string {
+	var parts []string
+	for _, chunk := range splitSeparators(ident) {
+		chunk = strings.ToLower(chunk)
+		if chunk == "" {
+			continue
+		}
+		if IsDictionaryWord(chunk) || len(chunk) <= 3 {
+			parts = append(parts, chunk)
+			continue
+		}
+		parts = append(parts, segment(chunk)...)
+	}
+	return parts
+}
+
+// splitSeparators splits on _ - . space and camelCase boundaries.
+func splitSeparators(s string) []string {
+	var chunks []string
+	var cur []rune
+	flush := func() {
+		if len(cur) > 0 {
+			chunks = append(chunks, string(cur))
+			cur = cur[:0]
+		}
+	}
+	runes := []rune(s)
+	for i, r := range runes {
+		switch {
+		case r == '_' || r == '-' || r == '.' || r == ' ' || r == '/':
+			flush()
+		case r >= 'A' && r <= 'Z':
+			// camelCase hump: split before an uppercase rune following a
+			// lowercase rune, or before the last uppercase of an acronym run
+			// followed by lowercase (e.g. "HTTPServer" → HTTP|Server).
+			if i > 0 {
+				prev := runes[i-1]
+				nextLower := i+1 < len(runes) && runes[i+1] >= 'a' && runes[i+1] <= 'z'
+				if (prev >= 'a' && prev <= 'z') || (prev >= 'A' && prev <= 'Z' && nextLower) {
+					flush()
+				}
+			}
+			cur = append(cur, r)
+		case r >= '0' && r <= '9':
+			// digits separate words but are kept as their own chunk
+			if len(cur) > 0 && !(cur[len(cur)-1] >= '0' && cur[len(cur)-1] <= '9') {
+				flush()
+			}
+			cur = append(cur, r)
+		default:
+			if len(cur) > 0 && cur[len(cur)-1] >= '0' && cur[len(cur)-1] <= '9' {
+				flush()
+			}
+			cur = append(cur, r)
+		}
+	}
+	flush()
+	return chunks
+}
+
+// segment greedily splits a lowercase letter run into dictionary words,
+// longest match first. Unmatched prefixes are emitted as single chunks up to
+// the next match so no characters are lost.
+func segment(s string) []string {
+	var out []string
+	i := 0
+	for i < len(s) {
+		matched := ""
+		for j := len(s); j > i+1; j-- {
+			if IsDictionaryWord(s[i:j]) {
+				matched = s[i:j]
+				break
+			}
+		}
+		if matched == "" {
+			// No word starts here: scan forward for the next position where
+			// a dictionary word starts, emit the gap verbatim.
+			j := i + 1
+			for j < len(s) && !startsWord(s, j) {
+				j++
+			}
+			out = append(out, s[i:j])
+			i = j
+			continue
+		}
+		out = append(out, matched)
+		i += len(matched)
+	}
+	return out
+}
+
+func startsWord(s string, i int) bool {
+	for j := len(s); j > i+1; j-- {
+		if IsDictionaryWord(s[i:j]) {
+			return true
+		}
+	}
+	return false
+}

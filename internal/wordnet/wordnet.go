@@ -1,0 +1,229 @@
+// Package wordnet is a compact, embedded substitute for the WordNet lexical
+// database. AggChecker uses WordNet for one purpose (§4.2 of the paper):
+// widening the keyword sets of query fragments with synonyms of column,
+// table and value names. A full WordNet distribution is large and not
+// redistributable here; instead we embed synonym groups covering the
+// vocabulary of aggregation semantics (count/number/total, average/mean, …)
+// and the five corpus domains (sports, politics, economy, surveys,
+// reference). Lookups are stem-normalized so inflected forms resolve to the
+// same group.
+package wordnet
+
+import (
+	"aggchecker/internal/nlp"
+)
+
+// groups are synonym sets; membership is symmetric within a group. A word
+// may appear in multiple groups, in which case lookups return the union.
+var groups = [][]string{
+	// --- aggregation & statistics vocabulary ---
+	{"count", "number", "total", "tally", "quantity", "amount"},
+	{"average", "mean", "typical", "expected"},
+	{"median", "middle", "midpoint"},
+	{"percent", "percentage", "share", "fraction", "proportion", "ratio", "rate"},
+	{"maximum", "max", "most", "highest", "top", "largest", "biggest", "greatest", "peak", "record"},
+	{"minimum", "min", "least", "lowest", "fewest", "smallest", "bottom"},
+	{"sum", "total", "combined", "overall", "aggregate", "cumulative"},
+	{"distinct", "unique", "different", "separate", "individual"},
+	{"probability", "chance", "likelihood", "odds"},
+	{"increase", "rise", "growth", "gain", "jump", "surge"},
+	{"decrease", "decline", "drop", "fall", "reduction", "dip"},
+	{"majority", "most", "bulk"},
+	{"minority", "few", "handful"},
+
+	// --- sports ---
+	{"player", "athlete", "sportsman", "professional"},
+	{"team", "club", "franchise", "squad", "side"},
+	{"game", "match", "fixture", "contest"},
+	{"season", "campaign", "year"},
+	{"suspension", "ban", "punishment", "sanction", "penalty", "discipline"},
+	{"lifetime", "permanent", "indefinite", "indef"},
+	{"league", "division", "conference"},
+	{"coach", "manager", "trainer"},
+	{"goal", "score", "point"},
+	{"win", "victory", "triumph"},
+	{"loss", "defeat"},
+	{"substance", "drug", "doping", "peds"},
+	{"violence", "abuse", "assault", "battery"},
+	{"gambling", "betting", "wagering"},
+	{"injury", "wound", "hurt"},
+	{"tournament", "championship", "cup", "competition"},
+	{"stadium", "arena", "venue", "ground"},
+	{"transfer", "trade", "move"},
+	{"attendance", "crowd", "spectators", "turnout"},
+
+	// --- politics & civic data ---
+	{"candidate", "contender", "nominee", "hopeful", "challenger"},
+	{"election", "race", "contest", "primary", "vote", "ballot"},
+	{"donation", "contribution", "gift", "funding"},
+	{"donor", "contributor", "backer", "supporter", "funder"},
+	{"committee", "pac", "campaign"},
+	{"senator", "lawmaker", "legislator", "representative", "congressman", "politician"},
+	{"district", "constituency", "seat", "precinct"},
+	{"party", "affiliation", "faction"},
+	{"republican", "gop", "conservative"},
+	{"democrat", "democratic", "liberal"},
+	{"president", "incumbent", "executive"},
+	{"appearance", "visit", "showing", "spot"},
+	{"speech", "address", "remarks", "commencement", "talk"},
+	{"bill", "law", "legislation", "act", "statute"},
+	{"poll", "survey", "questionnaire"},
+	{"voter", "elector", "constituent"},
+	{"spending", "expenditure", "outlay", "disbursement"},
+	{"recipient", "beneficiary", "receiver"},
+
+	// --- economy & business ---
+	{"salary", "pay", "wage", "earnings", "income", "compensation", "remuneration"},
+	{"price", "cost", "fee", "charge"},
+	{"revenue", "sales", "turnover", "receipts", "proceeds"},
+	{"profit", "margin", "earnings", "surplus"},
+	{"company", "firm", "business", "corporation", "enterprise", "employer"},
+	{"employee", "worker", "staff", "personnel", "laborer"},
+	{"industry", "sector", "field", "trade"},
+	{"market", "exchange", "marketplace"},
+	{"budget", "allocation", "appropriation"},
+	{"tax", "levy", "duty"},
+	{"loan", "credit", "mortgage", "debt"},
+	{"customer", "client", "buyer", "consumer", "purchaser"},
+	{"product", "item", "good", "merchandise"},
+	{"export", "shipment", "shipping"},
+	{"unemployment", "joblessness"},
+	{"gdp", "output", "production"},
+	{"investment", "funding", "capital"},
+	{"region", "area", "zone", "territory", "district"},
+	{"store", "shop", "outlet", "branch"},
+
+	// --- surveys & development ---
+	{"respondent", "participant", "answerer", "subject"},
+	{"developer", "programmer", "coder", "engineer"},
+	{"education", "schooling", "training", "degree"},
+	{"self-taught", "autodidact"},
+	{"experience", "tenure", "seniority"},
+	{"language", "tongue"},
+	{"occupation", "job", "role", "position", "profession", "title"},
+	{"remote", "distributed", "telecommute"},
+	{"gender", "sex"},
+	{"age", "years"},
+	{"satisfaction", "happiness", "contentment"},
+	{"skill", "ability", "competence", "proficiency"},
+	{"technology", "tech", "tool", "stack"},
+	{"framework", "library", "platform"},
+	{"question", "item", "prompt"},
+	{"answer", "response", "reply"},
+
+	// --- reference / encyclopedic ---
+	{"country", "nation", "state", "land"},
+	{"city", "town", "municipality", "metropolis"},
+	{"population", "inhabitants", "residents", "people"},
+	{"capital", "seat"},
+	{"river", "waterway", "stream"},
+	{"mountain", "peak", "summit"},
+	{"continent", "landmass"},
+	{"area", "size", "extent", "expanse"},
+	{"currency", "money", "tender"},
+	{"border", "boundary", "frontier"},
+	{"flier", "passenger", "traveler", "flyer"},
+	{"flight", "trip", "journey", "route"},
+	{"airline", "carrier"},
+	{"seat", "chair", "recliner"},
+	{"rude", "impolite", "discourteous", "inconsiderate"},
+	{"etiquette", "manners", "courtesy"},
+	{"movie", "film", "picture"},
+	{"song", "track", "tune", "lyric"},
+	{"artist", "musician", "performer", "rapper"},
+	{"album", "record", "release"},
+	{"mention", "reference", "namecheck", "shoutout"},
+	{"author", "writer", "journalist"},
+	{"article", "story", "piece", "report"},
+	{"database", "data", "dataset", "table", "records"},
+	{"column", "field", "attribute", "variable"},
+	{"row", "record", "entry", "tuple"},
+	{"value", "entry", "figure"},
+	{"category", "type", "kind", "class", "group", "classification"},
+	{"name", "identifier", "label", "title"},
+	{"date", "day", "time"},
+	{"month", "period"},
+	{"week", "period"},
+	{"show", "program", "broadcast", "episode"},
+	{"network", "channel", "station"},
+	{"guest", "visitor", "invitee"},
+	{"host", "presenter", "anchor"},
+	{"viewer", "audience", "watcher"},
+	{"school", "college", "university", "academy", "institution"},
+	{"student", "pupil", "learner"},
+	{"teacher", "instructor", "professor", "educator"},
+	{"hospital", "clinic", "infirmary"},
+	{"patient", "case"},
+	{"doctor", "physician", "clinician"},
+	{"crime", "offense", "felony", "violation", "incident"},
+	{"arrest", "apprehension", "detention"},
+	{"officer", "policeman", "cop", "constable"},
+	{"weather", "climate", "conditions"},
+	{"temperature", "heat", "degrees"},
+	{"rainfall", "precipitation", "rain"},
+	{"vehicle", "car", "automobile", "auto"},
+	{"accident", "crash", "collision", "wreck"},
+	{"road", "highway", "street", "route"},
+	{"driver", "motorist", "operator"},
+}
+
+// index maps a stem to the set of group ids containing it.
+var index map[string][]int
+
+func init() {
+	index = make(map[string][]int)
+	for gid, g := range groups {
+		for _, w := range g {
+			s := nlp.Stem(w)
+			index[s] = appendUnique(index[s], gid)
+		}
+	}
+}
+
+func appendUnique(ids []int, id int) []int {
+	for _, x := range ids {
+		if x == id {
+			return ids
+		}
+	}
+	return append(ids, id)
+}
+
+// Synonyms returns the synonyms of word (lowercase), excluding the word
+// itself, or nil when the word is not in the dictionary. Lookup is
+// stem-normalized, so "suspensions" finds the "suspension" group.
+func Synonyms(word string) []string {
+	stem := nlp.Stem(word)
+	gids := index[stem]
+	if len(gids) == 0 {
+		return nil
+	}
+	seen := map[string]bool{word: true, stem: true}
+	var out []string
+	for _, gid := range gids {
+		for _, w := range groups[gid] {
+			if !seen[w] && nlp.Stem(w) != stem {
+				seen[w] = true
+				out = append(out, w)
+			}
+		}
+	}
+	return out
+}
+
+// ShareGroup reports whether two words belong to a common synonym group.
+func ShareGroup(a, b string) bool {
+	sa, sb := nlp.Stem(a), nlp.Stem(b)
+	if sa == sb {
+		return true
+	}
+	ga, gb := index[sa], index[sb]
+	for _, x := range ga {
+		for _, y := range gb {
+			if x == y {
+				return true
+			}
+		}
+	}
+	return false
+}

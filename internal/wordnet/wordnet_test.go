@@ -1,0 +1,116 @@
+package wordnet
+
+import (
+	"testing"
+)
+
+func TestSynonymsBasic(t *testing.T) {
+	syns := Synonyms("ban")
+	found := false
+	for _, s := range syns {
+		if s == "suspension" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("Synonyms(ban) = %v, want to contain suspension", syns)
+	}
+}
+
+func TestSynonymsStemNormalized(t *testing.T) {
+	a := Synonyms("suspension")
+	b := Synonyms("suspensions")
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("empty synonyms: %v %v", a, b)
+	}
+	if len(a) != len(b) {
+		t.Errorf("inflection changed synonym set: %v vs %v", a, b)
+	}
+}
+
+func TestSynonymsExcludesSelf(t *testing.T) {
+	for _, s := range Synonyms("count") {
+		if s == "count" {
+			t.Error("Synonyms returned the word itself")
+		}
+	}
+}
+
+func TestSynonymsUnknown(t *testing.T) {
+	if got := Synonyms("zzzxqwert"); got != nil {
+		t.Errorf("unknown word returned %v", got)
+	}
+}
+
+func TestShareGroup(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want bool
+	}{
+		{"ban", "suspension", true},
+		{"bans", "suspensions", true},
+		{"average", "mean", true},
+		{"lifetime", "indef", true},
+		{"ban", "average", false},
+		{"gambling", "betting", true},
+		{"count", "count", true},
+	}
+	for _, c := range cases {
+		if got := ShareGroup(c.a, c.b); got != c.want {
+			t.Errorf("ShareGroup(%q,%q) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestDecomposeIdentifier(t *testing.T) {
+	cases := map[string][]string{
+		"nflsuspensions": {"nfl", "suspensions"},
+		"player_name":    {"player", "name"},
+		"TeamName":       {"team", "name"},
+		"donationAmount": {"donation", "amount"},
+		"avg_salary_usd": {"avg", "salary", "usd"},
+		"Games":          {"games"},
+		"votecount":      {"vote", "count"},
+		"HTTPServer":     {"http", "server"},
+		"salary2016":     {"salary", "2016"},
+	}
+	for in, want := range cases {
+		got := DecomposeIdentifier(in)
+		if len(got) != len(want) {
+			t.Errorf("DecomposeIdentifier(%q) = %v, want %v", in, got, want)
+			continue
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("DecomposeIdentifier(%q)[%d] = %q, want %q", in, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDecomposeLosesNoLetters(t *testing.T) {
+	inputs := []string{"nflsuspensions", "zzqxunknownword", "abcdefgh", "recipientname"}
+	for _, in := range inputs {
+		parts := DecomposeIdentifier(in)
+		joined := ""
+		for _, p := range parts {
+			joined += p
+		}
+		if joined != in {
+			t.Errorf("DecomposeIdentifier(%q) lost characters: %v", in, parts)
+		}
+	}
+}
+
+func TestIsDictionaryWord(t *testing.T) {
+	for _, w := range []string{"suspension", "suspensions", "nfl", "salary", "count"} {
+		if !IsDictionaryWord(w) {
+			t.Errorf("IsDictionaryWord(%q) = false", w)
+		}
+	}
+	for _, w := range []string{"zzqx", "x", ""} {
+		if IsDictionaryWord(w) {
+			t.Errorf("IsDictionaryWord(%q) = true", w)
+		}
+	}
+}
