@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet fmt bench bench-smoke ci
+
+all: build test
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# fmt fails when any file is not gofmt-clean (CI gate); run `gofmt -w .` to fix.
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "gofmt needed:"; echo "$$out"; exit 1; fi
+
+# bench runs the full benchmark suite (Tables 3-6, Figures 8-13).
+bench:
+	$(GO) test -run='^$$' -bench=. -benchmem ./...
+
+# bench-smoke compiles and executes every benchmark exactly once so the
+# Table 5/6 regeneration paths cannot silently rot; used by CI.
+bench-smoke:
+	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+
+ci: fmt vet build race bench-smoke

@@ -1,0 +1,3 @@
+module aggchecker
+
+go 1.24

@@ -49,6 +49,9 @@ type Config struct {
 	Context   keywords.ContextConfig
 	Model     model.Config
 	Mode      EvalMode
+	// Workers bounds the engine-side worker pool that executes the merged
+	// cube passes of each document-level batch; ≤ 0 uses GOMAXPROCS.
+	Workers int
 }
 
 // DefaultConfig is the paper's main configuration.
@@ -144,13 +147,17 @@ func (c *Checker) evaluator() (model.Evaluator, *sqlexec.Engine) {
 	switch c.Config.Mode {
 	case EvalNaive:
 		e := sqlexec.NewEngine(c.DB)
-		return &evaluate.NaiveEvaluator{Engine: e}, e
+		return &evaluate.NaiveEvaluator{Engine: e, Workers: c.Config.Workers}, e
 	case EvalMerged:
 		e := sqlexec.NewEngine(c.DB)
 		e.SetCaching(false)
-		return evaluate.NewCubeEvaluator(e), e
+		ev := evaluate.NewCubeEvaluator(e)
+		ev.Workers = c.Config.Workers
+		return ev, e
 	default:
-		return evaluate.NewCubeEvaluator(c.Engine), c.Engine
+		ev := evaluate.NewCubeEvaluator(c.Engine)
+		ev.Workers = c.Config.Workers
+		return ev, c.Engine
 	}
 }
 

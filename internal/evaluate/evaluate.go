@@ -7,14 +7,17 @@
 //   - CubeEvaluator over an engine with caching enabled additionally reuses
 //     cube results across claims and EM iterations (result caching).
 //
-// All evaluators satisfy the model.Evaluator interface structurally and are
-// safe for concurrent use.
+// Planning and execution live in sqlexec (Engine.EvaluateBatch): the
+// evaluators here add policy — the document-wide literal pool that keeps
+// cube signatures stable — and satisfy the model.Evaluator interface
+// structurally so no import cycle arises. All evaluators are safe for
+// concurrent use.
 package evaluate
 
 import (
 	"math"
+	"runtime"
 	"sort"
-	"strings"
 	"sync"
 
 	"aggchecker/internal/sqlexec"
@@ -23,30 +26,65 @@ import (
 // NaiveEvaluator evaluates each query independently (Table 6 row "Naive").
 type NaiveEvaluator struct {
 	Engine *sqlexec.Engine
+	// Workers bounds the scan worker pool per batch; ≤ 0 uses GOMAXPROCS.
+	// The naive baseline gets the same parallelism as the merged
+	// strategies so Table 6 compares evaluation strategy, not scheduling.
+	Workers int
 }
 
-// EvaluateBatch evaluates the queries with one scan each.
+// EvaluateBatch evaluates the queries with one scan each, fanned out over a
+// bounded worker pool.
 func (n *NaiveEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
 	out := make([]float64, len(queries))
-	for i, q := range queries {
-		v, err := n.Engine.Evaluate(q)
+	workers := n.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(queries) {
+		workers = len(queries)
+	}
+	eval := func(i int) {
+		v, err := n.Engine.Evaluate(queries[i])
 		if err != nil {
 			v = math.NaN()
 		}
 		out[i] = v
 	}
+	if workers <= 1 {
+		for i := range queries {
+			eval(i)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	ch := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				eval(i)
+			}
+		}()
+	}
+	for i := range queries {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
 	return out
 }
 
-// CubeEvaluator merges batches of candidate queries into cube passes. A
-// batch is grouped by join scope and predicate column set; groups whose
-// column set is contained in another group's are answered from the larger
-// cube. Literal sets per column are document-wide (SetPool) so cube
-// signatures stay stable across claims, which is what makes the engine's
-// result cache effective (§6.3); literals seen in batches are accumulated
-// as a fallback when no pool is provided.
+// CubeEvaluator merges batches of candidate queries into cube passes via
+// the engine's batch planner. Literal sets per column are document-wide
+// (SetPool) so cube signatures stay stable across claims, which is what
+// makes the engine's result cache effective (§6.3); literals seen in
+// batches are accumulated as a fallback when no pool is provided.
 type CubeEvaluator struct {
 	Engine *sqlexec.Engine
+	// Workers bounds the engine-side worker pool per batch; ≤ 0 uses
+	// GOMAXPROCS.
+	Workers int
 
 	mu   sync.Mutex
 	pool map[string]map[string]bool // ColumnRef.String() -> literal set
@@ -71,210 +109,44 @@ func (c *CubeEvaluator) SetPool(pool map[string][]string) {
 	}
 }
 
-// poolLiterals merges the pool with the batch's literals for a column and
-// returns them sorted (deterministic cube signatures).
-func (c *CubeEvaluator) poolLiterals(col string, batch map[string]bool) []string {
+// snapshotPool folds the batch's literals into the accumulated pool and
+// returns a sorted snapshot for the planner, restricted to the predicate
+// columns the batch actually touches (the only pool entries the planner
+// reads).
+func (c *CubeEvaluator) snapshotPool(queries []sqlexec.Query) map[string][]string {
 	c.mu.Lock()
-	set := c.pool[col]
-	if set == nil {
-		set = make(map[string]bool)
-		c.pool[col] = set
+	defer c.mu.Unlock()
+	cols := make(map[string]bool)
+	for _, q := range queries {
+		for _, p := range q.Preds {
+			col := p.Col.String()
+			cols[col] = true
+			set := c.pool[col]
+			if set == nil {
+				set = make(map[string]bool)
+				c.pool[col] = set
+			}
+			set[p.Value] = true
+		}
 	}
-	for l := range batch {
-		set[l] = true
+	out := make(map[string][]string, len(cols))
+	for col := range cols {
+		set := c.pool[col]
+		lits := make([]string, 0, len(set))
+		for l := range set {
+			lits = append(lits, l)
+		}
+		sort.Strings(lits)
+		out[col] = lits
 	}
-	out := make([]string, 0, len(set))
-	for l := range set {
-		out = append(out, l)
-	}
-	c.mu.Unlock()
-	sort.Strings(out)
 	return out
 }
 
 // EvaluateBatch merges the batch into as few cube passes as the engine
 // cache allows and answers every query.
 func (c *CubeEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
-	out := make([]float64, len(queries))
-	defaultTable := c.Engine.DefaultTable()
-
-	// Group queries by (join scope, predicate column set).
-	type groupKey struct {
-		tables string
-		cols   string
-	}
-	type group struct {
-		sig      string
-		tables   []string
-		colRefs  []sqlexec.ColumnRef
-		colSet   map[string]bool
-		queries  []int // indexes into the batch
-		literals map[string]map[string]bool
-	}
-	groups := make(map[groupKey]*group)
-	for i, q := range queries {
-		tables := q.Tables(defaultTable)
-		var colKeys []string
-		colSet := make(map[string]bool, len(q.Preds))
-		var colRefs []sqlexec.ColumnRef
-		for _, p := range q.Preds {
-			k := p.Col.String()
-			if !colSet[k] {
-				colSet[k] = true
-				colKeys = append(colKeys, k)
-				colRefs = append(colRefs, p.Col)
-			}
-		}
-		sort.Strings(colKeys)
-		key := groupKey{tables: strings.Join(sortedCopy(tables), ","), cols: strings.Join(colKeys, "|")}
-		g, ok := groups[key]
-		if !ok {
-			g = &group{
-				sig:      key.tables + "#" + key.cols,
-				tables:   tables,
-				colRefs:  colRefs,
-				colSet:   colSet,
-				literals: make(map[string]map[string]bool),
-			}
-			groups[key] = g
-		}
-		g.queries = append(g.queries, i)
-		for _, p := range q.Preds {
-			k := p.Col.String()
-			if g.literals[k] == nil {
-				g.literals[k] = make(map[string]bool)
-			}
-			g.literals[k][p.Value] = true
-		}
-	}
-
-	// Merge groups into maximal column sets (within the cube dimension
-	// limit): a group whose columns are a subset of another group's columns
-	// with the same join scope is answered from the latter's cube.
-	glist := make([]*group, 0, len(groups))
-	for _, g := range groups {
-		glist = append(glist, g)
-	}
-	sort.Slice(glist, func(a, b int) bool {
-		if len(glist[a].colSet) != len(glist[b].colSet) {
-			return len(glist[a].colSet) > len(glist[b].colSet)
-		}
-		return glist[a].sig < glist[b].sig
+	return c.Engine.EvaluateBatch(queries, sqlexec.BatchOptions{
+		Pool:    c.snapshotPool(queries),
+		Workers: c.Workers,
 	})
-	var hosts []*group
-	assign := make(map[*group]*group)
-	for _, g := range glist {
-		var host *group
-		for _, h := range hosts {
-			if sameTables(g.tables, h.tables) && subset(g.colSet, h.colSet) {
-				host = h
-				break
-			}
-		}
-		if host == nil {
-			hosts = append(hosts, g)
-			host = g
-		}
-		assign[g] = host
-	}
-	// Fold literals and queries into hosts.
-	hostQueries := make(map[*group][]int)
-	for _, g := range glist {
-		h := assign[g]
-		hostQueries[h] = append(hostQueries[h], g.queries...)
-		for col, lits := range g.literals {
-			if h.literals[col] == nil {
-				h.literals[col] = make(map[string]bool)
-			}
-			for l := range lits {
-				h.literals[col][l] = true
-			}
-		}
-		// Host must know every predicate column of its members.
-		for _, ref := range g.colRefs {
-			if !h.colSet[ref.String()] {
-				h.colSet[ref.String()] = true
-				h.colRefs = append(h.colRefs, ref)
-			}
-		}
-	}
-
-	caching := c.Engine.CachingEnabled()
-	for _, h := range hosts {
-		qidx := hostQueries[h]
-		// Cost model (§6.1): a cube pass costs a scan with 2^dims
-		// accumulator updates per row. Without a cache to amortize it, a
-		// host holding only a couple of queries is cheaper to answer with
-		// direct scans; with caching on, the cube is an investment reused
-		// by later claims and EM iterations.
-		if !caching && len(qidx) <= 2 {
-			for _, i := range qidx {
-				v, err := c.Engine.Evaluate(queries[i])
-				if err != nil {
-					v = math.NaN()
-				}
-				out[i] = v
-			}
-			continue
-		}
-		dims := make([]sqlexec.DimSpec, 0, len(h.colRefs))
-		refs := append([]sqlexec.ColumnRef(nil), h.colRefs...)
-		sort.Slice(refs, func(a, b int) bool { return refs[a].String() < refs[b].String() })
-		for _, ref := range refs {
-			dims = append(dims, sqlexec.DimSpec{
-				Col:      ref,
-				Literals: c.poolLiterals(ref.String(), h.literals[ref.String()]),
-			})
-		}
-		var reqs []sqlexec.AggRequest
-		for _, i := range qidx {
-			reqs = append(reqs, sqlexec.AggRequest{Fn: queries[i].Agg, Col: queries[i].AggCol})
-		}
-		cube, err := c.Engine.CubeFor(h.tables, dims, reqs)
-		if err != nil {
-			// Fall back to direct evaluation for this group.
-			for _, i := range qidx {
-				v, err2 := c.Engine.Evaluate(queries[i])
-				if err2 != nil {
-					v = math.NaN()
-				}
-				out[i] = v
-			}
-			continue
-		}
-		for _, i := range qidx {
-			v, ok := cube.Value(queries[i])
-			if !ok {
-				var err2 error
-				v, err2 = c.Engine.Evaluate(queries[i])
-				if err2 != nil {
-					v = math.NaN()
-				}
-			} else {
-				c.Engine.Stats.CubeAnswers.Add(1)
-			}
-			out[i] = v
-		}
-	}
-	return out
-}
-
-func sortedCopy(ss []string) []string {
-	out := make([]string, len(ss))
-	copy(out, ss)
-	sort.Strings(out)
-	return out
-}
-
-func subset(a, b map[string]bool) bool {
-	for k := range a {
-		if !b[k] {
-			return false
-		}
-	}
-	return true
-}
-
-func sameTables(a, b []string) bool {
-	return strings.Join(sortedCopy(a), ",") == strings.Join(sortedCopy(b), ",")
 }

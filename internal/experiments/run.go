@@ -38,6 +38,10 @@ type AccuracyResult struct {
 	EvaluatedQueries int
 	// RowsScanned totals the engine's scan volume across cases.
 	RowsScanned int64
+	// Stats sums every engine counter (sqlexec.Stats.Snapshot keys: cube
+	// passes, cache hits/misses, singleflight dedups, lock waits, ...)
+	// across cases; Table 6 regeneration reads the execution profile here.
+	Stats map[string]int64
 }
 
 // TopK returns the percentage of claims whose ground-truth query ranked in
@@ -73,6 +77,7 @@ func RunAutomated(cases []*corpus.TestCase, cfg core.Config) *AccuracyResult {
 		queryTime time.Duration
 		evaluated int
 		rows      int64
+		stats     map[string]int64
 	}
 	results := make([]caseResult, len(cases))
 	var wg sync.WaitGroup
@@ -90,6 +95,7 @@ func RunAutomated(cases []*corpus.TestCase, cfg core.Config) *AccuracyResult {
 				queryTime: report.QueryTime,
 				evaluated: report.Result.EvaluatedQueries,
 				rows:      report.Stats["rows_scanned"],
+				stats:     report.Stats,
 			}
 			for ci, claimRes := range report.Claims() {
 				truth := tc.Truth[ci]
@@ -112,13 +118,16 @@ func RunAutomated(cases []*corpus.TestCase, cfg core.Config) *AccuracyResult {
 	}
 	wg.Wait()
 
-	agg := &AccuracyResult{}
+	agg := &AccuracyResult{Stats: make(map[string]int64)}
 	for _, cr := range results {
 		agg.Outcomes = append(agg.Outcomes, cr.outcomes...)
 		agg.TotalTime += cr.totalTime
 		agg.QueryTime += cr.queryTime
 		agg.EvaluatedQueries += cr.evaluated
 		agg.RowsScanned += cr.rows
+		for k, v := range cr.stats {
+			agg.Stats[k] += v
+		}
 	}
 	for _, o := range agg.Outcomes {
 		agg.Confusion.Add(o.Flagged, !o.Truth.Correct)

@@ -46,7 +46,8 @@ type Result struct {
 	Claims     []ClaimResult
 	Priors     *Priors
 	Iterations int
-	// EvaluatedQueries counts distinct queries sent to the evaluator.
+	// EvaluatedQueries counts distinct queries sent to the evaluator
+	// (deduplicated across the claims of the document).
 	EvaluatedQueries int
 }
 
@@ -116,63 +117,100 @@ func Run(cat *fragments.Catalog, doc *document.Document, scores []keywords.Score
 }
 
 // eStep rebuilds spaces under the current priors, evaluates the top
-// candidates of every claim, and recomputes match bookkeeping. Claims are
-// processed by a bounded worker pool; all accumulation is per-claim, so the
+// candidates of every claim, and recomputes match bookkeeping. It runs in
+// three phases: claim workers build candidate spaces and collect the
+// queries still unevaluated; the union of those needs — deduplicated
+// across claims — goes to the evaluator as one document-level batch (§6.3:
+// merged cube passes span the claims of a document); and claim workers
+// redo the match bookkeeping. All accumulation is per-claim, so the
 // outcome is deterministic.
 func eStep(cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config, pool *LiteralPool, priors *Priors, states []*claimState, res *Result) {
 	workers := runtime.GOMAXPROCS(0)
-	if workers > len(states) {
-		workers = len(states)
+
+	// Phase 1: candidate construction and per-claim evaluation needs.
+	needQ := make([][]sqlexec.Query, len(states))
+	needKeys := make([][]string, len(states))
+	runParallel(workers, len(states), func(i int) {
+		st := states[i]
+		st.space = BuildSpace(cat, doc.Claims[i], scores[i], priors, pool, cfg)
+		st.top = st.space.TopCandidates(cfg.EvalBudget, cfg.MaxPreds)
+		st.queries = make([]sqlexec.Query, len(st.top))
+		for j, c := range st.top {
+			q := st.space.Query(c)
+			st.queries[j] = q
+			key := q.Key()
+			if _, ok := st.results[key]; !ok {
+				needQ[i] = append(needQ[i], q)
+				needKeys[i] = append(needKeys[i], key)
+				st.results[key] = math.NaN() // reserve to dedupe within the claim
+			}
+		}
+	})
+
+	// Phase 2: one cross-claim batch. Claims frequently share candidates
+	// (same table, same salient literals), so the union is deduplicated by
+	// query key before evaluation and results are distributed back to every
+	// claim that asked.
+	var batch []sqlexec.Query
+	batchIdx := make(map[string]int)
+	for i := range states {
+		for k, key := range needKeys[i] {
+			if _, ok := batchIdx[key]; !ok {
+				batchIdx[key] = len(batch)
+				batch = append(batch, needQ[i][k])
+			}
+		}
 	}
-	if workers < 1 {
-		workers = 1
+	if len(batch) > 0 {
+		vals := ev.EvaluateBatch(batch)
+		res.EvaluatedQueries += len(batch)
+		for i := range states {
+			st := states[i]
+			for _, key := range needKeys[i] {
+				st.results[key] = vals[batchIdx[key]]
+			}
+		}
+	}
+
+	// Phase 3: match bookkeeping under the fresh results.
+	runParallel(workers, len(states), func(i int) {
+		st := states[i]
+		st.matched = st.matched[:0]
+		st.probMatched = 0
+		for j, c := range st.top {
+			r := st.results[st.queries[j].Key()]
+			if Matches(r, doc.Claims[i].Claimed.Value) {
+				st.matched = append(st.matched, j)
+				st.probMatched += c.Prob
+			}
+		}
+	})
+}
+
+// runParallel executes fn(0..n-1) on a bounded worker pool. Each index is
+// processed exactly once; fn must only touch per-index state.
+func runParallel(workers, n int, fn func(int)) {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
 	}
 	var wg sync.WaitGroup
-	var mu sync.Mutex // guards res.EvaluatedQueries
 	ch := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range ch {
-				st := states[i]
-				st.space = BuildSpace(cat, doc.Claims[i], scores[i], priors, pool, cfg)
-				st.top = st.space.TopCandidates(cfg.EvalBudget, cfg.MaxPreds)
-				st.queries = make([]sqlexec.Query, len(st.top))
-				var need []sqlexec.Query
-				var needKeys []string
-				for j, c := range st.top {
-					q := st.space.Query(c)
-					st.queries[j] = q
-					key := q.Key()
-					if _, ok := st.results[key]; !ok {
-						need = append(need, q)
-						needKeys = append(needKeys, key)
-						st.results[key] = math.NaN() // reserve to dedupe within batch
-					}
-				}
-				if len(need) > 0 {
-					vals := ev.EvaluateBatch(need)
-					for k, v := range vals {
-						st.results[needKeys[k]] = v
-					}
-					mu.Lock()
-					res.EvaluatedQueries += len(need)
-					mu.Unlock()
-				}
-				st.matched = st.matched[:0]
-				st.probMatched = 0
-				for j, c := range st.top {
-					r := st.results[st.queries[j].Key()]
-					if Matches(r, doc.Claims[i].Claimed.Value) {
-						st.matched = append(st.matched, j)
-						st.probMatched += c.Prob
-					}
-				}
+				fn(i)
 			}
 		}()
 	}
-	for i := range states {
+	for i := 0; i < n; i++ {
 		ch <- i
 	}
 	close(ch)

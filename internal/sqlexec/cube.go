@@ -317,44 +317,55 @@ func computeCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trac
 	return r, nil
 }
 
-// merge folds the tracked columns of other (computed over identical scope
-// and dims) into r, used when the cache holds a cube lacking some columns.
-func (r *CubeResult) merge(other *CubeResult) {
-	offset := len(r.cols)
-	newCols := 0
-	colMap := make([]int, len(other.cols)) // other col idx -> r col idx (-1 skip)
+// merged returns a new CubeResult combining r with the tracked columns of
+// other (computed over identical scope and dims), used when the cache holds
+// a cube lacking some columns. r itself is never modified: published cube
+// results are immutable, so goroutines answering queries from an earlier
+// snapshot never race with cache extension (copy-on-write).
+func (r *CubeResult) merged(other *CubeResult) *CubeResult {
+	out := &CubeResult{
+		Tables:   r.Tables,
+		Dims:     r.Dims,
+		dimIndex: r.dimIndex, // immutable after construction, safe to share
+		litIndex: r.litIndex,
+		cols:     append([]trackedCol(nil), r.cols...),
+		colIndex: make(map[string]int, len(r.colIndex)),
+		cells:    make(map[cellKey][]*accumulator, len(r.cells)),
+	}
+	for k, v := range r.colIndex {
+		out.colIndex[k] = v
+	}
+	colMap := make([]int, len(other.cols)) // other col idx -> out col idx (-1 skip)
 	for i, tc := range other.cols {
 		if i == 0 {
 			colMap[i] = -1 // star already tracked
 			continue
 		}
-		if j, ok := r.colIndex[tc.ref.String()]; ok {
-			if tc.needDistinct && !r.cols[j].needDistinct {
+		if j, ok := out.colIndex[tc.ref.String()]; ok {
+			if tc.needDistinct && !out.cols[j].needDistinct {
 				// Replace stats for this column with the distinct-capable ones.
-				r.cols[j].needDistinct = true
+				out.cols[j].needDistinct = true
 				colMap[i] = j
 				continue
 			}
 			colMap[i] = -1
 			continue
 		}
-		colMap[i] = offset + newCols
-		r.colIndex[tc.ref.String()] = offset + newCols
-		r.cols = append(r.cols, tc)
-		newCols++
+		colMap[i] = len(out.cols)
+		out.colIndex[tc.ref.String()] = len(out.cols)
+		out.cols = append(out.cols, tc)
+	}
+	width := len(out.cols)
+	for key, cell := range r.cells {
+		nc := make([]*accumulator, width)
+		copy(nc, cell)
+		out.cells[key] = nc
 	}
 	for key, otherCell := range other.cells {
-		cell, ok := r.cells[key]
+		cell, ok := out.cells[key]
 		if !ok {
-			cell = make([]*accumulator, offset)
-			for i := 0; i < offset; i++ {
-				cell[i] = newAccumulator(r.cols[i].needDistinct)
-			}
-			r.cells[key] = cell
-		}
-		// Grow to the new width.
-		for len(cell) < len(r.cols) {
-			cell = append(cell, nil)
+			cell = make([]*accumulator, width)
+			out.cells[key] = cell
 		}
 		for i, target := range colMap {
 			if target < 0 {
@@ -362,16 +373,15 @@ func (r *CubeResult) merge(other *CubeResult) {
 			}
 			cell[target] = otherCell[i]
 		}
-		r.cells[key] = cell
 	}
-	// Fill holes for cells other didn't touch (only possible when other was
-	// computed over the same data, so cells must coincide; defensive).
-	for key, cell := range r.cells {
+	// Fill holes for cells only one side touched (only possible when the
+	// cubes scanned different data; defensive, they share one view).
+	for _, cell := range out.cells {
 		for i := range cell {
 			if cell[i] == nil {
-				cell[i] = newAccumulator(r.cols[i].needDistinct)
+				cell[i] = newAccumulator(out.cols[i].needDistinct)
 			}
 		}
-		r.cells[key] = cell
 	}
+	return out
 }

@@ -13,7 +13,8 @@ import (
 )
 
 // Stats counts the work performed by an Engine; Table 6 of the paper is
-// regenerated from these counters plus wall-clock time.
+// regenerated from these counters plus wall-clock time. All counters are
+// atomic: many claim workers update them concurrently.
 type Stats struct {
 	RowsScanned   atomic.Int64
 	CubePasses    atomic.Int64
@@ -21,6 +22,21 @@ type Stats struct {
 	CacheMisses   atomic.Int64
 	DirectQueries atomic.Int64
 	CubeAnswers   atomic.Int64
+
+	// BatchQueries counts queries received through EvaluateBatch and
+	// PlannedCubes the merged cube passes the planner produced for them.
+	BatchQueries atomic.Int64
+	PlannedCubes atomic.Int64
+
+	// CubeDedups counts cube requests that arrived while an identical cube
+	// was being computed by another goroutine and were coalesced onto that
+	// computation (singleflight). ViewDedups is the same for join views.
+	CubeDedups atomic.Int64
+	ViewDedups atomic.Int64
+
+	// LockWaits counts lock acquisitions (shard or per-cube) that could not
+	// proceed immediately — a direct measure of cache contention.
+	LockWaits atomic.Int64
 }
 
 // Snapshot returns a plain copy of the counters.
@@ -32,7 +48,59 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"cache_misses":   s.CacheMisses.Load(),
 		"direct_queries": s.DirectQueries.Load(),
 		"cube_answers":   s.CubeAnswers.Load(),
+		"batch_queries":  s.BatchQueries.Load(),
+		"planned_cubes":  s.PlannedCubes.Load(),
+		"cube_dedups":    s.CubeDedups.Load(),
+		"view_dedups":    s.ViewDedups.Load(),
+		"lock_waits":     s.LockWaits.Load(),
 	}
+}
+
+// cacheShards stripes the view and cube caches so concurrent claim workers
+// rarely touch the same lock. Power of two; the shard index is a hash of the
+// cache key.
+const cacheShards = 32
+
+func shardOf(key string) uint32 {
+	// FNV-1a, inlined to avoid the hash.Hash allocation on every lookup.
+	const offset32, prime32 = 2166136261, 16777619
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
+	}
+	return h & (cacheShards - 1)
+}
+
+// viewEntry is a once-initialized join view. The entry is installed in its
+// shard before being built, so concurrent requests for the same view block
+// on the sync.Once instead of building duplicates.
+type viewEntry struct {
+	once  sync.Once
+	ready atomic.Bool
+	view  *db.JoinView
+	err   error
+}
+
+type viewShard struct {
+	mu      sync.Mutex
+	entries map[string]*viewEntry
+}
+
+// cubeEntry serializes computation and extension of one cube signature.
+// result is replaced, never mutated, so snapshots handed to readers stay
+// valid while another goroutine extends the cube (copy-on-write) — and a
+// request covered by the current snapshot is served straight off the
+// atomic load without queuing behind an in-flight extension.
+type cubeEntry struct {
+	mu        sync.Mutex
+	computing atomic.Bool
+	result    atomic.Pointer[CubeResult]
+}
+
+type cubeShard struct {
+	mu      sync.Mutex
+	entries map[string]*cubeEntry
 }
 
 // Engine evaluates Simple Aggregate Queries over a database. It caches join
@@ -40,50 +108,69 @@ func (s *Stats) Snapshot() map[string]int64 {
 // iterations exactly as §6.3 prescribes (results are generated for all
 // literals with non-zero marginal probability for any claim of the
 // document, so the cache key needs no literal set).
+//
+// The engine is concurrency-first: both caches are striped across
+// cacheShards locks, and duplicate concurrent requests for the same cube or
+// view are coalesced onto a single computation (singleflight), so a
+// document's claim workers can hammer one shared engine without serializing
+// behind a global lock.
 type Engine struct {
 	DB    *db.Database
 	Stats Stats
 
-	mu        sync.Mutex
-	views     map[string]*db.JoinView
-	cubeCache map[string]*CubeResult
-	caching   bool
+	caching atomic.Bool
+	views   [cacheShards]viewShard
+	cubes   [cacheShards]cubeShard
+
+	// testHookBeforeCubePass, when non-nil, runs at the start of every cube
+	// pass; tests use it to hold a computation open while concurrent
+	// requests for the same cube pile up.
+	testHookBeforeCubePass func()
 }
 
 // NewEngine creates an engine with cube-result caching enabled.
 func NewEngine(d *db.Database) *Engine {
-	return &Engine{
-		DB:        d,
-		views:     make(map[string]*db.JoinView),
-		cubeCache: make(map[string]*CubeResult),
-		caching:   true,
+	e := &Engine{DB: d}
+	for i := range e.views {
+		e.views[i].entries = make(map[string]*viewEntry)
 	}
+	for i := range e.cubes {
+		e.cubes[i].entries = make(map[string]*cubeEntry)
+	}
+	e.caching.Store(true)
+	return e
 }
 
 // CachingEnabled reports whether cube results are cached.
-func (e *Engine) CachingEnabled() bool {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	return e.caching
-}
+func (e *Engine) CachingEnabled() bool { return e.caching.Load() }
 
 // SetCaching toggles the cube-result cache (Table 6's "+ Caching" row turns
 // this off to isolate the effect of query merging).
 func (e *Engine) SetCaching(on bool) {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.caching = on
+	e.caching.Store(on)
 	if !on {
-		e.cubeCache = make(map[string]*CubeResult)
+		e.ResetCache()
 	}
 }
 
 // ResetCache drops all cached cube results (join views are kept: they are
 // part of the storage layer, not the evaluation strategy).
 func (e *Engine) ResetCache() {
-	e.mu.Lock()
-	defer e.mu.Unlock()
-	e.cubeCache = make(map[string]*CubeResult)
+	for i := range e.cubes {
+		sh := &e.cubes[i]
+		e.lock(&sh.mu)
+		sh.entries = make(map[string]*cubeEntry)
+		sh.mu.Unlock()
+	}
+}
+
+// lock acquires mu, counting acquisitions that had to wait.
+func (e *Engine) lock(mu *sync.Mutex) {
+	if mu.TryLock() {
+		return
+	}
+	e.Stats.LockWaits.Add(1)
+	mu.Lock()
 }
 
 // DefaultTable returns the name of the first table, used to anchor queries
@@ -96,23 +183,26 @@ func (e *Engine) DefaultTable() string {
 	return ts[0].Name
 }
 
-// view returns the (cached) join view over the given tables.
+// view returns the (cached) join view over the given tables. Concurrent
+// requests for the same view share one build.
 func (e *Engine) view(tables []string) (*db.JoinView, error) {
 	key := strings.Join(sortedCopy(tables), ",")
-	e.mu.Lock()
-	v, ok := e.views[key]
-	e.mu.Unlock()
-	if ok {
-		return v, nil
+	sh := &e.views[shardOf(key)]
+	e.lock(&sh.mu)
+	ent, ok := sh.entries[key]
+	if !ok {
+		ent = &viewEntry{}
+		sh.entries[key] = ent
 	}
-	v, err := db.BuildJoinView(e.DB, tables)
-	if err != nil {
-		return nil, err
+	sh.mu.Unlock()
+	if ok && !ent.ready.Load() {
+		e.Stats.ViewDedups.Add(1)
 	}
-	e.mu.Lock()
-	e.views[key] = v
-	e.mu.Unlock()
-	return v, nil
+	ent.once.Do(func() {
+		ent.view, ent.err = db.BuildJoinView(e.DB, tables)
+		ent.ready.Store(true)
+	})
+	return ent.view, ent.err
 }
 
 func sortedCopy(ss []string) []string {
@@ -232,76 +322,114 @@ func parseLiteralFloat(lit string) (float64, error) {
 // requests over the join scope, reusing or extending a cached cube when
 // caching is enabled. The requests are translated into tracked columns
 // (star is always tracked).
+//
+// Concurrent calls with the same signature are coalesced: exactly one
+// goroutine runs the cube pass while the others wait and share the result
+// (recorded in Stats.CubeDedups). Per-signature work is serialized by the
+// cube entry's own lock, so distinct cubes never contend.
 func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
 	cols := trackedColsFor(reqs)
-	sig := cubeSignature(tables, dims)
-
-	e.mu.Lock()
-	cached, ok := e.cubeCache[sig]
-	caching := e.caching
-	e.mu.Unlock()
-
-	if caching && ok {
-		// Check coverage; extend with the missing columns if needed.
-		var missing []trackedCol
-		for _, tc := range cols {
-			if tc.ref.IsStar() {
-				continue
-			}
-			if !cached.hasColumn(tc.ref, tc.needDistinct) {
-				missing = append(missing, tc)
-			}
-		}
-		if len(missing) == 0 {
-			e.Stats.CacheHits.Add(1)
-			return cached, nil
-		}
+	if !e.caching.Load() {
 		view, err := e.view(tables)
 		if err != nil {
 			return nil, err
 		}
-		// Literal sets may differ between the cached cube and the request;
-		// recompute only when the cached dims cannot encode the request.
-		if !sameDims(cached.Dims, dims) {
-			fresh, err := e.runCube(view, tables, dims, cols)
-			if err != nil {
-				return nil, err
-			}
-			e.mu.Lock()
-			e.cubeCache[sig] = fresh
-			e.mu.Unlock()
-			e.Stats.CacheMisses.Add(1)
-			return fresh, nil
-		}
-		extra, err := e.runCube(view, tables, dims, missing)
-		if err != nil {
-			return nil, err
-		}
-		e.mu.Lock()
-		cached.merge(extra)
-		e.mu.Unlock()
+		return e.runCube(view, tables, dims, cols)
+	}
+
+	sig := cubeSignature(tables, dims)
+	sh := &e.cubes[shardOf(sig)]
+	e.lock(&sh.mu)
+	ent, ok := sh.entries[sig]
+	if !ok {
+		ent = &cubeEntry{}
+		ent.computing.Store(true)
+		sh.entries[sig] = ent
+	}
+	sh.mu.Unlock()
+
+	// Fast path: a request fully covered by the published snapshot never
+	// queues, even while another goroutine extends or recomputes the cube.
+	if cached := ent.result.Load(); cached != nil && len(missingCols(cached, cols)) == 0 {
 		e.Stats.CacheHits.Add(1)
 		return cached, nil
 	}
+	if ok && ent.computing.Load() {
+		e.Stats.CubeDedups.Add(1)
+	}
 
+	e.lock(&ent.mu)
+	defer func() {
+		ent.computing.Store(false)
+		ent.mu.Unlock()
+	}()
+
+	cached := ent.result.Load()
+	if cached == nil {
+		view, err := e.view(tables)
+		if err != nil {
+			return nil, err
+		}
+		fresh, err := e.runCube(view, tables, dims, cols)
+		if err != nil {
+			return nil, err
+		}
+		ent.result.Store(fresh)
+		e.Stats.CacheMisses.Add(1)
+		return fresh, nil
+	}
+
+	// Re-check coverage under the lock; extend with the missing columns if
+	// the goroutine ahead of us did not already.
+	missing := missingCols(cached, cols)
+	if len(missing) == 0 {
+		e.Stats.CacheHits.Add(1)
+		return cached, nil
+	}
+	ent.computing.Store(true)
 	view, err := e.view(tables)
 	if err != nil {
 		return nil, err
 	}
-	fresh, err := e.runCube(view, tables, dims, cols)
+	// Literal sets may differ between the cached cube and the request;
+	// recompute only when the cached dims cannot encode the request.
+	if !sameDims(cached.Dims, dims) {
+		fresh, err := e.runCube(view, tables, dims, cols)
+		if err != nil {
+			return nil, err
+		}
+		ent.result.Store(fresh)
+		e.Stats.CacheMisses.Add(1)
+		return fresh, nil
+	}
+	extra, err := e.runCube(view, tables, dims, missing)
 	if err != nil {
 		return nil, err
 	}
-	if caching {
-		e.mu.Lock()
-		e.cubeCache[sig] = fresh
-		e.mu.Unlock()
-		e.Stats.CacheMisses.Add(1)
+	wider := cached.merged(extra)
+	ent.result.Store(wider)
+	e.Stats.CacheHits.Add(1)
+	return wider, nil
+}
+
+// missingCols returns the requested tracked columns the cube does not cover.
+func missingCols(r *CubeResult, cols []trackedCol) []trackedCol {
+	var missing []trackedCol
+	for _, tc := range cols {
+		if tc.ref.IsStar() {
+			continue
+		}
+		if !r.hasColumn(tc.ref, tc.needDistinct) {
+			missing = append(missing, tc)
+		}
 	}
-	return fresh, nil
+	return missing
 }
 
 func (e *Engine) runCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	if e.testHookBeforeCubePass != nil {
+		e.testHookBeforeCubePass()
+	}
 	e.Stats.CubePasses.Add(1)
 	e.Stats.RowsScanned.Add(int64(view.NumRows()))
 	return computeCube(view, tables, dims, cols)

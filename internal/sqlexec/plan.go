@@ -1,0 +1,343 @@
+package sqlexec
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements the batch planning layer of §6.2–6.3: a batch of
+// candidate queries — typically every unevaluated candidate of every claim
+// of a document in one EM iteration — is merged into as few cube passes as
+// the m ≤ maxCubeDims limit allows, and the passes are executed by a
+// bounded worker pool over the shared engine. Cross-claim deduplication
+// happens twice: identical queries collapse before planning, and identical
+// concurrent cube requests coalesce inside the engine (singleflight).
+
+// CubePlan is one merged cube pass covering a set of batch queries.
+type CubePlan struct {
+	Tables []string
+	Dims   []DimSpec
+	Reqs   []AggRequest
+	// QueryIdx indexes the batch queries answered by this cube.
+	QueryIdx []int
+}
+
+// BatchPlan is the outcome of planning a query batch: merged cube passes
+// plus the queries that are cheaper (or only possible) to answer with
+// dedicated scans.
+type BatchPlan struct {
+	Cubes []*CubePlan
+	// Direct lists batch indexes answered by per-query scans: queries with
+	// more predicate columns than a cube supports, and — when merging is not
+	// amortized by a cache — groups too small to pay for a cube pass.
+	Direct []int
+}
+
+// BatchOptions tunes EvaluateBatch.
+type BatchOptions struct {
+	// Pool is the document-wide literal pool (ColumnRef.String() → literals
+	// of non-zero marginal probability, §6.3). Pooled literals keep cube
+	// signatures stable across claims and EM iterations; batch literals are
+	// always included as well.
+	Pool map[string][]string
+	// Workers bounds the worker pool executing cube passes and direct
+	// scans; ≤ 0 uses GOMAXPROCS.
+	Workers int
+}
+
+// PlanCubes merges a query batch into cube passes. Queries are grouped by
+// (join scope, predicate column set); a group whose column set is a subset
+// of another group's is answered from the larger cube, and remaining groups
+// over the same scope are greedily unioned into wider cubes while the
+// combined dimension count stays within maxCubeDims (the paper's m ≤ 3
+// merging, applied across claims). When mergeSmall is false (no result
+// cache to amortize a pass), groups holding ≤ 2 queries are answered with
+// direct scans instead — the cost model of §6.1.
+func PlanCubes(queries []Query, defaultTable string, pool map[string][]string, mergeSmall bool) *BatchPlan {
+	plan := &BatchPlan{}
+	if len(queries) == 0 {
+		return plan
+	}
+
+	type groupKey struct {
+		tables string
+		cols   string
+	}
+	type group struct {
+		sig      string
+		tables   []string
+		colRefs  []ColumnRef
+		colSet   map[string]bool
+		queries  []int
+		literals map[string]map[string]bool
+	}
+	groups := make(map[groupKey]*group)
+	for i, q := range queries {
+		tables := q.Tables(defaultTable)
+		var colKeys []string
+		colSet := make(map[string]bool, len(q.Preds))
+		var colRefs []ColumnRef
+		for _, p := range q.Preds {
+			k := p.Col.String()
+			if !colSet[k] {
+				colSet[k] = true
+				colKeys = append(colKeys, k)
+				colRefs = append(colRefs, p.Col)
+			}
+		}
+		if len(colSet) > maxCubeDims {
+			plan.Direct = append(plan.Direct, i)
+			continue
+		}
+		sort.Strings(colKeys)
+		key := groupKey{tables: strings.Join(sortedCopy(tables), ","), cols: strings.Join(colKeys, "|")}
+		g, ok := groups[key]
+		if !ok {
+			g = &group{
+				sig:      key.tables + "#" + key.cols,
+				tables:   tables,
+				colRefs:  colRefs,
+				colSet:   colSet,
+				literals: make(map[string]map[string]bool),
+			}
+			groups[key] = g
+		}
+		g.queries = append(g.queries, i)
+		for _, p := range q.Preds {
+			k := p.Col.String()
+			if g.literals[k] == nil {
+				g.literals[k] = make(map[string]bool)
+			}
+			g.literals[k][p.Value] = true
+		}
+	}
+
+	// Deterministic group order: widest column sets first, ties by signature.
+	glist := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		glist = append(glist, g)
+	}
+	sort.Slice(glist, func(a, b int) bool {
+		if len(glist[a].colSet) != len(glist[b].colSet) {
+			return len(glist[a].colSet) > len(glist[b].colSet)
+		}
+		return glist[a].sig < glist[b].sig
+	})
+
+	// Fold each group into the first host it fits: same join scope and a
+	// column-set union still within the cube dimension limit. Because wide
+	// groups come first, subset groups land in their superset's cube and
+	// narrow disjoint groups pack into shared wider cubes.
+	var hosts []*group
+	for _, g := range glist {
+		var host *group
+		for _, h := range hosts {
+			if !sameTables(g.tables, h.tables) {
+				continue
+			}
+			if unionSize(g.colSet, h.colSet) <= maxCubeDims {
+				host = h
+				break
+			}
+		}
+		if host == nil {
+			hosts = append(hosts, g)
+			continue
+		}
+		host.queries = append(host.queries, g.queries...)
+		for col, lits := range g.literals {
+			if host.literals[col] == nil {
+				host.literals[col] = make(map[string]bool)
+			}
+			for l := range lits {
+				host.literals[col][l] = true
+			}
+		}
+		for _, ref := range g.colRefs {
+			if !host.colSet[ref.String()] {
+				host.colSet[ref.String()] = true
+				host.colRefs = append(host.colRefs, ref)
+			}
+		}
+	}
+
+	for _, h := range hosts {
+		// Cost model (§6.1): a cube pass costs a scan with 2^dims
+		// accumulator updates per row. Without a cache to amortize it, a
+		// host holding only a couple of queries is cheaper to answer with
+		// direct scans; with caching on, the cube is an investment reused
+		// by later claims and EM iterations.
+		if !mergeSmall && len(h.queries) <= 2 {
+			plan.Direct = append(plan.Direct, h.queries...)
+			continue
+		}
+		refs := append([]ColumnRef(nil), h.colRefs...)
+		sort.Slice(refs, func(a, b int) bool { return refs[a].String() < refs[b].String() })
+		dims := make([]DimSpec, 0, len(refs))
+		for _, ref := range refs {
+			dims = append(dims, DimSpec{
+				Col:      ref,
+				Literals: mergedLiterals(pool[ref.String()], h.literals[ref.String()]),
+			})
+		}
+		sort.Ints(h.queries)
+		reqs := make([]AggRequest, 0, len(h.queries))
+		for _, i := range h.queries {
+			reqs = append(reqs, AggRequest{Fn: queries[i].Agg, Col: queries[i].AggCol})
+		}
+		plan.Cubes = append(plan.Cubes, &CubePlan{
+			Tables:   h.tables,
+			Dims:     dims,
+			Reqs:     reqs,
+			QueryIdx: h.queries,
+		})
+	}
+	sort.Ints(plan.Direct)
+	return plan
+}
+
+// mergedLiterals unions pooled and batch literals, sorted so cube
+// signatures and literal indexes are deterministic.
+func mergedLiterals(pool []string, batch map[string]bool) []string {
+	set := make(map[string]bool, len(pool)+len(batch))
+	for _, l := range pool {
+		set[l] = true
+	}
+	for l := range batch {
+		set[l] = true
+	}
+	out := make([]string, 0, len(set))
+	for l := range set {
+		out = append(out, l)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func unionSize(a, b map[string]bool) int {
+	n := len(b)
+	for k := range a {
+		if !b[k] {
+			n++
+		}
+	}
+	return n
+}
+
+func sameTables(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	return strings.Join(sortedCopy(a), ",") == strings.Join(sortedCopy(b), ",")
+}
+
+// EvaluateBatch answers every query of the batch, positionally. Duplicate
+// queries (by canonical key) are evaluated once; the remainder is planned
+// into merged cube passes executed concurrently by a bounded worker pool.
+// Queries a cube pass cannot answer (planner fallback, cube errors) are
+// evaluated with direct scans. NaN marks undefined results.
+func (e *Engine) EvaluateBatch(queries []Query, opts BatchOptions) []float64 {
+	out := make([]float64, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	e.Stats.BatchQueries.Add(int64(len(queries)))
+
+	// Cross-claim deduplication by canonical query key.
+	uniq := make([]Query, 0, len(queries))
+	uniqIdx := make(map[string]int, len(queries))
+	slot := make([]int, len(queries))
+	for i, q := range queries {
+		k := q.Key()
+		j, ok := uniqIdx[k]
+		if !ok {
+			j = len(uniq)
+			uniqIdx[k] = j
+			uniq = append(uniq, q)
+		}
+		slot[i] = j
+	}
+
+	plan := PlanCubes(uniq, e.DefaultTable(), opts.Pool, e.CachingEnabled())
+	e.Stats.PlannedCubes.Add(int64(len(plan.Cubes)))
+	res := make([]float64, len(uniq))
+
+	direct := func(i int) {
+		v, err := e.Evaluate(uniq[i])
+		if err != nil {
+			v = math.NaN()
+		}
+		res[i] = v
+	}
+	runCubePlan := func(p *CubePlan) {
+		cube, err := e.CubeFor(p.Tables, p.Dims, p.Reqs)
+		if err != nil {
+			for _, i := range p.QueryIdx {
+				direct(i)
+			}
+			return
+		}
+		for _, i := range p.QueryIdx {
+			if v, ok := cube.Value(uniq[i]); ok {
+				e.Stats.CubeAnswers.Add(1)
+				res[i] = v
+			} else {
+				direct(i)
+			}
+		}
+	}
+
+	workers := opts.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := len(plan.Cubes) + len(plan.Direct)
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for _, p := range plan.Cubes {
+			runCubePlan(p)
+		}
+		for _, i := range plan.Direct {
+			direct(i)
+		}
+	} else {
+		// Each task writes disjoint slots of res, so no lock is needed.
+		type task struct {
+			cube   *CubePlan
+			direct int
+		}
+		ch := make(chan task)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					if t.cube != nil {
+						runCubePlan(t.cube)
+					} else {
+						direct(t.direct)
+					}
+				}
+			}()
+		}
+		for _, p := range plan.Cubes {
+			ch <- task{cube: p}
+		}
+		for _, i := range plan.Direct {
+			ch <- task{direct: i}
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	for i := range out {
+		out[i] = res[slot[i]]
+	}
+	return out
+}
