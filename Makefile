@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke serve-smoke ci
 
 all: build test
 
@@ -29,4 +29,11 @@ bench:
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 
-ci: fmt vet build race bench-smoke
+# serve-smoke exercises the deployable path end to end: build the real
+# aggcheckd binary, start it on a random port with the embedded demo
+# corpus, POST the NFL document to the check and stream endpoints, and
+# SIGTERM it expecting a clean shutdown.
+serve-smoke:
+	$(GO) test -count=1 -run TestAggcheckdSmoke ./cmd/aggcheckd
+
+ci: fmt vet build race bench-smoke serve-smoke

@@ -15,14 +15,25 @@
 //	db := aggchecker.NewDatabase("nfl")
 //	db.MustAddTable(tbl)
 //	checker := aggchecker.New(db, aggchecker.DefaultConfig())
-//	report := checker.CheckHTML(article)
+//	report, err := checker.Check(ctx, aggchecker.ParseHTML(article))
+//	if err != nil { ... } // ctx cancelled or deadline exceeded
 //	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: true}))
+//
+// The API is context-first: Check honors cancellation end to end (EM
+// iterations, claim batches, cube passes), Stream emits typed per-iteration
+// events so callers can watch per-claim probabilities refine, and Service
+// hosts many named databases with lazily built checkers behind singleflight
+// and an LRU residency bound. Per-request tuning uses functional options
+// (WithMode, WithWorkers, WithDeadline, WithTopK) instead of Config
+// mutation. cmd/aggcheckd serves the same surface over HTTP.
 //
 // The exported types are aliases into the implementation packages under
 // internal/, so downstream code programs against one import path.
 package aggchecker
 
 import (
+	"time"
+
 	"aggchecker/internal/core"
 	"aggchecker/internal/db"
 	"aggchecker/internal/document"
@@ -72,6 +83,37 @@ type Predicate = sqlexec.Predicate
 // ColumnRef names a table column.
 type ColumnRef = sqlexec.ColumnRef
 
+// Service hosts many named databases behind one verification front end;
+// checkers are built lazily (singleflight) and bounded by an LRU policy.
+type Service = core.Service
+
+// ServiceOption configures NewService.
+type ServiceOption = core.ServiceOption
+
+// RegisterOption configures one Service database registration.
+type RegisterOption = core.RegisterOption
+
+// OpenFunc lazily materializes a registered database on first use.
+type OpenFunc = core.OpenFunc
+
+// CheckOption customizes one Check or Stream call without mutating the
+// checker's shared Config.
+type CheckOption = core.CheckOption
+
+// Event is one element of a verification stream; concrete types are
+// EventIteration, EventClaimUpdate, and EventDone.
+type Event = core.Event
+
+// EventIteration announces a completed EM iteration.
+type EventIteration = core.EventIteration
+
+// EventClaimUpdate carries one claim's refined top-k ranking and confidence
+// after an EM iteration.
+type EventClaimUpdate = core.EventClaimUpdate
+
+// EventDone terminates a stream with the final Report or the run's error.
+type EventDone = core.EventDone
+
 // EvalMode selects the candidate evaluation strategy.
 type EvalMode = core.EvalMode
 
@@ -94,9 +136,44 @@ const (
 	ConditionalProbability = sqlexec.ConditionalProbability
 )
 
+// ErrUnknownDatabase is returned by Service methods naming an unregistered
+// database.
+var ErrUnknownDatabase = core.ErrUnknownDatabase
+
 // New creates a Checker for the database, building the fragment catalog and
 // keyword indexes.
 func New(d *Database, cfg Config) *Checker { return core.NewChecker(d, cfg) }
+
+// NewService creates an empty multi-database registry.
+func NewService(opts ...ServiceOption) *Service { return core.NewService(opts...) }
+
+// WithDefaultConfig sets the Config a Service uses for databases registered
+// without their own.
+func WithDefaultConfig(cfg Config) ServiceOption { return core.WithDefaultConfig(cfg) }
+
+// WithMaxResident bounds how many built checkers a Service keeps in memory
+// (LRU eviction; rebuilt lazily on next use).
+func WithMaxResident(n int) ServiceOption { return core.WithMaxResident(n) }
+
+// WithDatabaseConfig overrides the service default Config for one database.
+func WithDatabaseConfig(cfg Config) RegisterOption { return core.WithDatabaseConfig(cfg) }
+
+// WithMode selects the evaluation strategy for one request.
+func WithMode(m EvalMode) CheckOption { return core.WithMode(m) }
+
+// WithWorkers bounds the engine-side worker pool for one request.
+func WithWorkers(n int) CheckOption { return core.WithWorkers(n) }
+
+// WithDeadline bounds one request's wall-clock time.
+func WithDeadline(d time.Duration) CheckOption { return core.WithDeadline(d) }
+
+// WithTopK sets how many ranked query translations are kept per claim for
+// one request.
+func WithTopK(k int) CheckOption { return core.WithTopK(k) }
+
+// ParseEvalMode parses "cached", "merged", or "naive" (plus String() forms)
+// into an EvalMode.
+func ParseEvalMode(s string) (EvalMode, error) { return core.ParseEvalMode(s) }
 
 // DefaultConfig returns the paper's main configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }

@@ -7,6 +7,7 @@
 package aggchecker_test
 
 import (
+	"context"
 	"testing"
 
 	"aggchecker/internal/baselines"
@@ -186,7 +187,7 @@ func BenchmarkCheckSingleArticle(b *testing.B) {
 	checker := core.NewChecker(tc.DB, cfg)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		checker.Check(tc.Doc)
+		checker.Check(context.Background(), tc.Doc)
 	}
 }
 

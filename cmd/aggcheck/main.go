@@ -14,10 +14,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
+	"time"
 
 	"aggchecker"
 	"aggchecker/internal/corpus"
@@ -32,12 +37,30 @@ func main() {
 	top := flag.Int("top", 3, "query translations to print per claim")
 	demo := flag.Bool("demo", false, "run the embedded NFL example")
 	markup := flag.Bool("markup", false, "print the article with inline verdict markup")
+	mode := flag.String("mode", "cached", "evaluation strategy: cached, merged, or naive (Table 6 rows)")
+	timeout := flag.Duration("timeout", 0, "abort the check after this long (0 = no limit)")
 	query := flag.String("query", "", "evaluate one Simple Aggregate Query instead of checking a document")
 	claimed := flag.Float64("claimed", 0, "with -query: the claimed value to verify (Definition 1 rounding)")
 	flag.Parse()
 
+	evalMode, err := aggchecker.ParseEvalMode(*mode)
+	if err != nil {
+		fatal(err)
+	}
+
+	// Ctrl-C / SIGTERM cancels the in-flight check mid-EM instead of
+	// leaving the process to be killed mid-scan.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var checkOpts []aggchecker.CheckOption
+	checkOpts = append(checkOpts, aggchecker.WithMode(evalMode))
+	if *timeout > 0 {
+		checkOpts = append(checkOpts, aggchecker.WithDeadline(*timeout))
+	}
+
 	if *demo {
-		runDemo(*color, *top, *markup)
+		runDemo(ctx, *color, *top, *markup, *timeout, checkOpts)
 		return
 	}
 	if *data == "" || (*query == "" && flag.NArg() != 1) {
@@ -78,13 +101,29 @@ func main() {
 		fatal(err)
 	}
 	checker := aggchecker.New(db, aggchecker.DefaultConfig())
-	var report *aggchecker.Report
+	var doc *aggchecker.Document
 	if strings.Contains(string(raw), "<") {
-		report = checker.CheckHTML(string(raw))
+		doc = aggchecker.ParseHTML(string(raw))
 	} else {
-		report = checker.CheckText(string(raw))
+		doc = aggchecker.ParseText(string(raw))
+	}
+	report, err := checker.Check(ctx, doc, checkOpts...)
+	if err != nil {
+		fatalCheck(err, *timeout)
 	}
 	printReport(report, *color, *top, *markup)
+}
+
+// fatalCheck explains cancellation errors in CLI terms.
+func fatalCheck(err error, timeout time.Duration) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		fatal(fmt.Errorf("check aborted: -timeout %s exceeded", timeout))
+	case errors.Is(err, context.Canceled):
+		fatal(errors.New("check aborted: interrupted"))
+	default:
+		fatal(err)
+	}
 }
 
 // runQuery is the manual verification path (the "SQL + User" condition of
@@ -119,10 +158,13 @@ func isFlagSet(name string) bool {
 	return set
 }
 
-func runDemo(color bool, top int, markup bool) {
+func runDemo(ctx context.Context, color bool, top int, markup bool, timeout time.Duration, opts []aggchecker.CheckOption) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
-	report := checker.CheckHTML(tc.HTML)
+	report, err := checker.Check(ctx, aggchecker.ParseHTML(tc.HTML), opts...)
+	if err != nil {
+		fatalCheck(err, timeout)
+	}
 	printReport(report, color, top, markup)
 }
 

@@ -1,0 +1,185 @@
+// Command aggcheckd is the verification daemon: it hosts many named
+// databases behind an HTTP API so documents can be checked (and watched
+// converging, via streaming) without linking the library.
+//
+// Usage:
+//
+//	aggcheckd -demo -addr :8080
+//	aggcheckd -db sales=sales.csv,stores.csv -db hr=people.csv
+//
+// Endpoints:
+//
+//	GET  /healthz
+//	GET  /v1/databases
+//	POST /v1/databases/{name}/check         body = document, returns JSON report
+//	POST /v1/databases/{name}/check/stream  returns NDJSON of EM-iteration events
+//
+// Query parameters on the check endpoints: mode=cached|merged|naive,
+// topk=N, workers=N, timeout=DURATION. -demo registers the embedded
+// reproduction corpus (the paper's NFL running example as "nfl" plus the
+// generated articles), which doubles as the CI smoke target.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"aggchecker/internal/core"
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/db"
+	"aggchecker/internal/httpapi"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+	demo := flag.Bool("demo", false, "register the embedded reproduction corpus databases")
+	mode := flag.String("mode", "cached", "default evaluation mode: cached, merged, or naive")
+	workers := flag.Int("workers", 0, "default engine worker bound per request (0 = GOMAXPROCS)")
+	reqTimeout := flag.Duration("timeout", 2*time.Minute, "per-request verification timeout (0 = none)")
+	maxConcurrent := flag.Int("max-concurrent", 16, "max simultaneous verification requests (0 = unlimited)")
+	maxResident := flag.Int("max-resident", 8, "max resident database catalogs, LRU-evicted (0 = unlimited)")
+	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window after SIGINT/SIGTERM")
+	var dbFlags multiFlag
+	flag.Var(&dbFlags, "db", "register a database: name=file.csv[,file2.csv...] (repeatable)")
+	flag.Parse()
+
+	logger := log.New(os.Stderr, "aggcheckd: ", log.LstdFlags)
+
+	evalMode, err := core.ParseEvalMode(*mode)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.Mode = evalMode
+	cfg.Workers = *workers
+
+	svc := core.NewService(
+		core.WithDefaultConfig(cfg),
+		core.WithMaxResident(*maxResident),
+	)
+	registered := 0
+	for _, spec := range dbFlags {
+		name, files, ok := strings.Cut(spec, "=")
+		if !ok || name == "" || files == "" {
+			logger.Fatalf("bad -db %q (want name=file.csv[,file2.csv...])", spec)
+		}
+		if err := svc.Register(name, csvOpener(strings.Split(files, ","))); err != nil {
+			logger.Fatal(err)
+		}
+		registered++
+	}
+	if *demo {
+		n, err := registerDemo(svc)
+		if err != nil {
+			logger.Fatal(err)
+		}
+		registered += n
+	}
+	if registered == 0 {
+		logger.Fatal("no databases registered (use -db or -demo)")
+	}
+
+	handler := httpapi.New(svc, httpapi.Options{
+		RequestTimeout: *reqTimeout,
+		MaxConcurrent:  *maxConcurrent,
+		Log:            logger,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		logger.Fatal(err)
+	}
+	server := &http.Server{
+		Handler:           handler,
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	// The listening line goes to stdout so scripts (make serve-smoke) can
+	// discover the bound port when -addr ends in :0.
+	fmt.Printf("aggcheckd: listening on %s (%d databases)\n", ln.Addr(), registered)
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- server.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		logger.Fatalf("serve: %v", err)
+	case <-ctx.Done():
+	}
+	stop()
+	logger.Printf("shutting down (grace %s)", *shutdownGrace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *shutdownGrace)
+	defer cancel()
+	if err := server.Shutdown(shutdownCtx); err != nil {
+		logger.Printf("forced shutdown: %v", err)
+		_ = server.Close()
+		os.Exit(1)
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Fatalf("serve: %v", err)
+	}
+	logger.Printf("bye")
+}
+
+// multiFlag collects repeated -db flags.
+type multiFlag []string
+
+func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
+func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
+
+// csvOpener loads the given CSV files into one database on first use.
+func csvOpener(files []string) core.OpenFunc {
+	return func(ctx context.Context) (*db.Database, error) {
+		d := db.NewDatabase("userdb")
+		for _, f := range files {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			tbl, err := db.LoadCSVFile(strings.TrimSpace(f), "")
+			if err != nil {
+				return nil, err
+			}
+			if err := d.AddTable(tbl); err != nil {
+				return nil, err
+			}
+		}
+		return d, nil
+	}
+}
+
+// registerDemo registers every corpus case under its name, with the NFL
+// running example (case 0) registered as "nfl" — one name per dataset, so
+// no catalog is ever built twice for the same data. The corpus is built
+// once here; the per-case OpenFuncs just hand out the prebuilt databases.
+func registerDemo(svc *core.Service) (int, error) {
+	c, err := corpus.Load()
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for i, tc := range c.Cases {
+		name := tc.Name
+		if i == 0 {
+			name = "nfl"
+		}
+		d := tc.DB
+		if err := svc.Register(name, func(context.Context) (*db.Database, error) { return d, nil }); err != nil {
+			return n, err
+		}
+		n++
+	}
+	return n, nil
+}

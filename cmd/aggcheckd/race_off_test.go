@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the race build tag; the exec smoke test skips under
+// the race detector so `make race` and `make serve-smoke` don't both pay
+// the end-to-end daemon cost (serve-smoke is the single owner).
+const raceEnabled = false

@@ -1,0 +1,160 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"aggchecker/internal/corpus"
+)
+
+// TestAggcheckdSmoke is the deployable-path smoke test (make serve-smoke):
+// build the real binary, start it on a random port, POST the embedded NFL
+// demo document, assert a non-empty JSON report and a streamed NDJSON run,
+// then SIGTERM and require a clean exit.
+func TestAggcheckdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exec smoke test in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping under -race: make serve-smoke owns the end-to-end daemon run")
+	}
+	bin := filepath.Join(t.TempDir(), "aggcheckd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	cmd := exec.Command(bin, "-demo", "-addr", "127.0.0.1:0", "-timeout", "60s")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	}()
+
+	// The daemon prints "aggcheckd: listening on <addr> (...)" once ready.
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on ") {
+				fields := strings.Fields(line)
+				for i, f := range fields {
+					if f == "on" && i+1 < len(fields) {
+						addrCh <- fields[i+1]
+						return
+					}
+				}
+			}
+		}
+		close(addrCh)
+	}()
+	var base string
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("daemon exited before listening; stderr:\n%s", stderr.String())
+		}
+		base = "http://" + addr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timeout waiting for listen line; stderr:\n%s", stderr.String())
+	}
+
+	doc := corpus.MustLoad().Cases[0].HTML
+
+	// Blocking check: non-empty JSON report.
+	resp, err := http.Post(base+"/v1/databases/nfl/check", "text/html", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Claims []struct {
+			Queries []json.RawMessage `json:"queries"`
+		} `json:"claims"`
+		EvaluatedQueries int `json:"evaluated_queries"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	if len(rep.Claims) == 0 || rep.EvaluatedQueries == 0 {
+		t.Fatalf("empty report: %+v", rep)
+	}
+	for i, c := range rep.Claims {
+		if len(c.Queries) == 0 {
+			t.Fatalf("claim %d has no ranked queries", i)
+		}
+	}
+
+	// Streaming check: NDJSON with iteration events and a final done.
+	resp, err = http.Post(base+"/v1/databases/nfl/check/stream", "text/html", strings.NewReader(doc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var kinds []string
+	for sc.Scan() {
+		var ev struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			t.Fatalf("bad NDJSON: %v", err)
+		}
+		kinds = append(kinds, ev.Event)
+	}
+	resp.Body.Close()
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, k := range kinds {
+		counts[k]++
+	}
+	if counts["iteration"] == 0 || counts["claim_update"] == 0 {
+		t.Fatalf("stream event counts = %v", counts)
+	}
+	if len(kinds) == 0 || kinds[len(kinds)-1] != "done" {
+		t.Fatalf("stream did not end with done: %v", kinds)
+	}
+
+	// Graceful shutdown on SIGTERM.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "shutting down") {
+		t.Errorf("expected graceful shutdown log, got:\n%s", stderr.String())
+	}
+}

@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 
 	"aggchecker"
@@ -24,7 +25,10 @@ func main() {
 		}
 	}
 	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
-	report := checker.Check(tc.Doc)
+	report, err := checker.Check(context.Background(), tc.Doc)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Printf("Article: %s (%d claims)\n\n", tc.Name, len(tc.Truth))
 

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -19,7 +20,10 @@ import (
 func main() {
 	tc := corpus.MustLoad().Cases[0] // the embedded NFL case
 	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
-	report := checker.Check(tc.Doc)
+	report, err := checker.Check(context.Background(), tc.Doc)
+	if err != nil {
+		panic(err)
+	}
 
 	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: false, TopQueries: 3}))
 

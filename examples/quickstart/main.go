@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
@@ -38,7 +39,10 @@ func main() {
 	}
 
 	checker := aggchecker.New(database, aggchecker.DefaultConfig())
-	report := checker.CheckHTML(article)
+	report, err := checker.Check(context.Background(), aggchecker.ParseHTML(article))
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: false, TopQueries: 2}))
 	fmt.Println("\nInline markup:")

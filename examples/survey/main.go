@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -36,7 +37,10 @@ func main() {
 	})
 
 	checker := aggchecker.New(database, aggchecker.DefaultConfig())
-	report := checker.CheckHTML(article)
+	report, err := checker.Check(context.Background(), aggchecker.ParseHTML(article))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Print(report.RenderText(aggchecker.RenderOptions{Color: false, TopQueries: 2}))
 
 	fmt.Println("\nThe first education claim reproduces the paper's Table 9 error:")

@@ -6,6 +6,9 @@
 package core
 
 import (
+	"context"
+	"fmt"
+	"strings"
 	"time"
 
 	"aggchecker/internal/db"
@@ -41,6 +44,21 @@ func (m EvalMode) String() string {
 		return "naive"
 	}
 	return "unknown"
+}
+
+// ParseEvalMode parses a user-supplied evaluation mode name. It accepts the
+// String() forms plus common aliases ("cached", "merged+cached", "merged",
+// "naive"), case-insensitively.
+func ParseEvalMode(s string) (EvalMode, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "cached", "merged+cached", "merged-cached":
+		return EvalCached, nil
+	case "merged":
+		return EvalMerged, nil
+	case "naive":
+		return EvalNaive, nil
+	}
+	return EvalCached, fmt.Errorf("unknown eval mode %q (want cached, merged, or naive)", s)
 }
 
 // Config aggregates the tunables of every pipeline stage.
@@ -110,24 +128,67 @@ func (r *Report) ErroneousClaims() []model.ClaimResult {
 	return out
 }
 
-// CheckHTML parses HTML-lite markup and verifies it.
+// Check runs the full verification pipeline on a parsed document. The
+// request is abandoned — promptly, mid-EM if necessary — once ctx is
+// cancelled or a WithDeadline option expires, returning ctx's error.
+// Per-request options override the checker's Config without mutating it,
+// so concurrent Check calls with different options are safe.
+func (c *Checker) Check(ctx context.Context, doc *document.Document, opts ...CheckOption) (*Report, error) {
+	return c.check(ctx, doc, newCheckSettings(c.Config, opts))
+}
+
+// CheckDocument verifies a parsed document without cancellation support.
+//
+// Deprecated: use Check with a context.
+func (c *Checker) CheckDocument(doc *document.Document) *Report {
+	rep, _ := c.Check(context.Background(), doc)
+	return rep
+}
+
+// CheckHTML parses HTML-lite markup and verifies it without cancellation
+// support.
+//
+// Deprecated: use document.ParseHTML (aggchecker.ParseHTML) plus Check
+// with a context.
 func (c *Checker) CheckHTML(src string) *Report {
-	return c.Check(document.ParseHTML(src))
+	return c.CheckDocument(document.ParseHTML(src))
 }
 
-// CheckText parses plain text (markdown-lite headings) and verifies it.
+// CheckText parses plain text (markdown-lite headings) and verifies it
+// without cancellation support.
+//
+// Deprecated: use document.ParseText (aggchecker.ParseText) plus Check
+// with a context.
 func (c *Checker) CheckText(src string) *Report {
-	return c.Check(document.ParseText(src))
+	return c.CheckDocument(document.ParseText(src))
 }
 
-// Check runs the full verification pipeline on a parsed document.
-func (c *Checker) Check(doc *document.Document) *Report {
+// check is the shared pipeline behind Check and Stream.
+func (c *Checker) check(ctx context.Context, doc *document.Document, set checkSettings) (*Report, error) {
+	if set.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, set.deadline)
+		defer cancel()
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
-	scores := keywords.MatchAll(c.Catalog, doc, c.Config.Context, c.Config.Model.TopKHits)
+	scores := keywords.MatchAll(c.Catalog, doc, set.cfg.Context, set.cfg.Model.TopKHits)
 
-	ev, engine := c.evaluator()
+	ev, engine := c.evaluatorFor(set.cfg)
+	// Diff the engine counters around the run so Report.Stats is
+	// per-document even in cached mode, where the checker-lifetime engine
+	// is shared across calls. Snapshot reads are atomic loads, so taking
+	// one while other checks or streams are in flight is race-free (the
+	// diff then also includes their interleaved work — the counters are
+	// engine-wide by design).
+	before := engine.Stats.Snapshot()
 	queryStart := time.Now()
-	res := model.Run(c.Catalog, doc, scores, ev, c.Config.Model)
+	res, err := model.Run(ctx, c.Catalog, doc, scores, ev, set.cfg.Model, set.observer)
+	if err != nil {
+		return nil, err
+	}
 	queryTime := time.Since(queryStart)
 
 	return &Report{
@@ -135,28 +196,39 @@ func (c *Checker) Check(doc *document.Document) *Report {
 		Result:    res,
 		TotalTime: time.Since(start),
 		QueryTime: queryTime,
-		Stats:     engine.Stats.Snapshot(),
-	}
+		Stats:     diffStats(before, engine.Stats.Snapshot()),
+	}, nil
 }
 
-// evaluator instantiates the configured evaluation strategy. Merged and
-// naive modes get a fresh engine so cached state cannot leak between
-// strategy comparisons; cached mode reuses the checker's engine so cube
-// results persist across documents of the same database.
-func (c *Checker) evaluator() (model.Evaluator, *sqlexec.Engine) {
-	switch c.Config.Mode {
+// diffStats subtracts the before-snapshot from the after-snapshot, keeping
+// every counter of after (counters are monotonic).
+func diffStats(before, after map[string]int64) map[string]int64 {
+	out := make(map[string]int64, len(after))
+	for k, v := range after {
+		out[k] = v - before[k]
+	}
+	return out
+}
+
+// evaluatorFor instantiates the evaluation strategy of the effective
+// per-request config. Merged and naive modes get a fresh engine so cached
+// state cannot leak between strategy comparisons; cached mode reuses the
+// checker's engine so cube results persist across documents of the same
+// database.
+func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
+	switch cfg.Mode {
 	case EvalNaive:
 		e := sqlexec.NewEngine(c.DB)
-		return &evaluate.NaiveEvaluator{Engine: e, Workers: c.Config.Workers}, e
+		return &evaluate.NaiveEvaluator{Engine: e, Workers: cfg.Workers}, e
 	case EvalMerged:
 		e := sqlexec.NewEngine(c.DB)
 		e.SetCaching(false)
 		ev := evaluate.NewCubeEvaluator(e)
-		ev.Workers = c.Config.Workers
+		ev.Workers = cfg.Workers
 		return ev, e
 	default:
 		ev := evaluate.NewCubeEvaluator(c.Engine)
-		ev.Workers = c.Config.Workers
+		ev.Workers = cfg.Workers
 		return ev, c.Engine
 	}
 }

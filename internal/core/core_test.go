@@ -18,7 +18,7 @@ func quickCfg() Config {
 func TestCheckNFLEndToEnd(t *testing.T) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := NewChecker(tc.DB, quickCfg())
-	report := checker.Check(tc.Doc)
+	report := checker.CheckDocument(tc.Doc)
 	if len(report.Claims()) != len(tc.Truth) {
 		t.Fatalf("claims = %d, want %d", len(report.Claims()), len(tc.Truth))
 	}
@@ -44,7 +44,7 @@ func TestEvalModesAgreeOnVerdicts(t *testing.T) {
 		cfg := quickCfg()
 		cfg.Mode = mode
 		checker := NewChecker(tc.DB, cfg)
-		report := checker.Check(tc.Doc)
+		report := checker.CheckDocument(tc.Doc)
 		var v []bool
 		for _, cr := range report.Claims() {
 			v = append(v, cr.Erroneous)
@@ -79,7 +79,7 @@ func TestCheckHTMLAndText(t *testing.T) {
 func TestRenderText(t *testing.T) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := NewChecker(tc.DB, quickCfg())
-	report := checker.Check(tc.Doc)
+	report := checker.CheckDocument(tc.Doc)
 	out := report.RenderText(RenderOptions{Color: false, TopQueries: 2})
 	if !strings.Contains(out, "claims") || !strings.Contains(out, "OK") {
 		t.Errorf("render missing summary: %q", out[:120])
@@ -93,7 +93,7 @@ func TestRenderText(t *testing.T) {
 func TestMarkup(t *testing.T) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := NewChecker(tc.DB, quickCfg())
-	report := checker.Check(tc.Doc)
+	report := checker.CheckDocument(tc.Doc)
 	markup := report.Markup()
 	if !strings.Contains(markup, "[OK]") && !strings.Contains(markup, "[WRONG") {
 		t.Errorf("markup has no annotations: %q", markup)
@@ -103,7 +103,7 @@ func TestMarkup(t *testing.T) {
 func TestErroneousClaims(t *testing.T) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := NewChecker(tc.DB, quickCfg())
-	report := checker.Check(tc.Doc)
+	report := checker.CheckDocument(tc.Doc)
 	errs := report.ErroneousClaims()
 	for _, cr := range errs {
 		if !cr.Erroneous {
@@ -115,7 +115,7 @@ func TestErroneousClaims(t *testing.T) {
 func TestRankOf(t *testing.T) {
 	tc := corpus.MustLoad().Cases[0]
 	checker := NewChecker(tc.DB, quickCfg())
-	report := checker.Check(tc.Doc)
+	report := checker.CheckDocument(tc.Doc)
 	cr := report.Claims()[1]
 	if r := RankOf(cr, tc.Truth[1].Query); r != 0 {
 		t.Errorf("rank = %d", r)

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"time"
+
+	"aggchecker/internal/model"
+)
+
+// CheckOption customizes one Check or Stream call. Options are applied to a
+// copy of the checker's Config, so they never mutate shared state and two
+// concurrent requests can use different modes, budgets, or deadlines
+// against the same Checker.
+type CheckOption func(*checkSettings)
+
+// checkSettings is the resolved per-request configuration.
+type checkSettings struct {
+	cfg      Config
+	deadline time.Duration
+	observer model.Observer
+}
+
+func newCheckSettings(base Config, opts []CheckOption) checkSettings {
+	set := checkSettings{cfg: base}
+	for _, o := range opts {
+		if o != nil {
+			o(&set)
+		}
+	}
+	return set
+}
+
+// WithMode selects the candidate evaluation strategy for this request only
+// (Table 6 rows: EvalCached, EvalMerged, EvalNaive).
+func WithMode(m EvalMode) CheckOption {
+	return func(s *checkSettings) { s.cfg.Mode = m }
+}
+
+// WithWorkers bounds the engine-side worker pool for this request; n ≤ 0
+// uses GOMAXPROCS.
+func WithWorkers(n int) CheckOption {
+	return func(s *checkSettings) { s.cfg.Workers = n }
+}
+
+// WithDeadline bounds the request's wall-clock time: the check is cancelled
+// with context.DeadlineExceeded once d elapses. d ≤ 0 means no deadline.
+func WithDeadline(d time.Duration) CheckOption {
+	return func(s *checkSettings) { s.deadline = d }
+}
+
+// WithTopK sets how many ranked query translations are kept per claim (the
+// Report ranking and the per-iteration EventClaimUpdate payloads).
+func WithTopK(k int) CheckOption {
+	return func(s *checkSettings) {
+		if k > 0 {
+			s.cfg.Model.TopQueries = k
+		}
+	}
+}
+
+// withObserver installs an EM-loop observer; Stream uses it to emit events
+// and tests use it to cancel runs mid-EM deterministically.
+func withObserver(obs model.Observer) CheckOption {
+	return func(s *checkSettings) { s.observer = obs }
+}

@@ -1,0 +1,274 @@
+package core
+
+import (
+	"container/list"
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/document"
+)
+
+// ErrUnknownDatabase is returned (wrapped, with the name) when a Service
+// request names a database that was never registered.
+var ErrUnknownDatabase = errors.New("unknown database")
+
+// OpenFunc materializes a registered database on first use: loading CSVs,
+// building tables, wiring foreign keys. It runs outside the service lock
+// and should honor ctx for slow sources.
+type OpenFunc func(ctx context.Context) (*db.Database, error)
+
+// Service hosts many named databases behind one verification front end —
+// the multi-tenant face of the package. Databases are registered cheaply
+// (an OpenFunc, no data loaded); the per-database Checker, whose fragment
+// catalog and keyword indexes are the expensive per-dataset preprocessing
+// of §4.2, is built lazily on first request. Concurrent first requests for
+// the same database are coalesced onto a single build (singleflight), and
+// the number of resident catalogs is bounded by an LRU policy so a service
+// hosting hundreds of registered databases keeps only the hot ones in
+// memory. All methods are safe for concurrent use.
+type Service struct {
+	defaultCfg  Config
+	maxResident int
+
+	mu      sync.Mutex
+	sources map[string]*source
+	// lru orders resident sources, most recently used at the front.
+	lru *list.List
+}
+
+// source is one registered database.
+type source struct {
+	name string
+	open OpenFunc
+	cfg  *Config // per-database override; nil uses the service default
+
+	// building is the in-flight singleflight build, nil when idle.
+	building *buildCall
+	// checker is non-nil while resident; elem is its lru position.
+	checker *Checker
+	elem    *list.Element
+}
+
+// buildCall coalesces concurrent lazy builds of one checker.
+type buildCall struct {
+	done    chan struct{}
+	checker *Checker
+	err     error
+}
+
+// ServiceOption configures a Service at construction.
+type ServiceOption func(*Service)
+
+// WithDefaultConfig sets the Config used for databases registered without
+// their own config.
+func WithDefaultConfig(cfg Config) ServiceOption {
+	return func(s *Service) { s.defaultCfg = cfg }
+}
+
+// WithMaxResident bounds how many built checkers (fragment catalogs plus
+// engine caches) stay in memory; the least recently used is evicted and
+// rebuilt lazily on its next request. n ≤ 0 means unbounded.
+func WithMaxResident(n int) ServiceOption {
+	return func(s *Service) { s.maxResident = n }
+}
+
+// NewService creates an empty registry with the paper's default Config.
+func NewService(opts ...ServiceOption) *Service {
+	s := &Service{
+		defaultCfg: DefaultConfig(),
+		sources:    make(map[string]*source),
+		lru:        list.New(),
+	}
+	for _, o := range opts {
+		if o != nil {
+			o(s)
+		}
+	}
+	return s
+}
+
+// RegisterOption configures one registered database.
+type RegisterOption func(*source)
+
+// WithDatabaseConfig overrides the service default Config for one database.
+func WithDatabaseConfig(cfg Config) RegisterOption {
+	return func(src *source) { src.cfg = &cfg }
+}
+
+// Register adds a named database whose data is materialized by open on
+// first use. Registering an already-registered name fails.
+func (s *Service) Register(name string, open OpenFunc, opts ...RegisterOption) error {
+	if open == nil {
+		return fmt.Errorf("aggchecker: register %q: nil OpenFunc", name)
+	}
+	src := &source{name: name, open: open}
+	for _, o := range opts {
+		if o != nil {
+			o(src)
+		}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.sources[name]; ok {
+		return fmt.Errorf("aggchecker: database %q already registered", name)
+	}
+	s.sources[name] = src
+	return nil
+}
+
+// RegisterDatabase adds an already-loaded in-memory database.
+func (s *Service) RegisterDatabase(name string, d *db.Database, opts ...RegisterOption) error {
+	if d == nil {
+		return fmt.Errorf("aggchecker: register %q: nil database", name)
+	}
+	return s.Register(name, func(context.Context) (*db.Database, error) { return d, nil }, opts...)
+}
+
+// Names returns the registered database names, sorted.
+func (s *Service) Names() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.sources))
+	for name := range s.sources {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Resident returns the names of databases whose checkers are currently in
+// memory, most recently used first.
+func (s *Service) Resident() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, s.lru.Len())
+	for e := s.lru.Front(); e != nil; e = e.Next() {
+		out = append(out, e.Value.(*source).name)
+	}
+	return out
+}
+
+// Checker returns the (lazily built) checker for a registered database.
+// Concurrent calls during the first build share one build; waiting callers
+// honor ctx while the winning builder's open runs under its own ctx. A
+// waiter whose shared build failed with the *winner's* context error — the
+// winning client hung up mid-build — retries the build under its own
+// still-live context instead of inheriting a cancellation it never issued.
+func (s *Service) Checker(ctx context.Context, name string) (*Checker, error) {
+	for {
+		ck, err, waited := s.checkerOnce(ctx, name)
+		// Only a shared build's failure is retried: the next attempt
+		// either finds the checker resident, becomes the builder itself
+		// (whose result is final), or waits on a fresh build.
+		if err != nil && waited && ctx.Err() == nil &&
+			(errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)) {
+			continue
+		}
+		return ck, err
+	}
+}
+
+// checkerOnce is one resolve-or-build attempt (see Checker); waited
+// reports that the result came from another goroutine's in-flight build.
+func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, err error, waited bool) {
+	if err := ctx.Err(); err != nil {
+		return nil, err, false
+	}
+	s.mu.Lock()
+	src, ok := s.sources[name]
+	if !ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("aggchecker: %w: %q", ErrUnknownDatabase, name), false
+	}
+	if src.checker != nil {
+		ck := src.checker
+		s.touchLocked(src)
+		s.mu.Unlock()
+		return ck, nil, false
+	}
+	if call := src.building; call != nil {
+		s.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.checker, call.err, true
+		case <-ctx.Done():
+			return nil, ctx.Err(), false
+		}
+	}
+	call := &buildCall{done: make(chan struct{})}
+	src.building = call
+	s.mu.Unlock()
+
+	// The expensive part — loading data and building the fragment catalog —
+	// runs outside the service lock so other databases stay available.
+	d, err := src.open(ctx)
+	if err == nil {
+		cfg := s.defaultCfg
+		if src.cfg != nil {
+			cfg = *src.cfg
+		}
+		ck = NewChecker(d, cfg)
+	}
+
+	s.mu.Lock()
+	src.building = nil
+	if err == nil {
+		src.checker = ck
+		s.touchLocked(src)
+		s.evictLocked()
+	}
+	s.mu.Unlock()
+	call.checker, call.err = ck, err
+	close(call.done)
+	return ck, err, false
+}
+
+// touchLocked moves a resident source to the LRU front (inserting it when
+// new). Callers hold s.mu.
+func (s *Service) touchLocked(src *source) {
+	if src.elem != nil {
+		s.lru.MoveToFront(src.elem)
+		return
+	}
+	src.elem = s.lru.PushFront(src)
+}
+
+// evictLocked drops least-recently-used checkers beyond the residency
+// bound. An evicted database stays registered and rebuilds on next use.
+// Callers hold s.mu.
+func (s *Service) evictLocked() {
+	if s.maxResident <= 0 {
+		return
+	}
+	for s.lru.Len() > s.maxResident {
+		e := s.lru.Back()
+		victim := e.Value.(*source)
+		s.lru.Remove(e)
+		victim.elem = nil
+		victim.checker = nil
+	}
+}
+
+// Check verifies a document against a named database; see Checker.Check
+// for option and cancellation semantics.
+func (s *Service) Check(ctx context.Context, name string, doc *document.Document, opts ...CheckOption) (*Report, error) {
+	ck, err := s.Checker(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return ck.Check(ctx, doc, opts...)
+}
+
+// Stream verifies a document against a named database, emitting per-EM-
+// iteration events; see Checker.Stream.
+func (s *Service) Stream(ctx context.Context, name string, doc *document.Document, opts ...CheckOption) (<-chan Event, error) {
+	ck, err := s.Checker(ctx, name)
+	if err != nil {
+		return nil, err
+	}
+	return ck.Stream(ctx, doc, opts...)
+}

@@ -15,6 +15,7 @@
 package evaluate
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -33,9 +34,13 @@ type NaiveEvaluator struct {
 }
 
 // EvaluateBatch evaluates the queries with one scan each, fanned out over a
-// bounded worker pool.
-func (n *NaiveEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
+// bounded worker pool. Once ctx is cancelled the remaining scans are
+// skipped and their slots stay NaN.
+func (n *NaiveEvaluator) EvaluateBatch(ctx context.Context, queries []sqlexec.Query) []float64 {
 	out := make([]float64, len(queries))
+	for i := range out {
+		out[i] = math.NaN()
+	}
 	workers := n.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -44,7 +49,7 @@ func (n *NaiveEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
 		workers = len(queries)
 	}
 	eval := func(i int) {
-		v, err := n.Engine.Evaluate(queries[i])
+		v, err := n.Engine.EvaluateContext(ctx, queries[i])
 		if err != nil {
 			v = math.NaN()
 		}
@@ -52,6 +57,9 @@ func (n *NaiveEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
 	}
 	if workers <= 1 {
 		for i := range queries {
+			if ctx.Err() != nil {
+				break
+			}
 			eval(i)
 		}
 		return out
@@ -68,6 +76,9 @@ func (n *NaiveEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
 		}()
 	}
 	for i := range queries {
+		if ctx.Err() != nil {
+			break
+		}
 		ch <- i
 	}
 	close(ch)
@@ -143,9 +154,10 @@ func (c *CubeEvaluator) snapshotPool(queries []sqlexec.Query) map[string][]strin
 }
 
 // EvaluateBatch merges the batch into as few cube passes as the engine
-// cache allows and answers every query.
-func (c *CubeEvaluator) EvaluateBatch(queries []sqlexec.Query) []float64 {
-	return c.Engine.EvaluateBatch(queries, sqlexec.BatchOptions{
+// cache allows and answers every query. Cancellation is honored between
+// and inside cube passes; see Engine.EvaluateBatch.
+func (c *CubeEvaluator) EvaluateBatch(ctx context.Context, queries []sqlexec.Query) []float64 {
+	return c.Engine.EvaluateBatch(ctx, queries, sqlexec.BatchOptions{
 		Pool:    c.snapshotPool(queries),
 		Workers: c.Workers,
 	})

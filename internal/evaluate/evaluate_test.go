@@ -1,6 +1,7 @@
 package evaluate
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"strings"
@@ -86,12 +87,12 @@ func TestEvaluatorsAgree(t *testing.T) {
 	cached := NewCubeEvaluator(cachedEngine)
 
 	batch := testBatch()
-	a := naive.EvaluateBatch(batch)
-	b := merged.EvaluateBatch(batch)
-	c := cached.EvaluateBatch(batch)
+	a := naive.EvaluateBatch(context.Background(), batch)
+	b := merged.EvaluateBatch(context.Background(), batch)
+	c := cached.EvaluateBatch(context.Background(), batch)
 	// Run the cached evaluator twice: the second pass must hit the cache
 	// and produce identical results.
-	c2 := cached.EvaluateBatch(batch)
+	c2 := cached.EvaluateBatch(context.Background(), batch)
 	for i := range batch {
 		if !eqNaN(a[i], b[i]) || !eqNaN(a[i], c[i]) || !eqNaN(a[i], c2[i]) {
 			t.Errorf("query %s: naive=%v merged=%v cached=%v cached2=%v",
@@ -116,8 +117,8 @@ func TestMergingReducesScans(t *testing.T) {
 	merged := NewCubeEvaluator(mergedEngine)
 
 	batch := testBatch()
-	naive.EvaluateBatch(batch)
-	merged.EvaluateBatch(batch)
+	naive.EvaluateBatch(context.Background(), batch)
+	merged.EvaluateBatch(context.Background(), batch)
 	naiveRows := naiveEngine.Stats.RowsScanned.Load()
 	mergedRows := mergedEngine.Stats.RowsScanned.Load()
 	if mergedRows >= naiveRows {
@@ -135,11 +136,11 @@ func TestCachingEliminatesRepeatScans(t *testing.T) {
 	e := sqlexec.NewEngine(d)
 	ev := NewCubeEvaluator(e)
 	batch := testBatch()
-	ev.EvaluateBatch(batch)
+	ev.EvaluateBatch(context.Background(), batch)
 	passes := e.Stats.CubePasses.Load()
 	// Re-evaluating the same batch (as happens across EM iterations) must
 	// not trigger new cube passes.
-	ev.EvaluateBatch(batch)
+	ev.EvaluateBatch(context.Background(), batch)
 	if got := e.Stats.CubePasses.Load(); got != passes {
 		t.Errorf("cached re-evaluation ran %d extra passes", got-passes)
 	}
@@ -155,12 +156,12 @@ func TestSetPoolStabilizesSignatures(t *testing.T) {
 	})
 	// First, a narrow batch touching one literal.
 	q1 := []sqlexec.Query{{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{{Col: cr("region"), Value: "east"}}}}
-	ev.EvaluateBatch(q1)
+	ev.EvaluateBatch(context.Background(), q1)
 	passes := e.Stats.CubePasses.Load()
 	// A later batch over another literal of the same column must reuse the
 	// same cube: the pool already contained the literal.
 	q2 := []sqlexec.Query{{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{{Col: cr("region"), Value: "west"}}}}
-	ev.EvaluateBatch(q2)
+	ev.EvaluateBatch(context.Background(), q2)
 	if got := e.Stats.CubePasses.Load(); got != passes {
 		t.Errorf("pooled literals should make the second batch a cache hit (passes %d -> %d)", passes, got)
 	}
@@ -179,13 +180,13 @@ func TestSubsetGroupsShareHostCube(t *testing.T) {
 		{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
 			{Col: cr("region"), Value: "east"}, {Col: cr("product"), Value: "widget"}}},
 	}
-	res := ev.EvaluateBatch(batch)
+	res := ev.EvaluateBatch(context.Background(), batch)
 	if passes := e.Stats.CubePasses.Load(); passes != 1 {
 		t.Errorf("cube passes = %d, want 1 (subset merging)", passes)
 	}
 	// Cross-check results directly.
 	direct := &NaiveEvaluator{Engine: sqlexec.NewEngine(d)}
-	want := direct.EvaluateBatch(batch)
+	want := direct.EvaluateBatch(context.Background(), batch)
 	for i := range batch {
 		if !eqNaN(res[i], want[i]) {
 			t.Errorf("query %d: got %v want %v", i, res[i], want[i])
@@ -196,7 +197,7 @@ func TestSubsetGroupsShareHostCube(t *testing.T) {
 func TestEmptyBatch(t *testing.T) {
 	d := testDB(t)
 	ev := NewCubeEvaluator(sqlexec.NewEngine(d))
-	if got := ev.EvaluateBatch(nil); len(got) != 0 {
+	if got := ev.EvaluateBatch(context.Background(), nil); len(got) != 0 {
 		t.Errorf("empty batch returned %v", got)
 	}
 }
@@ -206,10 +207,10 @@ func TestConcurrentBatches(t *testing.T) {
 	e := sqlexec.NewEngine(d)
 	ev := NewCubeEvaluator(e)
 	batch := testBatch()
-	want := (&NaiveEvaluator{Engine: sqlexec.NewEngine(d)}).EvaluateBatch(batch)
+	want := (&NaiveEvaluator{Engine: sqlexec.NewEngine(d)}).EvaluateBatch(context.Background(), batch)
 	done := make(chan []float64, 8)
 	for w := 0; w < 8; w++ {
-		go func() { done <- ev.EvaluateBatch(batch) }()
+		go func() { done <- ev.EvaluateBatch(context.Background(), batch) }()
 	}
 	for w := 0; w < 8; w++ {
 		got := <-done

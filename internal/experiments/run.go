@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -89,7 +90,11 @@ func RunAutomated(cases []*corpus.TestCase, cfg core.Config) *AccuracyResult {
 			sem <- struct{}{}
 			defer func() { <-sem }()
 			checker := core.NewChecker(tc.DB, cfg)
-			report := checker.Check(tc.Doc)
+			report, err := checker.Check(context.Background(), tc.Doc)
+			if err != nil {
+				// Unreachable with a background context; guard anyway.
+				panic(err)
+			}
 			cr := caseResult{
 				totalTime: report.TotalTime,
 				queryTime: report.QueryTime,

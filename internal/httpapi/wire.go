@@ -1,0 +1,131 @@
+// Package httpapi exposes a Service over HTTP: blocking JSON verification
+// and NDJSON streaming of per-EM-iteration events. cmd/aggcheckd wires it
+// to a net listener; keeping the handlers here makes them testable with
+// httptest against an in-process Service.
+package httpapi
+
+import (
+	"math"
+
+	"aggchecker/internal/core"
+	"aggchecker/internal/document"
+	"aggchecker/internal/model"
+)
+
+// wireReport is the JSON shape of a verification report. Float results use
+// pointers so NaN (undefined result) serializes as null instead of breaking
+// encoding/json.
+type wireReport struct {
+	Database         string           `json:"database"`
+	Claims           []wireClaim      `json:"claims"`
+	Erroneous        int              `json:"erroneous"`
+	Iterations       int              `json:"iterations"`
+	EvaluatedQueries int              `json:"evaluated_queries"`
+	TotalMillis      float64          `json:"total_ms"`
+	QueryMillis      float64          `json:"query_ms"`
+	Stats            map[string]int64 `json:"stats"`
+}
+
+type wireClaim struct {
+	Index     int         `json:"index"`
+	Text      string      `json:"text"`
+	Sentence  string      `json:"sentence"`
+	Claimed   float64     `json:"claimed"`
+	PCorrect  float64     `json:"p_correct"`
+	Erroneous bool        `json:"erroneous"`
+	Queries   []wireQuery `json:"queries"`
+}
+
+type wireQuery struct {
+	SQL     string   `json:"sql"`
+	Prob    float64  `json:"prob"`
+	Result  *float64 `json:"result"`
+	Matches bool     `json:"matches"`
+}
+
+// wireEvent is one NDJSON line of a streamed verification; Event
+// discriminates which optional fields are set.
+type wireEvent struct {
+	Event            string      `json:"event"`
+	Iteration        int         `json:"iteration,omitempty"`
+	Final            bool        `json:"final,omitempty"`
+	Delta            float64     `json:"delta,omitempty"`
+	EvaluatedQueries int         `json:"evaluated_queries,omitempty"`
+	Claims           int         `json:"claims,omitempty"`
+	Claim            *wireClaim  `json:"claim,omitempty"`
+	Report           *wireReport `json:"report,omitempty"`
+	Error            string      `json:"error,omitempty"`
+}
+
+func floatPtr(v float64) *float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return nil
+	}
+	return &v
+}
+
+func toWireClaim(index int, claim *document.Claim, res model.ClaimResult, defaultTable string) wireClaim {
+	wc := wireClaim{
+		Index:     index,
+		Text:      claim.Text(),
+		Claimed:   claim.Claimed.Value,
+		PCorrect:  res.PCorrect,
+		Erroneous: res.Erroneous,
+	}
+	if claim.Sentence != nil {
+		wc.Sentence = claim.Sentence.Text
+	}
+	for _, rq := range res.Ranked {
+		wc.Queries = append(wc.Queries, wireQuery{
+			SQL:     rq.Query.SQL(defaultTable),
+			Prob:    rq.Prob,
+			Result:  floatPtr(rq.Result),
+			Matches: rq.Matches,
+		})
+	}
+	return wc
+}
+
+func toWireReport(name string, rep *core.Report, defaultTable string) *wireReport {
+	out := &wireReport{
+		Database:         name,
+		Iterations:       rep.Result.Iterations,
+		EvaluatedQueries: rep.Result.EvaluatedQueries,
+		TotalMillis:      float64(rep.TotalTime.Microseconds()) / 1e3,
+		QueryMillis:      float64(rep.QueryTime.Microseconds()) / 1e3,
+		Stats:            rep.Stats,
+	}
+	for i, cr := range rep.Result.Claims {
+		out.Claims = append(out.Claims, toWireClaim(i, rep.Document.Claims[i], cr, defaultTable))
+		if cr.Erroneous {
+			out.Erroneous++
+		}
+	}
+	return out
+}
+
+func toWireEvent(name string, ev core.Event, defaultTable string) wireEvent {
+	switch e := ev.(type) {
+	case core.EventIteration:
+		return wireEvent{
+			Event:            e.Kind(),
+			Iteration:        e.Iteration,
+			Final:            e.Final,
+			Delta:            e.Delta,
+			EvaluatedQueries: e.EvaluatedQueries,
+			Claims:           e.Claims,
+		}
+	case core.EventClaimUpdate:
+		wc := toWireClaim(e.ClaimIndex, e.Claim, e.Result, defaultTable)
+		return wireEvent{Event: e.Kind(), Iteration: e.Iteration, Claim: &wc}
+	case core.EventDone:
+		we := wireEvent{Event: e.Kind()}
+		if e.Err != nil {
+			we.Error = e.Err.Error()
+		} else if e.Report != nil {
+			we.Report = toWireReport(name, e.Report, defaultTable)
+		}
+		return we
+	}
+	return wireEvent{Event: ev.Kind()}
+}

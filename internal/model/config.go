@@ -10,7 +10,11 @@
 // candidates needs enumeration.
 package model
 
-import "aggchecker/internal/sqlexec"
+import (
+	"context"
+
+	"aggchecker/internal/sqlexec"
+)
 
 // Config tunes the probabilistic model. DefaultConfig matches the paper's
 // main configuration; the ablation flags correspond to Table 5/10 rows and
@@ -100,6 +104,8 @@ func DefaultConfig() Config {
 // interface structurally so no import cycle arises.
 type Evaluator interface {
 	// EvaluateBatch returns the result of each query, positionally. NaN
-	// marks queries whose result is undefined.
-	EvaluateBatch(queries []sqlexec.Query) []float64
+	// marks queries whose result is undefined. Implementations must stop
+	// early (returning NaN for unevaluated slots) once ctx is cancelled;
+	// the EM loop checks ctx.Err() after every batch.
+	EvaluateBatch(ctx context.Context, queries []sqlexec.Query) []float64
 }

@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -64,11 +65,43 @@ type claimState struct {
 	probMatched float64
 }
 
+// IterationUpdate is the observer's view of the EM state after one
+// iteration's expectation step: a full per-claim result snapshot assembled
+// under the current priors and evaluation results. Snapshots are built only
+// when an observer is installed; the slices are owned by the receiver.
+type IterationUpdate struct {
+	// Iteration is 1-based; Final marks the concluding expectation pass
+	// under the converged priors (its claims equal the returned Result's).
+	Iteration int
+	Final     bool
+	// Delta is the maximum prior movement of the maximization step that
+	// followed this iteration (0 when priors are disabled or Final).
+	Delta float64
+	// Claims is the per-claim snapshot, index-aligned with doc.Claims.
+	Claims []ClaimResult
+	// EvaluatedQueries is the running count of distinct queries evaluated.
+	EvaluatedQueries int
+}
+
+// Observer receives an IterationUpdate after every EM iteration. It is
+// called synchronously from the EM loop, so a blocking observer provides
+// natural back-pressure for streaming consumers; combined with context
+// cancellation it lets a caller abandon a run mid-flight.
+type Observer func(IterationUpdate)
+
 // Run executes Algorithm 3: starting from uniform priors it alternates
 // per-claim expectation steps (candidate construction, evaluation of the
 // top candidates, posterior bookkeeping) with maximization of the document
 // priors, then assembles final claim results.
-func Run(cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config) *Result {
+//
+// The loop honors ctx between iterations and after every claim batch
+// (evaluators additionally stop mid-batch); a cancelled run returns
+// (nil, ctx.Err()). obs, when non-nil, is invoked after every iteration
+// with a snapshot of the current per-claim results.
+func Run(ctx context.Context, cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config, obs Observer) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	pool := BuildPool(cat, scores, cfg)
 	// Evaluators that merge candidates into cubes key their caches on
 	// per-column literal sets; installing the document-wide pool up front
@@ -89,9 +122,16 @@ func Run(cat *fragments.Catalog, doc *document.Document, scores []keywords.Score
 		iters = 1
 	}
 	for iter := 0; iter < iters; iter++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		res.Iterations++
-		eStep(cat, doc, scores, ev, cfg, pool, priors, states, res)
+		eStep(ctx, cat, doc, scores, ev, cfg, pool, priors, states, res)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		if !cfg.UsePriors {
+			notify(obs, res, doc, states, cfg, 0, false)
 			break
 		}
 		stats := newPriorStats(cat)
@@ -101,19 +141,47 @@ func Run(cat *fragments.Catalog, doc *document.Document, scores []keywords.Score
 		next := stats.maximize(cfg.PriorAlpha)
 		delta := priors.MaxDelta(next)
 		priors = next
+		notify(obs, res, doc, states, cfg, delta, false)
 		if delta < cfg.ConvergeEps {
 			break
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	// Final expectation pass under the converged priors.
-	eStep(cat, doc, scores, ev, cfg, pool, priors, states, res)
+	eStep(ctx, cat, doc, scores, ev, cfg, pool, priors, states, res)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res.Priors = priors
 	res.Claims = make([]ClaimResult, len(doc.Claims))
 	for i := range states {
 		res.Claims[i] = assemble(doc.Claims[i], states[i], cfg)
 	}
-	return res
+	notify(obs, res, doc, states, cfg, 0, true)
+	return res, nil
+}
+
+// notify assembles a per-claim snapshot and delivers it to the observer.
+// Assembly only happens when an observer is installed — plain Check runs
+// pay nothing for the streaming hook.
+func notify(obs Observer, res *Result, doc *document.Document, states []*claimState, cfg Config, delta float64, final bool) {
+	if obs == nil {
+		return
+	}
+	claims := make([]ClaimResult, len(states))
+	for i := range states {
+		claims[i] = assemble(doc.Claims[i], states[i], cfg)
+	}
+	obs(IterationUpdate{
+		Iteration:        res.Iterations,
+		Final:            final,
+		Delta:            delta,
+		Claims:           claims,
+		EvaluatedQueries: res.EvaluatedQueries,
+	})
 }
 
 // eStep rebuilds spaces under the current priors, evaluates the top
@@ -124,7 +192,7 @@ func Run(cat *fragments.Catalog, doc *document.Document, scores []keywords.Score
 // merged cube passes span the claims of a document); and claim workers
 // redo the match bookkeeping. All accumulation is per-claim, so the
 // outcome is deterministic.
-func eStep(cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config, pool *LiteralPool, priors *Priors, states []*claimState, res *Result) {
+func eStep(ctx context.Context, cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config, pool *LiteralPool, priors *Priors, states []*claimState, res *Result) {
 	workers := runtime.GOMAXPROCS(0)
 
 	// Phase 1: candidate construction and per-claim evaluation needs.
@@ -162,7 +230,7 @@ func eStep(cat *fragments.Catalog, doc *document.Document, scores []keywords.Sco
 		}
 	}
 	if len(batch) > 0 {
-		vals := ev.EvaluateBatch(batch)
+		vals := ev.EvaluateBatch(ctx, batch)
 		res.EvaluatedQueries += len(batch)
 		for i := range states {
 			st := states[i]

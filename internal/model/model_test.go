@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
@@ -15,16 +16,26 @@ import (
 // naiveEval satisfies Evaluator by evaluating each query directly.
 type naiveEval struct{ e *sqlexec.Engine }
 
-func (n naiveEval) EvaluateBatch(qs []sqlexec.Query) []float64 {
+func (n naiveEval) EvaluateBatch(ctx context.Context, qs []sqlexec.Query) []float64 {
 	out := make([]float64, len(qs))
 	for i, q := range qs {
-		v, err := n.e.Evaluate(q)
+		v, err := n.e.EvaluateContext(ctx, q)
 		if err != nil {
 			v = math.NaN()
 		}
 		out[i] = v
 	}
 	return out
+}
+
+// mustRun is Run with a background context, no observer, and fatal errors.
+func mustRun(t *testing.T, cat *fragments.Catalog, doc *document.Document, scores []keywords.Scores, ev Evaluator, cfg Config) *Result {
+	t.Helper()
+	res, err := Run(context.Background(), cat, doc, scores, ev, cfg, nil)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return res
 }
 
 func TestMatchesRounding(t *testing.T) {
@@ -150,7 +161,7 @@ func testConfig() Config {
 
 func TestEMResolvesNFLExample(t *testing.T) {
 	cat, doc, scores, eng := nflSetup(t)
-	res := Run(cat, doc, scores, naiveEval{eng}, testConfig())
+	res := mustRun(t, cat, doc, scores, naiveEval{eng}, testConfig())
 	truth := nflGroundTruth()
 	for i, cr := range res.Claims {
 		r := rankOf(cr, truth[i])
@@ -173,7 +184,7 @@ func TestEMDetectsErroneousClaim(t *testing.T) {
 	cat, _, _, eng := nflSetup(t)
 	doc := document.ParseHTML(strings.Replace(nflHTML, "four", "five", 1))
 	scores := keywords.MatchAll(cat, doc, keywords.DefaultContext(), 20)
-	res := Run(cat, doc, scores, naiveEval{eng}, testConfig())
+	res := mustRun(t, cat, doc, scores, naiveEval{eng}, testConfig())
 	if !res.Claims[0].Erroneous {
 		best := res.Claims[0].Best()
 		t.Errorf("claim 'five' should be marked erroneous (best=%v result=%v)",
@@ -187,7 +198,7 @@ func TestEMDetectsErroneousClaim(t *testing.T) {
 
 func TestEMLearnsPriors(t *testing.T) {
 	cat, doc, scores, eng := nflSetup(t)
-	res := Run(cat, doc, scores, naiveEval{eng}, testConfig())
+	res := mustRun(t, cat, doc, scores, naiveEval{eng}, testConfig())
 	// All ground-truth queries are counts restricted on games: the learned
 	// priors must put the largest function mass on Count and a high
 	// restriction probability on games (Table 2 of the paper). With 3
@@ -210,11 +221,11 @@ func TestEMLearnsPriors(t *testing.T) {
 
 func TestEvalResultsAblationDegrades(t *testing.T) {
 	cat, doc, scores, eng := nflSetup(t)
-	full := Run(cat, doc, scores, naiveEval{eng}, testConfig())
+	full := mustRun(t, cat, doc, scores, naiveEval{eng}, testConfig())
 	cfgNoEval := testConfig()
 	cfgNoEval.UseEvalResults = false
 	cfgNoEval.UsePriors = false
-	bare := Run(cat, doc, scores, naiveEval{eng}, cfgNoEval)
+	bare := mustRun(t, cat, doc, scores, naiveEval{eng}, cfgNoEval)
 	truth := nflGroundTruth()
 	fullHits, bareHits := 0, 0
 	for i := range truth {
@@ -337,7 +348,7 @@ func TestSoftEMAlsoResolves(t *testing.T) {
 	cat, doc, scores, eng := nflSetup(t)
 	cfg := testConfig()
 	cfg.SoftEM = true
-	res := Run(cat, doc, scores, naiveEval{eng}, cfg)
+	res := mustRun(t, cat, doc, scores, naiveEval{eng}, cfg)
 	truth := nflGroundTruth()
 	hits := 0
 	for i := range truth {
@@ -352,7 +363,7 @@ func TestSoftEMAlsoResolves(t *testing.T) {
 
 func TestPCorrectRange(t *testing.T) {
 	cat, doc, scores, eng := nflSetup(t)
-	res := Run(cat, doc, scores, naiveEval{eng}, testConfig())
+	res := mustRun(t, cat, doc, scores, naiveEval{eng}, testConfig())
 	for i, cr := range res.Claims {
 		if cr.PCorrect < 0 || cr.PCorrect > 1 {
 			t.Errorf("claim %d PCorrect = %v out of range", i, cr.PCorrect)

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -167,7 +168,7 @@ func TestConcurrentOverlappingBatchesMatchSerial(t *testing.T) {
 		go func(g int, batch []Query) {
 			defer wg.Done()
 			<-start
-			outs[g].got = shared.EvaluateBatch(batch, BatchOptions{Workers: 4})
+			outs[g].got = shared.EvaluateBatch(context.Background(), batch, BatchOptions{Workers: 4})
 		}(g, batch)
 	}
 	close(start)

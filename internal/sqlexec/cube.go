@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -192,7 +193,7 @@ func cubeSignature(tables []string, dims []DimSpec) string {
 
 // computeCube runs one scan over the joined view, accumulating every tracked
 // column at every cell of the cube lattice (2^|dims| updates per row).
-func computeCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
 	if len(dims) > maxCubeDims {
 		return nil, fmt.Errorf("sqlexec: %d cube dimensions exceeds maximum %d", len(dims), maxCubeDims)
 	}
@@ -267,6 +268,11 @@ func computeCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trac
 	n := view.NumRows()
 	var rowCodes [maxCubeDims]int16
 	for row := 0; row < n; row++ {
+		if row%ctxCheckRows == 0 && row > 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
 		for i := range coders {
 			dc := &coders[i]
 			code := cellOther

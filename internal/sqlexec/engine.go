@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -11,6 +12,11 @@ import (
 
 	"aggchecker/internal/db"
 )
+
+// ctxCheckRows is how many rows a scan processes between context checks: a
+// balance between cancellation latency and per-row overhead (one atomic load
+// per batch of rows).
+const ctxCheckRows = 8192
 
 // Stats counts the work performed by an Engine; Table 6 of the paper is
 // regenerated from these counters plus wall-clock time. All counters are
@@ -212,10 +218,21 @@ func sortedCopy(ss []string) []string {
 	return out
 }
 
-// Evaluate runs a single query with a dedicated scan (the naive strategy of
-// Table 6). Percentage and ConditionalProbability require denominator
-// statistics and therefore accumulate two cells in the same scan.
+// Evaluate runs a single query with a dedicated scan. It is the
+// context-free convenience form of EvaluateContext.
 func (e *Engine) Evaluate(q Query) (float64, error) {
+	return e.EvaluateContext(context.Background(), q)
+}
+
+// EvaluateContext runs a single query with a dedicated scan (the naive
+// strategy of Table 6). Percentage and ConditionalProbability require
+// denominator statistics and therefore accumulate two cells in the same
+// scan. The scan checks ctx every ctxCheckRows rows and aborts with
+// ctx.Err() when the request is cancelled.
+func (e *Engine) EvaluateContext(ctx context.Context, q Query) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return math.NaN(), err
+	}
 	tables := q.Tables(e.DefaultTable())
 	view, err := e.view(tables)
 	if err != nil {
@@ -247,6 +264,11 @@ func (e *Engine) Evaluate(q Query) (float64, error) {
 	}
 	n := view.NumRows()
 	for row := 0; row < n; row++ {
+		if row%ctxCheckRows == 0 && row > 0 {
+			if err := ctx.Err(); err != nil {
+				return math.NaN(), err
+			}
+		}
 		all := true
 		for i := range matchers {
 			if !matchers[i](row) {
@@ -319,22 +341,33 @@ func parseLiteralFloat(lit string) (float64, error) {
 }
 
 // CubeFor returns a cube result covering the given dimensions and aggregate
-// requests over the join scope, reusing or extending a cached cube when
-// caching is enabled. The requests are translated into tracked columns
-// (star is always tracked).
+// requests. It is the context-free convenience form of CubeForContext.
+func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
+	return e.CubeForContext(context.Background(), tables, dims, reqs)
+}
+
+// CubeForContext returns a cube result covering the given dimensions and
+// aggregate requests over the join scope, reusing or extending a cached cube
+// when caching is enabled. The requests are translated into tracked columns
+// (star is always tracked). The cube pass checks ctx periodically and aborts
+// with ctx.Err() when the request is cancelled; a cancelled pass publishes
+// nothing, so the cache never holds partial results.
 //
 // Concurrent calls with the same signature are coalesced: exactly one
 // goroutine runs the cube pass while the others wait and share the result
 // (recorded in Stats.CubeDedups). Per-signature work is serialized by the
 // cube entry's own lock, so distinct cubes never contend.
-func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
+func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	cols := trackedColsFor(reqs)
 	if !e.caching.Load() {
 		view, err := e.view(tables)
 		if err != nil {
 			return nil, err
 		}
-		return e.runCube(view, tables, dims, cols)
+		return e.runCube(ctx, view, tables, dims, cols)
 	}
 
 	sig := cubeSignature(tables, dims)
@@ -370,7 +403,7 @@ func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*C
 		if err != nil {
 			return nil, err
 		}
-		fresh, err := e.runCube(view, tables, dims, cols)
+		fresh, err := e.runCube(ctx, view, tables, dims, cols)
 		if err != nil {
 			return nil, err
 		}
@@ -394,7 +427,7 @@ func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*C
 	// Literal sets may differ between the cached cube and the request;
 	// recompute only when the cached dims cannot encode the request.
 	if !sameDims(cached.Dims, dims) {
-		fresh, err := e.runCube(view, tables, dims, cols)
+		fresh, err := e.runCube(ctx, view, tables, dims, cols)
 		if err != nil {
 			return nil, err
 		}
@@ -402,7 +435,7 @@ func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*C
 		e.Stats.CacheMisses.Add(1)
 		return fresh, nil
 	}
-	extra, err := e.runCube(view, tables, dims, missing)
+	extra, err := e.runCube(ctx, view, tables, dims, missing)
 	if err != nil {
 		return nil, err
 	}
@@ -426,13 +459,16 @@ func missingCols(r *CubeResult, cols []trackedCol) []trackedCol {
 	return missing
 }
 
-func (e *Engine) runCube(view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
 	if e.testHookBeforeCubePass != nil {
 		e.testHookBeforeCubePass()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	e.Stats.CubePasses.Add(1)
 	e.Stats.RowsScanned.Add(int64(view.NumRows()))
-	return computeCube(view, tables, dims, cols)
+	return computeCube(ctx, view, tables, dims, cols)
 }
 
 // trackedColsFor deduplicates aggregate requests into tracked columns.

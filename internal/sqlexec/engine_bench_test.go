@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 )
@@ -47,7 +48,7 @@ func BenchmarkEngineConcurrentBatches(b *testing.B) {
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
-			e.EvaluateBatch(batch, BatchOptions{Pool: pool, Workers: 2})
+			e.EvaluateBatch(context.Background(), batch, BatchOptions{Pool: pool, Workers: 2})
 		}
 	})
 	b.StopTimer()
@@ -69,6 +70,6 @@ func BenchmarkEngineSerialBatches(b *testing.B) {
 	batch := benchBatch(400, 3)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		e.EvaluateBatch(batch, BatchOptions{Pool: pool, Workers: 1})
+		e.EvaluateBatch(context.Background(), batch, BatchOptions{Pool: pool, Workers: 1})
 	}
 }

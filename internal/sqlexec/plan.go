@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"math"
 	"runtime"
 	"sort"
@@ -239,7 +240,12 @@ func sameTables(a, b []string) bool {
 // into merged cube passes executed concurrently by a bounded worker pool.
 // Queries a cube pass cannot answer (planner fallback, cube errors) are
 // evaluated with direct scans. NaN marks undefined results.
-func (e *Engine) EvaluateBatch(queries []Query, opts BatchOptions) []float64 {
+//
+// Cancellation is checked before every cube pass and direct scan, and
+// periodically inside scans: once ctx is done the remaining work is skipped
+// and the corresponding slots are NaN. Callers that need to distinguish
+// cancellation from undefined results must check ctx.Err() afterwards.
+func (e *Engine) EvaluateBatch(ctx context.Context, queries []Query, opts BatchOptions) []float64 {
 	out := make([]float64, len(queries))
 	if len(queries) == 0 {
 		return out
@@ -263,18 +269,29 @@ func (e *Engine) EvaluateBatch(queries []Query, opts BatchOptions) []float64 {
 
 	plan := PlanCubes(uniq, e.DefaultTable(), opts.Pool, e.CachingEnabled())
 	e.Stats.PlannedCubes.Add(int64(len(plan.Cubes)))
+	// Pre-fill with NaN so slots skipped after cancellation read as
+	// undefined rather than zero; every answered slot is overwritten.
 	res := make([]float64, len(uniq))
+	for i := range res {
+		res[i] = math.NaN()
+	}
 
 	direct := func(i int) {
-		v, err := e.Evaluate(uniq[i])
+		v, err := e.EvaluateContext(ctx, uniq[i])
 		if err != nil {
 			v = math.NaN()
 		}
 		res[i] = v
 	}
 	runCubePlan := func(p *CubePlan) {
-		cube, err := e.CubeFor(p.Tables, p.Dims, p.Reqs)
+		cube, err := e.CubeForContext(ctx, p.Tables, p.Dims, p.Reqs)
 		if err != nil {
+			if ctx.Err() != nil {
+				for _, i := range p.QueryIdx {
+					res[i] = math.NaN()
+				}
+				return
+			}
 			for _, i := range p.QueryIdx {
 				direct(i)
 			}
@@ -300,9 +317,15 @@ func (e *Engine) EvaluateBatch(queries []Query, opts BatchOptions) []float64 {
 	}
 	if workers <= 1 {
 		for _, p := range plan.Cubes {
+			if ctx.Err() != nil {
+				break
+			}
 			runCubePlan(p)
 		}
 		for _, i := range plan.Direct {
+			if ctx.Err() != nil {
+				break
+			}
 			direct(i)
 		}
 	} else {
@@ -326,10 +349,18 @@ func (e *Engine) EvaluateBatch(queries []Query, opts BatchOptions) []float64 {
 				}
 			}()
 		}
+		// Stop feeding once the request is cancelled; workers drain what
+		// was already queued (each task re-checks ctx and is a no-op).
 		for _, p := range plan.Cubes {
+			if ctx.Err() != nil {
+				break
+			}
 			ch <- task{cube: p}
 		}
 		for _, i := range plan.Direct {
+			if ctx.Err() != nil {
+				break
+			}
 			ch <- task{direct: i}
 		}
 		close(ch)

@@ -1,6 +1,7 @@
 package sqlexec
 
 import (
+	"context"
 	"testing"
 )
 
@@ -93,7 +94,7 @@ func TestEvaluateBatchDeduplicates(t *testing.T) {
 	e := NewEngine(nflDB(t))
 	q := Query{Agg: Count, Preds: []Predicate{{Col: ref("games"), Value: "indef"}}}
 	batch := []Query{q, q, q, {Agg: Count}}
-	got := e.EvaluateBatch(batch, BatchOptions{})
+	got := e.EvaluateBatch(context.Background(), batch, BatchOptions{})
 	if got[0] != 4 || got[1] != 4 || got[2] != 4 || got[3] != 7 {
 		t.Fatalf("batch results = %v, want [4 4 4 7]", got)
 	}
@@ -110,7 +111,7 @@ func TestEvaluateBatchDeduplicates(t *testing.T) {
 
 func TestEvaluateBatchEmptyAndSerial(t *testing.T) {
 	e := NewEngine(nflDB(t))
-	if got := e.EvaluateBatch(nil, BatchOptions{}); len(got) != 0 {
+	if got := e.EvaluateBatch(context.Background(), nil, BatchOptions{}); len(got) != 0 {
 		t.Fatalf("empty batch returned %v", got)
 	}
 	// Workers=1 must take the serial path and produce identical results.
@@ -118,7 +119,7 @@ func TestEvaluateBatchEmptyAndSerial(t *testing.T) {
 		{Agg: Count, Preds: []Predicate{{Col: ref("games"), Value: "indef"}}},
 		{Agg: Sum, AggCol: ref("fine")},
 	}
-	got := e.EvaluateBatch(batch, BatchOptions{Workers: 1})
+	got := e.EvaluateBatch(context.Background(), batch, BatchOptions{Workers: 1})
 	if got[0] != 4 || got[1] != 560 {
 		t.Fatalf("serial batch = %v, want [4 560]", got)
 	}

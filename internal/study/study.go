@@ -9,6 +9,7 @@
 package study
 
 import (
+	"context"
 	"math/rand"
 
 	"aggchecker/internal/core"
@@ -101,7 +102,11 @@ func PrepareInputs(cases []*corpus.TestCase, cfg core.Config) []*CaseInput {
 	var out []*CaseInput
 	for _, tc := range cases {
 		checker := core.NewChecker(tc.DB, cfg)
-		report := checker.Check(tc.Doc)
+		report, err := checker.Check(context.Background(), tc.Doc)
+		if err != nil {
+			// Unreachable with a background context; guard anyway.
+			panic(err)
+		}
 		in := &CaseInput{Case: tc}
 		for ci, cr := range report.Claims() {
 			in.Ranks = append(in.Ranks, core.RankOf(cr, tc.Truth[ci].Query))
