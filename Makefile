@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-cube serve-smoke ci
 
 all: build test
 
@@ -24,10 +24,20 @@ fmt:
 bench:
 	$(GO) test -run='^$$' -bench=. -benchmem ./...
 
+# bench-cube measures the cube execution kernels (vectorized vs scalar) and
+# writes BENCH_cube.json: ns/op, B/op, rows/s and per-case speedups in a
+# machine-readable perf record. CI uploads it as an artifact on every run.
+bench-cube:
+	$(GO) run ./cmd/benchcube -out BENCH_cube.json
+
 # bench-smoke compiles and executes every benchmark exactly once so the
-# Table 5/6 regeneration paths cannot silently rot; used by CI.
+# Table 5/6 regeneration paths cannot silently rot, then records the cube
+# kernel perf trajectory at reduced scale; used by CI (which uploads the
+# smoke record as an artifact). Writes to a separate path so local ci runs
+# never clobber the committed full-scale BENCH_cube.json seed.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
+	$(GO) run ./cmd/benchcube -out BENCH_cube.smoke.json -rows 30000
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo

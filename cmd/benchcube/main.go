@@ -1,0 +1,117 @@
+// Command benchcube measures the cube execution kernels (vectorized vs the
+// legacy scalar interpreter) and writes a machine-readable perf record,
+// BENCH_cube.json: ns/op, B/op, allocs/op, and rows/s per case, plus the
+// vectorized-over-scalar speedup per case. The schema and case matrix come
+// from internal/benchdata, shared with BenchmarkCubeKernel so the record
+// and the in-repo benchmark always measure the same workload. CI records a
+// smoke-scale run as an artifact on every push (seeding the performance
+// trajectory of the hot path); `make bench-cube` regenerates the committed
+// full-scale seed.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+
+	"aggchecker/internal/benchdata"
+	"aggchecker/internal/db"
+	"aggchecker/internal/sqlexec"
+)
+
+type benchEntry struct {
+	Name        string  `json:"name"`
+	Kernel      string  `json:"kernel"` // "vectorized" | "scalar"
+	NsPerOp     float64 `json:"ns_per_op"`
+	BPerOp      int64   `json:"b_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	RowsPerSec  float64 `json:"rows_per_sec"`
+	ViewRows    int     `json:"view_rows"`
+}
+
+type benchFile struct {
+	Schema     string       `json:"schema"`
+	GoVersion  string       `json:"go_version"`
+	GoMaxProcs int          `json:"go_max_procs"`
+	FactRows   int          `json:"fact_rows"`
+	Workers    int          `json:"scan_workers"`
+	Benchmarks []benchEntry `json:"benchmarks"`
+	// Speedups maps case name to vectorized rows/s divided by scalar
+	// rows/s. The acceptance floor for the 3dim-joined case is 2.0.
+	Speedups map[string]float64 `json:"speedups_vectorized_over_scalar"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_cube.json", "output path for the JSON perf record")
+	rows := flag.Int("rows", 120000, "fact table rows")
+	workers := flag.Int("workers", 1, "cube-pass scan workers (1 isolates kernel throughput)")
+	flag.Parse()
+
+	d := benchdata.BuildDB(*rows)
+	ctx := context.Background()
+
+	file := benchFile{
+		Schema:     "aggchecker-cube-kernel-bench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FactRows:   *rows,
+		Workers:    *workers,
+		Speedups:   map[string]float64{},
+	}
+
+	for _, bc := range benchdata.Cases() {
+		view, err := db.BuildJoinView(d, bc.Tables)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchcube: %v\n", err)
+			os.Exit(1)
+		}
+		viewRows := view.NumRows()
+		rowsPerSec := map[string]float64{}
+		for _, kernel := range []string{"vectorized", "scalar"} {
+			e := sqlexec.NewEngine(d)
+			e.SetCaching(false) // every CubeFor is a full pass
+			e.SetScanWorkers(*workers)
+			e.SetScalarKernel(kernel == "scalar")
+			res := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, err := e.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+			nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+			rps := float64(viewRows) / (nsPerOp * 1e-9)
+			rowsPerSec[kernel] = rps
+			file.Benchmarks = append(file.Benchmarks, benchEntry{
+				Name:        bc.Name,
+				Kernel:      kernel,
+				NsPerOp:     nsPerOp,
+				BPerOp:      res.AllocedBytesPerOp(),
+				AllocsPerOp: res.AllocsPerOp(),
+				RowsPerSec:  rps,
+				ViewRows:    viewRows,
+			})
+			fmt.Printf("%-22s %-10s %12.0f ns/op %14.0f rows/s %10d B/op\n",
+				bc.Name, kernel, nsPerOp, rps, res.AllocedBytesPerOp())
+		}
+		file.Speedups[bc.Name] = rowsPerSec["vectorized"] / rowsPerSec["scalar"]
+		fmt.Printf("%-22s speedup x%.2f\n", bc.Name, file.Speedups[bc.Name])
+	}
+
+	data, err := json.MarshalIndent(&file, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: %v\n", err)
+		os.Exit(1)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(*out, data, 0o644); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

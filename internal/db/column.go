@@ -52,6 +52,8 @@ type Column struct {
 
 	mu       sync.Mutex
 	valIndex map[int32][]int32 // string code -> row ids (built lazily)
+	nullBits []uint64          // null bitmap (built lazily by Nulls)
+	nullCnt  int
 }
 
 // NewStringColumn returns an empty string column.
@@ -123,6 +125,66 @@ func (c *Column) Code(i int) int32 {
 		return c.codes[i]
 	}
 	return -1
+}
+
+// Floats returns the raw backing values of a numeric column (NaN encodes
+// NULL), or nil for string columns. The slice aliases column storage and
+// must not be modified. Together with Codes and Nulls it forms the
+// block-access contract consumed by the vectorized execution kernel.
+func (c *Column) Floats() []float64 {
+	if c.Kind != KindFloat {
+		return nil
+	}
+	return c.floats
+}
+
+// Codes returns the raw dictionary codes of a string column (-1 encodes
+// NULL), or nil for numeric columns. The slice aliases column storage and
+// must not be modified.
+func (c *Column) Codes() []int32 {
+	if c.Kind != KindString {
+		return nil
+	}
+	return c.codes
+}
+
+// Nulls returns the column's null bitmap: bit i%64 of word i/64 is set when
+// row i holds NULL. The bitmap is built lazily on first use and shared
+// afterwards; it must not be modified.
+func (c *Column) Nulls() []uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildNullsLocked()
+	return c.nullBits
+}
+
+// NullCount returns the number of NULL rows.
+func (c *Column) NullCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buildNullsLocked()
+	return c.nullCnt
+}
+
+// HasNulls reports whether any row holds NULL. Scan kernels use it to hoist
+// the per-row NULL branch out of columns that cannot produce one.
+func (c *Column) HasNulls() bool { return c.NullCount() > 0 }
+
+func (c *Column) buildNullsLocked() {
+	if c.nullBits != nil {
+		return
+	}
+	n := c.Len()
+	bm := make([]uint64, (n+63)/64)
+	cnt := 0
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			bm[i/64] |= 1 << (uint(i) % 64)
+			cnt++
+		}
+	}
+	c.nullBits = bm
+	c.nullCnt = cnt
 }
 
 // CodeOf returns the dictionary code of value v, or -1 if v never occurs.

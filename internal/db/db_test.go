@@ -233,6 +233,128 @@ func TestJoinViewUnknownColumn(t *testing.T) {
 	}
 }
 
+func TestSingleTableViewIsDirect(t *testing.T) {
+	// Single-table views must skip the identity row map entirely: every
+	// accessor is direct and blocks alias column storage (zero-copy).
+	d := twoTableDB(t)
+	v, err := BuildJoinView(d, []string{"players"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	name, err := v.Accessor("players", "name")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !name.Direct() {
+		t.Error("single-table accessor should be direct")
+	}
+	codes, direct := name.CodeBlock(1, 2, nil)
+	if !direct {
+		t.Error("single-table CodeBlock should be zero-copy")
+	}
+	col := d.Table("players").Column("name")
+	if len(codes) != 2 || codes[0] != col.Code(1) || codes[1] != col.Code(2) {
+		t.Errorf("CodeBlock = %v, want codes of rows 1..2", codes)
+	}
+	id, err := v.Accessor("players", "player_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, direct := id.FloatBlock(0, v.NumRows(), nil)
+	if !direct {
+		t.Error("single-table FloatBlock should be zero-copy")
+	}
+	for r, want := range []float64{1, 2, 3, 4} {
+		if vals[r] != want {
+			t.Errorf("FloatBlock[%d] = %v, want %v", r, vals[r], want)
+		}
+	}
+}
+
+func TestJoinedViewBlockGather(t *testing.T) {
+	// Joined views gather blocks through the row maps; values must agree
+	// with the per-row accessors.
+	d := twoTableDB(t)
+	v, err := BuildJoinView(d, []string{"players", "teams"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	city, err := v.Accessor("teams", "city")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if city.Direct() {
+		t.Error("joined accessor should not be direct")
+	}
+	n := v.NumRows()
+	buf := make([]int32, n)
+	codes, direct := city.CodeBlock(0, n, buf)
+	if direct {
+		t.Error("joined CodeBlock should gather, not alias")
+	}
+	for r := 0; r < n; r++ {
+		if codes[r] != city.Code(r) {
+			t.Errorf("row %d: block code %d != accessor code %d", r, codes[r], city.Code(r))
+		}
+	}
+	// Kind-mismatched block reads mirror Float/Code permissiveness — and
+	// must allocate when the caller passed no buffer (zero-copy callers do).
+	fbuf := make([]float64, n)
+	fvals, _ := city.FloatBlock(0, n, fbuf)
+	for r, fv := range fvals {
+		if !math.IsNaN(fv) {
+			t.Errorf("FloatBlock over string column row %d = %v, want NaN", r, fv)
+		}
+	}
+	if fvals, _ := city.FloatBlock(0, n, nil); len(fvals) != n || !math.IsNaN(fvals[0]) {
+		t.Errorf("nil-buf FloatBlock over string column = %v, want %d NaNs", fvals, n)
+	}
+	year, err := v.Accessor("players", "player_id")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cvals, _ := year.CodeBlock(0, n, nil); len(cvals) != n || cvals[0] != -1 {
+		t.Errorf("nil-buf CodeBlock over numeric column = %v, want %d x -1", cvals, n)
+	}
+}
+
+func TestColumnNullBitmap(t *testing.T) {
+	c := NewFloatColumn("x")
+	nulls := map[int]bool{}
+	for i := 0; i < 130; i++ {
+		if i%7 == 3 {
+			c.AppendFloat(math.NaN())
+			nulls[i] = true
+		} else {
+			c.AppendFloat(float64(i))
+		}
+	}
+	bm := c.Nulls()
+	if len(bm) != 3 {
+		t.Fatalf("bitmap words = %d, want 3", len(bm))
+	}
+	for i := 0; i < 130; i++ {
+		got := bm[i/64]&(1<<(uint(i)%64)) != 0
+		if got != nulls[i] {
+			t.Errorf("bit %d = %v, want %v", i, got, nulls[i])
+		}
+	}
+	if !c.HasNulls() || c.NullCount() != len(nulls) {
+		t.Errorf("HasNulls=%v NullCount=%d, want true %d", c.HasNulls(), c.NullCount(), len(nulls))
+	}
+	s := NewStringColumn("s")
+	s.AppendString("a")
+	s.AppendString("b")
+	if s.HasNulls() {
+		t.Error("string column without empty values should have no nulls")
+	}
+	s2 := NewStringColumn("s2")
+	s2.AppendString("")
+	if !s2.HasNulls() || s2.Nulls()[0]&1 == 0 {
+		t.Error("empty string is NULL and must appear in the bitmap")
+	}
+}
+
 func TestDataDictionary(t *testing.T) {
 	dict, err := ParseDataDictionary(strings.NewReader(`
 # comment

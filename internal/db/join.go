@@ -9,17 +9,21 @@ import (
 // JoinView is a materialized equi-join of one or more tables along PK-FK
 // paths. It exposes, for each participating table, the mapping from joined
 // row number to that table's row number, which the executor uses to read
-// aggregation and predicate columns without copying data.
+// aggregation and predicate columns without copying data. A nil row map
+// encodes the identity mapping: single-table views (the common case) carry
+// no per-row state at all, and their accessors read column storage directly
+// (the zero-copy fast path of the block-access contract).
 type JoinView struct {
 	db      *Database
 	tables  []string
-	rowMaps map[string][]int32
+	rowMaps map[string][]int32 // nil slice = identity (zero-copy fast path)
 	n       int
 }
 
-// BuildJoinView joins the given tables (single-table views are the common
-// case and cost O(1) beyond the identity mapping). Inner-join semantics:
-// rows with NULL or dangling foreign keys are dropped.
+// BuildJoinView joins the given tables. Single-table views cost O(1): the
+// identity row map is never materialized and accessors read columns
+// directly. Inner-join semantics: rows with NULL or dangling foreign keys
+// are dropped.
 func BuildJoinView(d *Database, tables []string) (*JoinView, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("db: join over zero tables")
@@ -29,15 +33,20 @@ func BuildJoinView(d *Database, tables []string) (*JoinView, error) {
 		return nil, fmt.Errorf("db: unknown table %s", tables[0])
 	}
 	v := &JoinView{db: d, tables: []string{tables[0]}, rowMaps: make(map[string][]int32), n: base.NumRows()}
-	ident := make([]int32, base.NumRows())
-	for i := range ident {
-		ident[i] = int32(i)
-	}
-	v.rowMaps[tables[0]] = ident
+	v.rowMaps[tables[0]] = nil // identity
 
 	steps, err := d.JoinPath(tables)
 	if err != nil {
 		return nil, err
+	}
+	if len(steps) > 0 {
+		// Multi-table views materialize the base identity once so join
+		// steps can extend it; single-table views skip the O(n) allocation.
+		ident := make([]int32, base.NumRows())
+		for i := range ident {
+			ident[i] = int32(i)
+		}
+		v.rowMaps[tables[0]] = ident
 	}
 	for _, step := range steps {
 		if err := v.apply(step); err != nil {
@@ -130,7 +139,8 @@ func (v *JoinView) NumRows() int { return v.n }
 func (v *JoinView) Tables() []string { return v.tables }
 
 // ColumnAccessor resolves a (table, column) pair into direct accessors over
-// joined rows.
+// joined rows. A nil rowMap means the accessor is direct: joined row numbers
+// equal table row numbers and block reads alias column storage.
 type ColumnAccessor struct {
 	col    *Column
 	rowMap []int32
@@ -154,16 +164,90 @@ func (v *JoinView) Accessor(table, column string) (ColumnAccessor, error) {
 // Column returns the underlying column.
 func (a ColumnAccessor) Column() *Column { return a.col }
 
+// Direct reports whether the accessor reads column storage without a row-map
+// indirection (single-table views). Direct accessors serve zero-copy blocks.
+func (a ColumnAccessor) Direct() bool { return a.rowMap == nil }
+
 // IsNull reports NULL at joined row r.
-func (a ColumnAccessor) IsNull(r int) bool { return a.col.IsNull(int(a.rowMap[r])) }
+func (a ColumnAccessor) IsNull(r int) bool {
+	if a.rowMap != nil {
+		r = int(a.rowMap[r])
+	}
+	return a.col.IsNull(r)
+}
 
 // Float returns the numeric value at joined row r (NaN when NULL).
 func (a ColumnAccessor) Float(r int) float64 {
 	if a.col.Kind != KindFloat {
 		return math.NaN()
 	}
-	return a.col.Float(int(a.rowMap[r]))
+	if a.rowMap != nil {
+		r = int(a.rowMap[r])
+	}
+	return a.col.Float(r)
 }
 
 // Code returns the dictionary code at joined row r (-1 when NULL).
-func (a ColumnAccessor) Code(r int) int32 { return a.col.Code(int(a.rowMap[r])) }
+func (a ColumnAccessor) Code(r int) int32 {
+	if a.rowMap != nil {
+		r = int(a.rowMap[r])
+	}
+	return a.col.Code(r)
+}
+
+// FloatBlock returns the numeric values at joined rows [start, start+n).
+// On the zero-copy fast path (direct accessor) the returned slice aliases
+// column storage and direct is true; otherwise the values are gathered
+// through the row map into buf (which must have length >= n) and direct is
+// false. NaN encodes NULL, mirroring Float. The returned slice must not be
+// modified. Non-numeric columns yield all-NaN blocks, mirroring Float's
+// permissive kind handling.
+func (a ColumnAccessor) FloatBlock(start, n int, buf []float64) (vals []float64, direct bool) {
+	if a.col.Kind != KindFloat {
+		// Callers on the zero-copy path legitimately pass no buffer.
+		if len(buf) < n {
+			buf = make([]float64, n)
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = math.NaN()
+		}
+		return buf, false
+	}
+	if a.rowMap == nil {
+		return a.col.floats[start : start+n], true
+	}
+	buf = buf[:n]
+	f := a.col.floats
+	for i, r := range a.rowMap[start : start+n] {
+		buf[i] = f[r]
+	}
+	return buf, false
+}
+
+// CodeBlock returns the dictionary codes at joined rows [start, start+n),
+// with the same zero-copy / gather split as FloatBlock. -1 encodes NULL.
+// The returned slice must not be modified. Non-string columns yield all -1,
+// mirroring Code.
+func (a ColumnAccessor) CodeBlock(start, n int, buf []int32) (vals []int32, direct bool) {
+	if a.col.Kind != KindString {
+		// Callers on the zero-copy path legitimately pass no buffer.
+		if len(buf) < n {
+			buf = make([]int32, n)
+		}
+		buf = buf[:n]
+		for i := range buf {
+			buf[i] = -1
+		}
+		return buf, false
+	}
+	if a.rowMap == nil {
+		return a.col.codes[start : start+n], true
+	}
+	buf = buf[:n]
+	cs := a.col.codes
+	for i, r := range a.rowMap[start : start+n] {
+		buf[i] = cs[r]
+	}
+	return buf, false
+}

@@ -191,14 +191,14 @@ func cubeSignature(tables []string, dims []DimSpec) string {
 	return strings.Join(ts, ",") + "|" + strings.Join(ds, ",")
 }
 
-// computeCube runs one scan over the joined view, accumulating every tracked
-// column at every cell of the cube lattice (2^|dims| updates per row).
-func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+// newCubeResultWithCols builds the empty result shell shared by both cube
+// kernels: dimension indexes plus the deduplicated tracked columns (star at
+// index 0). Kernels fill r.cells.
+func newCubeResultWithCols(tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
 	if len(dims) > maxCubeDims {
 		return nil, fmt.Errorf("sqlexec: %d cube dimensions exceeds maximum %d", len(dims), maxCubeDims)
 	}
 	r := newCubeResult(tables, dims)
-	// Install tracked columns (beyond star at index 0).
 	for _, tc := range cols {
 		if tc.ref.IsStar() {
 			if tc.needDistinct {
@@ -214,6 +214,21 @@ func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims [
 		}
 		r.colIndex[tc.ref.String()] = len(r.cols)
 		r.cols = append(r.cols, tc)
+	}
+	return r, nil
+}
+
+// computeCubeScalar is the legacy row-at-a-time cube interpreter: one scan
+// over the joined view, accumulating every tracked column at every cell of
+// the cube lattice (2^|dims| hash-map probes and pointer-chased accumulator
+// updates per row). It is kept behind Engine.SetScalarKernel as the
+// reference implementation for differential testing, and as the fallback
+// when literal sets make the vectorized kernel's dense lattice too large
+// (see flatLatticeSize in kernel.go).
+func computeCubeScalar(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	r, err := newCubeResultWithCols(tables, dims, cols)
+	if err != nil {
+		return nil, err
 	}
 
 	// Resolve dimension accessors and per-row literal coders.

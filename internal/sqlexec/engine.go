@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -43,6 +44,20 @@ type Stats struct {
 	// LockWaits counts lock acquisitions (shard or per-cube) that could not
 	// proceed immediately — a direct measure of cache contention.
 	LockWaits atomic.Int64
+
+	// Vectorized-kernel counters. BlocksScanned counts kernel blocks
+	// processed by cube passes; DirectBlockReads and GatherBlockReads split
+	// per-column block reads into zero-copy column-slice reads versus
+	// gathers through join-view row maps; PartialsMerged counts row-range
+	// partials merged into cube results beyond the first (0 for
+	// single-threaded passes); ScalarPasses counts cube passes served by
+	// the legacy scalar kernel (forced via SetScalarKernel, or literal sets
+	// too large for the dense lattice).
+	BlocksScanned    atomic.Int64
+	DirectBlockReads atomic.Int64
+	GatherBlockReads atomic.Int64
+	PartialsMerged   atomic.Int64
+	ScalarPasses     atomic.Int64
 }
 
 // Snapshot returns a plain copy of the counters.
@@ -59,6 +74,12 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"cube_dedups":    s.CubeDedups.Load(),
 		"view_dedups":    s.ViewDedups.Load(),
 		"lock_waits":     s.LockWaits.Load(),
+
+		"blocks_scanned":     s.BlocksScanned.Load(),
+		"direct_block_reads": s.DirectBlockReads.Load(),
+		"gather_block_reads": s.GatherBlockReads.Load(),
+		"partials_merged":    s.PartialsMerged.Load(),
+		"scalar_passes":      s.ScalarPasses.Load(),
 	}
 }
 
@@ -128,6 +149,13 @@ type Engine struct {
 	views   [cacheShards]viewShard
 	cubes   [cacheShards]cubeShard
 
+	// scalarKernel forces cube passes onto the legacy row-at-a-time
+	// interpreter; the vectorized columnar kernel is the default.
+	scalarKernel atomic.Bool
+	// scanWorkers bounds intra-pass parallelism (row-range partials);
+	// <= 0 means min(GOMAXPROCS, defaultScanWorkers).
+	scanWorkers atomic.Int64
+
 	// testHookBeforeCubePass, when non-nil, runs at the start of every cube
 	// pass; tests use it to hold a computation open while concurrent
 	// requests for the same cube pile up.
@@ -158,6 +186,23 @@ func (e *Engine) SetCaching(on bool) {
 		e.ResetCache()
 	}
 }
+
+// SetScalarKernel routes cube passes to the legacy scalar interpreter
+// (row-at-a-time, map-keyed cell store) instead of the vectorized columnar
+// kernel. The flag exists for differential testing and as an operational
+// escape hatch; both kernels produce identical results.
+func (e *Engine) SetScalarKernel(on bool) { e.scalarKernel.Store(on) }
+
+// ScalarKernel reports whether cube passes are forced onto the scalar
+// interpreter.
+func (e *Engine) ScalarKernel() bool { return e.scalarKernel.Load() }
+
+// SetScanWorkers bounds how many goroutines one cube pass may use to scan
+// row-range partials (0 restores the default, min(GOMAXPROCS,
+// defaultScanWorkers) — kept small because passes already parallelize
+// across the batch worker pool). Views smaller than the internal
+// parallelism threshold always scan single-threaded.
+func (e *Engine) SetScanWorkers(n int) { e.scanWorkers.Store(int64(n)) }
 
 // ResetCache drops all cached cube results (join views are kept: they are
 // part of the storage layer, not the evaluation strategy).
@@ -468,8 +513,24 @@ func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string
 	}
 	e.Stats.CubePasses.Add(1)
 	e.Stats.RowsScanned.Add(int64(view.NumRows()))
-	return computeCube(ctx, view, tables, dims, cols)
+	workers := int(e.scanWorkers.Load())
+	if workers <= 0 {
+		// Cube passes already run concurrently on the batch worker pool, so
+		// the default per-pass split stays small: an unbounded GOMAXPROCS
+		// here would multiply goroutines (and per-partial accumulator
+		// arrays) quadratically under a saturated pool. SetScanWorkers
+		// overrides for dedicated large scans.
+		workers = runtime.GOMAXPROCS(0)
+		if workers > defaultScanWorkers {
+			workers = defaultScanWorkers
+		}
+	}
+	return computeCube(ctx, view, tables, dims, cols, &e.Stats, workers, e.scalarKernel.Load())
 }
+
+// defaultScanWorkers caps intra-pass parallelism when SetScanWorkers was
+// not called.
+const defaultScanWorkers = 4
 
 // trackedColsFor deduplicates aggregate requests into tracked columns.
 func trackedColsFor(reqs []AggRequest) []trackedCol {

@@ -1,0 +1,651 @@
+package sqlexec
+
+import (
+	"context"
+	"math"
+	"math/bits"
+	"sync"
+
+	"aggchecker/internal/db"
+)
+
+// This file implements the vectorized columnar execution kernel for cube
+// scans — the replacement for the row-at-a-time interpreter in cube.go.
+// The merging phase (§6.2–6.3) makes one cube pass answer hundreds of
+// related claim candidates, so this scan is the system's hot path.
+//
+// The kernel processes the join view in blocks of kernelBlockRows rows:
+//
+//  1. Each dimension column is coded into a dense offset vector per block.
+//     String dimensions translate dictionary codes through a flat lookup
+//     table (no per-row map probes); numeric dimensions probe a small
+//     value→literal map. The coded value is already pre-multiplied by the
+//     dimension's mixed-radix stride.
+//  2. The cell store is a flat accumulator array over the bounded lattice:
+//     each dimension contributes |literals|+2 codes (literal, other, any)
+//     and at most maxCubeDims dimensions exist, so a cube cell is a single
+//     mixed-radix index — no hash map in the scan loop. Per subset mask the
+//     per-row cell indexes are one vector add away.
+//  3. Sum/count/min/max accumulate in struct-of-arrays batch loops; exact
+//     distinct counts use per-cell dictionary-code bitsets for string
+//     columns and per-cell hash sets for numeric columns.
+//  4. Large scans split into row-range partials executed by a bounded set
+//     of workers and merged deterministically at the end, so one cube pass
+//     parallelizes internally, not just across passes.
+//
+// Block reads go through the db block-access contract: zero-copy column
+// slices on single-table views, batch gathers through the join-view row
+// maps otherwise (Stats.DirectBlockReads / Stats.GatherBlockReads).
+
+const (
+	// kernelBlockRows is the number of joined rows a kernel block holds: a
+	// balance between buffer locality (code vectors, gather buffers and the
+	// index vector stay L1/L2-resident) and amortizing per-block overhead.
+	// Context cancellation is checked once per block.
+	kernelBlockRows = 4096
+
+	// maxFlatCells bounds the dense lattice. Beyond this the flat
+	// accumulator arrays would dominate memory (the lattice is mostly empty
+	// for huge literal pools), so the pass falls back to the scalar kernel
+	// and its sparse map cell store.
+	maxFlatCells = 1 << 18
+)
+
+// kernelParallelMinRows is the minimum view size for splitting a cube pass
+// into row-range partials; below it the partial arrays cost more than the
+// scan. A variable so tests can exercise the partial-merge path on small
+// inputs.
+var kernelParallelMinRows = 1 << 16
+
+// flatLatticeSize returns the dense cell count of the cube lattice (every
+// dimension contributes |literals| codes plus "other" and "any"), or -1
+// when it exceeds maxFlatCells and the dense kernel must not be used.
+func flatLatticeSize(dims []DimSpec) int {
+	size := 1
+	for _, d := range dims {
+		size *= len(d.Literals) + 2
+		if size > maxFlatCells {
+			return -1
+		}
+	}
+	return size
+}
+
+// computeCube dispatches one cube pass: the vectorized kernel by default,
+// the scalar interpreter when forced (Engine.SetScalarKernel) or when the
+// literal sets blow the dense lattice bound. Both kernels produce
+// bit-for-bit identical CubeResults (asserted by the differential tests in
+// kernel_diff_test.go).
+func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, forceScalar bool) (*CubeResult, error) {
+	if forceScalar || flatLatticeSize(dims) < 0 {
+		if stats != nil {
+			stats.ScalarPasses.Add(1)
+		}
+		return computeCubeScalar(ctx, view, tables, dims, cols)
+	}
+	return computeCubeVectorized(ctx, view, tables, dims, cols, stats, workers)
+}
+
+// vecDim codes one dimension column into pre-multiplied lattice offsets.
+type vecDim struct {
+	acc   db.ColumnAccessor
+	isStr bool
+	// dictToOff maps a dictionary code directly to literalIndex*stride
+	// (entries for non-literal values hold otherOff), replacing the scalar
+	// kernel's per-row map probe with an array load.
+	dictToOff []int32
+	// floatToOff maps a numeric value to literalIndex*stride.
+	floatToOff map[float64]int32
+	stride     int32
+	card       int32 // |literals|+2
+	otherOff   int32 // |literals| * stride
+	anyOff     int32 // (|literals|+1) * stride
+}
+
+// vecCol reads one tracked aggregation column (index 0, star, is unused).
+type vecCol struct {
+	acc          db.ColumnAccessor
+	isStr        bool
+	needDistinct bool
+	dictLen      int
+	// noNulls lets the accumulation loop hoist the NULL branch out for
+	// numeric columns whose null bitmap is empty.
+	noNulls bool
+}
+
+// vecKernel is the immutable per-pass state shared by all partials.
+type vecKernel struct {
+	view *db.JoinView
+	dims []vecDim
+	cols []vecCol // parallel to CubeResult.cols
+	size int      // flat lattice cell count
+	// cBase[mask] is the flat index of a row's cell under subset mask with
+	// every masked dimension's offset still to be added: baseAny minus the
+	// anyOff of each grouped dimension.
+	cBase    []int32
+	maskDims [][]int
+	stats    *Stats
+	// directAcc/gatherAcc count accessors per block read on each path, so
+	// stats flush as two multiplies per partial instead of per-block work.
+	directAcc, gatherAcc int64
+}
+
+func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, stats *Stats) (*vecKernel, error) {
+	k := &vecKernel{view: view, size: size, stats: stats}
+
+	countAcc := func(acc db.ColumnAccessor) {
+		if acc.Direct() {
+			k.directAcc++
+		} else {
+			k.gatherAcc++
+		}
+	}
+
+	stride := int32(1)
+	baseAny := int32(0)
+	for _, d := range dims {
+		acc, err := view.Accessor(d.Col.Table, d.Col.Column)
+		if err != nil {
+			return nil, err
+		}
+		vd := vecDim{acc: acc, isStr: acc.Column().Kind == db.KindString, stride: stride}
+		nl := int32(len(d.Literals))
+		vd.card = nl + 2
+		vd.otherOff = nl * stride
+		vd.anyOff = (nl + 1) * stride
+		if vd.isStr {
+			lut := make([]int32, len(acc.Column().Dictionary()))
+			for c := range lut {
+				lut[c] = vd.otherOff
+			}
+			for j, lit := range d.Literals {
+				if code := acc.Column().CodeOf(lit); code >= 0 {
+					lut[code] = int32(j) * stride
+				}
+			}
+			vd.dictToOff = lut
+		} else {
+			vd.floatToOff = make(map[float64]int32, len(d.Literals))
+			for j, lit := range d.Literals {
+				if v, err := parseLiteralFloat(lit); err == nil {
+					vd.floatToOff[v] = int32(j) * stride
+				}
+			}
+		}
+		countAcc(acc)
+		k.dims = append(k.dims, vd)
+		baseAny += vd.anyOff
+		stride *= vd.card
+	}
+
+	nsubsets := 1 << len(dims)
+	k.cBase = make([]int32, nsubsets)
+	k.maskDims = make([][]int, nsubsets)
+	for mask := 0; mask < nsubsets; mask++ {
+		c := baseAny
+		for i := range dims {
+			if mask&(1<<i) != 0 {
+				c -= k.dims[i].anyOff
+				k.maskDims[mask] = append(k.maskDims[mask], i)
+			}
+		}
+		k.cBase[mask] = c
+	}
+
+	k.cols = make([]vecCol, len(r.cols))
+	for i := 1; i < len(r.cols); i++ {
+		acc, err := view.Accessor(r.cols[i].ref.Table, r.cols[i].ref.Column)
+		if err != nil {
+			return nil, err
+		}
+		vc := vecCol{acc: acc, isStr: acc.Column().Kind == db.KindString, needDistinct: r.cols[i].needDistinct}
+		if vc.isStr {
+			vc.dictLen = len(acc.Column().Dictionary())
+		} else {
+			vc.noNulls = !acc.Column().HasNulls()
+		}
+		countAcc(acc)
+		k.cols[i] = vc
+	}
+	return k, nil
+}
+
+// vecPartial holds the struct-of-arrays accumulator state of one row range.
+type vecPartial struct {
+	// rows is shared by every column: an accumulator's row count does not
+	// depend on which column it tracks.
+	rows []int64
+	cols []vecColAcc // parallel to vecKernel.cols; index 0 (star) empty
+}
+
+type vecColAcc struct {
+	nonNull         []int64
+	sum, minv, maxv []float64             // numeric columns only
+	bits            [][]uint64            // per-cell dictionary-code bitsets (string distinct)
+	sets            []map[uint64]struct{} // per-cell value sets (numeric distinct)
+}
+
+func (k *vecKernel) newPartial() *vecPartial {
+	pt := &vecPartial{rows: make([]int64, k.size), cols: make([]vecColAcc, len(k.cols))}
+	for i := 1; i < len(k.cols); i++ {
+		vc := &k.cols[i]
+		ca := vecColAcc{nonNull: make([]int64, k.size)}
+		if !vc.isStr {
+			ca.sum = make([]float64, k.size)
+			ca.minv = make([]float64, k.size)
+			ca.maxv = make([]float64, k.size)
+			pinf, ninf := math.Inf(1), math.Inf(-1)
+			for j := range ca.minv {
+				ca.minv[j] = pinf
+				ca.maxv[j] = ninf
+			}
+		}
+		if vc.needDistinct {
+			if vc.isStr {
+				ca.bits = make([][]uint64, k.size)
+			} else {
+				ca.sets = make([]map[uint64]struct{}, k.size)
+			}
+		}
+		pt.cols[i] = ca
+	}
+	return pt
+}
+
+// scanRange accumulates joined rows [lo, hi) into a fresh partial.
+func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, error) {
+	pt := k.newPartial()
+	nd := len(k.dims)
+	dimOffs := make([][]int32, nd)
+	for i := range dimOffs {
+		dimOffs[i] = make([]int32, kernelBlockRows)
+	}
+	idxBuf := make([]int32, kernelBlockRows)
+	var fScratch []float64
+	var cScratch []int32
+	for i := range k.dims {
+		if k.dims[i].isStr {
+			cScratch = make([]int32, kernelBlockRows)
+		} else {
+			fScratch = make([]float64, kernelBlockRows)
+		}
+	}
+	// Gather buffers only for columns off the zero-copy path; the block
+	// values must stay live across all subset masks, so they cannot share
+	// one scratch buffer.
+	colF := make([][]float64, len(k.cols))
+	colC := make([][]int32, len(k.cols))
+	for i := 1; i < len(k.cols); i++ {
+		if k.cols[i].acc.Direct() {
+			continue
+		}
+		if k.cols[i].isStr {
+			colC[i] = make([]int32, kernelBlockRows)
+		} else {
+			colF[i] = make([]float64, kernelBlockRows)
+		}
+	}
+	blockF := make([][]float64, len(k.cols))
+	blockC := make([][]int32, len(k.cols))
+
+	blocks := int64(0)
+	for start := lo; start < hi; start += kernelBlockRows {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		bn := hi - start
+		if bn > kernelBlockRows {
+			bn = kernelBlockRows
+		}
+		blocks++
+
+		// Code dimension columns into pre-multiplied offset vectors.
+		for i := range k.dims {
+			d := &k.dims[i]
+			offs := dimOffs[i][:bn]
+			if d.isStr {
+				codes, _ := d.acc.CodeBlock(start, bn, cScratch)
+				lut := d.dictToOff
+				oo := d.otherOff
+				for r, c := range codes {
+					if c >= 0 {
+						offs[r] = lut[c]
+					} else {
+						offs[r] = oo
+					}
+				}
+			} else {
+				vals, _ := d.acc.FloatBlock(start, bn, fScratch)
+				m := d.floatToOff
+				oo := d.otherOff
+				for r, v := range vals {
+					off := oo
+					if v == v { // not NaN
+						if o, ok := m[v]; ok {
+							off = o
+						}
+					}
+					offs[r] = off
+				}
+			}
+		}
+
+		// Read aggregation column blocks (zero-copy when direct).
+		for i := 1; i < len(k.cols); i++ {
+			vc := &k.cols[i]
+			if vc.isStr {
+				blockC[i], _ = vc.acc.CodeBlock(start, bn, colC[i])
+			} else {
+				blockF[i], _ = vc.acc.FloatBlock(start, bn, colF[i])
+			}
+		}
+
+		// Accumulate each subset mask of the lattice.
+		for mask := range k.cBase {
+			idx := idxBuf[:bn]
+			c0 := k.cBase[mask]
+			switch md := k.maskDims[mask]; len(md) {
+			case 0:
+				for r := range idx {
+					idx[r] = c0
+				}
+			case 1:
+				o0 := dimOffs[md[0]][:bn]
+				for r := range idx {
+					idx[r] = c0 + o0[r]
+				}
+			case 2:
+				o0, o1 := dimOffs[md[0]][:bn], dimOffs[md[1]][:bn]
+				for r := range idx {
+					idx[r] = c0 + o0[r] + o1[r]
+				}
+			default: // maxCubeDims == 3
+				o0, o1, o2 := dimOffs[md[0]][:bn], dimOffs[md[1]][:bn], dimOffs[md[2]][:bn]
+				for r := range idx {
+					idx[r] = c0 + o0[r] + o1[r] + o2[r]
+				}
+			}
+			rows := pt.rows
+			for _, ix := range idx {
+				rows[ix]++
+			}
+			for i := 1; i < len(k.cols); i++ {
+				k.accumulate(pt, i, idx, blockF[i], blockC[i])
+			}
+		}
+	}
+
+	if k.stats != nil {
+		k.stats.BlocksScanned.Add(blocks)
+		k.stats.DirectBlockReads.Add(blocks * k.directAcc)
+		k.stats.GatherBlockReads.Add(blocks * k.gatherAcc)
+	}
+	return pt, nil
+}
+
+// accumulate folds one column's block values into the cells named by idx.
+func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, vals []float64, codes []int32) {
+	vc := &k.cols[i]
+	ca := &pt.cols[i]
+	if vc.isStr {
+		nonNull := ca.nonNull
+		if !vc.needDistinct {
+			for r, c := range codes {
+				if c >= 0 {
+					nonNull[idx[r]]++
+				}
+			}
+			return
+		}
+		words := (vc.dictLen + 63) / 64
+		for r, c := range codes {
+			if c < 0 {
+				continue
+			}
+			ix := idx[r]
+			nonNull[ix]++
+			bs := ca.bits[ix]
+			if bs == nil {
+				bs = make([]uint64, words)
+				ca.bits[ix] = bs
+			}
+			bs[c>>6] |= 1 << (uint(c) & 63)
+		}
+		return
+	}
+	nonNull, sum, minv, maxv := ca.nonNull, ca.sum, ca.minv, ca.maxv
+	if vc.noNulls && !vc.needDistinct {
+		// NULL-free fast path: pure struct-of-arrays batch loop.
+		for r, v := range vals {
+			ix := idx[r]
+			nonNull[ix]++
+			sum[ix] += v
+			if v < minv[ix] {
+				minv[ix] = v
+			}
+			if v > maxv[ix] {
+				maxv[ix] = v
+			}
+		}
+		return
+	}
+	for r, v := range vals {
+		if v != v { // NULL
+			continue
+		}
+		ix := idx[r]
+		nonNull[ix]++
+		sum[ix] += v
+		if v < minv[ix] {
+			minv[ix] = v
+		}
+		if v > maxv[ix] {
+			maxv[ix] = v
+		}
+		if vc.needDistinct {
+			s := ca.sets[ix]
+			if s == nil {
+				s = make(map[uint64]struct{})
+				ca.sets[ix] = s
+			}
+			s[math.Float64bits(v)] = struct{}{}
+		}
+	}
+}
+
+// merge folds another partial into pt (pt covers the earlier row range, so
+// sums merge in deterministic range order).
+func (pt *vecPartial) merge(o *vecPartial) {
+	for i, v := range o.rows {
+		pt.rows[i] += v
+	}
+	for ci := 1; ci < len(pt.cols); ci++ {
+		a, b := &pt.cols[ci], &o.cols[ci]
+		for i, v := range b.nonNull {
+			a.nonNull[i] += v
+		}
+		if a.sum != nil {
+			for i, v := range b.sum {
+				a.sum[i] += v
+			}
+			for i, v := range b.minv {
+				if v < a.minv[i] {
+					a.minv[i] = v
+				}
+			}
+			for i, v := range b.maxv {
+				if v > a.maxv[i] {
+					a.maxv[i] = v
+				}
+			}
+		}
+		if a.bits != nil {
+			for i, bs := range b.bits {
+				if bs == nil {
+					continue
+				}
+				if a.bits[i] == nil {
+					a.bits[i] = bs
+					continue
+				}
+				dst := a.bits[i]
+				for w, x := range bs {
+					dst[w] |= x
+				}
+			}
+		}
+		if a.sets != nil {
+			for i, s := range b.sets {
+				if s == nil {
+					continue
+				}
+				if a.sets[i] == nil {
+					a.sets[i] = s
+					continue
+				}
+				dst := a.sets[i]
+				for key := range s {
+					dst[key] = struct{}{}
+				}
+			}
+		}
+	}
+}
+
+// fill converts the flat partial into the sparse cell store of the
+// published CubeResult (only touched cells materialize, exactly like the
+// scalar kernel's lazily created map entries).
+func (k *vecKernel) fill(r *CubeResult, pt *vecPartial) {
+	for ix := 0; ix < k.size; ix++ {
+		n := pt.rows[ix]
+		if n == 0 {
+			continue
+		}
+		key := cellKey{cellAny, cellAny, cellAny}
+		for i := range k.dims {
+			d := &k.dims[i]
+			code := (int32(ix) / d.stride) % d.card
+			switch code {
+			case d.card - 1:
+				key[i] = cellAny
+			case d.card - 2:
+				key[i] = cellOther
+			default:
+				key[i] = int16(code)
+			}
+		}
+		cell := make([]*accumulator, len(r.cols))
+		for ci := range r.cols {
+			a := &accumulator{rows: n, min: math.Inf(1), max: math.Inf(-1)}
+			if ci == 0 {
+				// The star accumulator counts every row as non-NULL.
+				a.nonNull = n
+			} else {
+				ca := &pt.cols[ci]
+				a.nonNull = ca.nonNull[ix]
+				if ca.sum != nil {
+					a.sum = ca.sum[ix]
+					a.min = ca.minv[ix]
+					a.max = ca.maxv[ix]
+				}
+				if r.cols[ci].needDistinct {
+					switch {
+					case ca.bits != nil:
+						a.distinct = make(map[uint64]struct{})
+						if bs := ca.bits[ix]; bs != nil {
+							for w, word := range bs {
+								for word != 0 {
+									b := bits.TrailingZeros64(word)
+									a.distinct[uint64(uint32(w*64+b))] = struct{}{}
+									word &= word - 1
+								}
+							}
+						}
+					case ca.sets != nil && ca.sets[ix] != nil:
+						a.distinct = ca.sets[ix] // partial is discarded; safe to adopt
+					default:
+						a.distinct = make(map[uint64]struct{})
+					}
+				}
+			}
+			cell[ci] = a
+		}
+		r.cells[key] = cell
+	}
+}
+
+// computeCubeVectorized runs one vectorized cube pass over the joined view.
+// workers bounds the number of row-range partials scanned concurrently;
+// small views always scan single-threaded.
+func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int) (*CubeResult, error) {
+	r, err := newCubeResultWithCols(tables, dims, cols)
+	if err != nil {
+		return nil, err
+	}
+	size := flatLatticeSize(dims)
+	if size < 0 {
+		// Defensive: the dispatcher already routed oversized lattices away.
+		if stats != nil {
+			stats.ScalarPasses.Add(1)
+		}
+		return computeCubeScalar(ctx, view, tables, dims, cols)
+	}
+	k, err := newVecKernel(view, dims, r, size, stats)
+	if err != nil {
+		return nil, err
+	}
+
+	n := view.NumRows()
+	parts := 1
+	if workers > 1 && n >= kernelParallelMinRows {
+		parts = workers
+		// Each partial should cover at least two blocks, or the merge
+		// overhead (size-proportional array walks) beats the scan savings.
+		if mx := n / (2 * kernelBlockRows); parts > mx {
+			parts = mx
+		}
+		if parts < 1 {
+			parts = 1
+		}
+	}
+
+	var root *vecPartial
+	if parts <= 1 {
+		if root, err = k.scanRange(ctx, 0, n); err != nil {
+			return nil, err
+		}
+	} else {
+		partials := make([]*vecPartial, parts)
+		errs := make([]error, parts)
+		chunk := (n + parts - 1) / parts
+		var wg sync.WaitGroup
+		for p := 0; p < parts; p++ {
+			lo := p * chunk
+			hi := lo + chunk
+			if hi > n {
+				hi = n
+			}
+			wg.Add(1)
+			go func(p, lo, hi int) {
+				defer wg.Done()
+				partials[p], errs[p] = k.scanRange(ctx, lo, hi)
+			}(p, lo, hi)
+		}
+		wg.Wait()
+		for _, perr := range errs {
+			if perr != nil {
+				return nil, perr
+			}
+		}
+		root = partials[0]
+		for _, pt := range partials[1:] {
+			root.merge(pt)
+		}
+		if stats != nil {
+			stats.PartialsMerged.Add(int64(parts - 1))
+		}
+	}
+
+	k.fill(r, root)
+	return r, nil
+}
