@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-cube serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta serve-smoke ci
 
 all: build test
 
@@ -30,6 +30,14 @@ bench:
 bench-cube:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.json
 
+# bench-delta measures incremental cube maintenance under an append-heavy
+# workload (cached cube advanced through commits by delta scans vs full
+# rescans) and writes BENCH_delta.json. The run hard-fails when the engine's
+# delta accounting is off (wrong block counts, unexpected full rebuilds), so
+# the CI artifact doubles as a regression gate for the delta path.
+bench-delta:
+	$(GO) run ./cmd/benchcube -delta -out BENCH_delta.json
+
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
 # kernel perf trajectory at reduced scale; used by CI (which uploads the
@@ -46,4 +54,4 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -count=1 -run TestAggcheckdSmoke ./cmd/aggcheckd
 
-ci: fmt vet build race bench-smoke serve-smoke
+ci: fmt vet build race bench-smoke bench-delta serve-smoke

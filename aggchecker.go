@@ -27,6 +27,13 @@
 // (WithMode, WithWorkers, WithDeadline, WithTopK) instead of Config
 // mutation. cmd/aggcheckd serves the same surface over HTTP.
 //
+// Storage is snapshot-versioned: databases are opened from pluggable
+// Sources (CSV, JSONL, in-memory builders), rows appended between checks
+// are sealed into immutable blocks by Database.Commit (or
+// Service.Refresh), and the engine absorbs each new version by delta-
+// scanning only the appended blocks into its cached cubes — readers
+// mid-check keep the consistent snapshot they started with.
+//
 // The exported types are aliases into the implementation packages under
 // internal/, so downstream code programs against one import path.
 package aggchecker
@@ -42,6 +49,9 @@ import (
 )
 
 // Database is an in-memory relational database (tables + PK-FK schema).
+// It is the mutable head of a snapshot-versioned store: Append stages
+// rows, Commit seals them into immutable blocks and publishes the next
+// Snapshot, and readers mid-check keep a consistent view.
 type Database = db.Database
 
 // Table is one relational table with typed columns.
@@ -49,6 +59,41 @@ type Table = db.Table
 
 // ForeignKey declares a PK-FK edge between two tables.
 type ForeignKey = db.ForeignKey
+
+// Source materializes a database on demand (pluggable openers: CSV files
+// or directories, JSONL files, in-memory builders).
+type Source = db.Source
+
+// Refresher is implemented by sources that can refresh an open database
+// incrementally, appending new rows as fresh blocks.
+type Refresher = db.Refresher
+
+// Snapshot is an immutable, monotonically versioned view of a Database.
+type Snapshot = db.Snapshot
+
+// Block is one sealed, immutable run of rows — the granularity of
+// incremental cube maintenance.
+type Block = db.Block
+
+// CSVSource loads one table per CSV file and refreshes incrementally from
+// grown files.
+type CSVSource = db.CSVSource
+
+// JSONLSource loads one table per JSON-lines file with the same
+// incremental refresh contract as CSVSource.
+type JSONLSource = db.JSONLSource
+
+// MemSource wraps an already-built in-memory database; Refresh commits
+// rows the owner staged with Database.Append.
+type MemSource = db.MemSource
+
+// CSVOptions tunes CSV parsing: configurable NULL tokens (e.g. "NA",
+// "null") and field delimiter.
+type CSVOptions = db.CSVOptions
+
+// Status reports the storage state of a Service database: residency,
+// snapshot version, and row counts.
+type Status = core.Status
 
 // Document is a parsed hierarchical text document with detected claims.
 type Document = document.Document
@@ -178,13 +223,48 @@ func ParseEvalMode(s string) (EvalMode, error) { return core.ParseEvalMode(s) }
 // DefaultConfig returns the paper's main configuration.
 func DefaultConfig() Config { return core.DefaultConfig() }
 
+// NewCSVSource returns a Source over an explicit CSV file list (one table
+// per file).
+func NewCSVSource(name string, files ...string) *CSVSource { return db.NewCSVSource(name, files...) }
+
+// NewCSVDirSource returns a Source over every *.csv file in a directory.
+func NewCSVDirSource(name, dir string) *CSVSource { return db.NewCSVDirSource(name, dir) }
+
+// NewJSONLSource returns a Source over JSON-lines files (one table per
+// file).
+func NewJSONLSource(name string, files ...string) *JSONLSource {
+	return db.NewJSONLSource(name, files...)
+}
+
+// NewMemSource returns a Source over an in-memory database.
+func NewMemSource(d *Database) *MemSource { return db.NewMemSource(d) }
+
 // NewDatabase creates an empty database.
+//
+// Deprecated: hand-built databases remain fully supported as the in-memory
+// builder path, but prefer registering a Source (NewMemSource wraps a
+// built Database) so services can Refresh it; use Append/Commit rather
+// than direct column mutation once checking has started.
 func NewDatabase(name string) *Database { return db.NewDatabase(name) }
 
 // LoadCSVFile loads a table from a CSV file with type inference; the table
 // name defaults to the file's base name.
+//
+// Deprecated: use NewCSVSource (or LoadCSVFileOptions for one table with
+// explicit CSVOptions); sources open lazily and refresh incrementally.
 func LoadCSVFile(path, tableName string) (*Table, error) {
 	return db.LoadCSVFile(path, tableName)
+}
+
+// LoadCSVFileOptions loads a table from a CSV file with explicit parsing
+// options (NULL tokens, delimiter).
+func LoadCSVFileOptions(path, tableName string, opts CSVOptions) (*Table, error) {
+	return db.LoadCSVFileOptions(path, tableName, opts)
+}
+
+// LoadJSONLFile loads a table from a JSON-lines file.
+func LoadJSONLFile(path, tableName string) (*Table, error) {
+	return db.LoadJSONLFile(path, tableName)
 }
 
 // ParseHTML parses HTML-lite markup into a Document and detects claims.

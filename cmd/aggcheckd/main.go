@@ -18,6 +18,12 @@
 // topk=N, workers=N, timeout=DURATION. -demo registers the embedded
 // reproduction corpus (the paper's NFL running example as "nfl" plus the
 // generated articles), which doubles as the CI smoke target.
+//
+// -db databases are registered as refreshable CSV sources: POST
+// /v1/databases/{name}/refresh appends rows that grew onto the backing
+// files as fresh storage blocks (the engine delta-scans them into cached
+// cubes), and -watch POLLINTERVAL polls the files' mtimes and triggers the
+// same refresh automatically when they change.
 package main
 
 import (
@@ -49,6 +55,7 @@ func main() {
 	maxConcurrent := flag.Int("max-concurrent", 16, "max simultaneous verification requests (0 = unlimited)")
 	maxResident := flag.Int("max-resident", 8, "max resident database catalogs, LRU-evicted (0 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window after SIGINT/SIGTERM")
+	watch := flag.Duration("watch", 0, "poll interval for -db CSV files; on mtime/size change the database is refreshed (0 = off)")
 	var dbFlags multiFlag
 	flag.Var(&dbFlags, "db", "register a database: name=file.csv[,file2.csv...] (repeatable)")
 	flag.Parse()
@@ -68,14 +75,20 @@ func main() {
 		core.WithMaxResident(*maxResident),
 	)
 	registered := 0
+	watched := make(map[string][]string) // database name -> backing files
 	for _, spec := range dbFlags {
 		name, files, ok := strings.Cut(spec, "=")
 		if !ok || name == "" || files == "" {
 			logger.Fatalf("bad -db %q (want name=file.csv[,file2.csv...])", spec)
 		}
-		if err := svc.Register(name, csvOpener(strings.Split(files, ","))); err != nil {
+		list := strings.Split(files, ",")
+		for i := range list {
+			list[i] = strings.TrimSpace(list[i])
+		}
+		if err := svc.RegisterSource(name, db.NewCSVSource(name, list...)); err != nil {
 			logger.Fatal(err)
 		}
+		watched[name] = list
 		registered++
 	}
 	if *demo {
@@ -111,6 +124,10 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	if *watch > 0 && len(watched) > 0 {
+		go watchSources(ctx, svc, logger, *watch, watched)
+	}
+
 	serveErr := make(chan error, 1)
 	go func() { serveErr <- server.Serve(ln) }()
 
@@ -140,23 +157,63 @@ type multiFlag []string
 func (m *multiFlag) String() string     { return strings.Join(*m, " ") }
 func (m *multiFlag) Set(v string) error { *m = append(*m, v); return nil }
 
-// csvOpener loads the given CSV files into one database on first use.
-func csvOpener(files []string) core.OpenFunc {
-	return func(ctx context.Context) (*db.Database, error) {
-		d := db.NewDatabase("userdb")
+// watchSources polls the registered CSV files and triggers Service.Refresh
+// for a database whenever any of its files changes mtime or size. Refresh
+// is cheap when nothing is resident, and for resident databases it appends
+// the new rows as fresh blocks the engine delta-scans on the next check.
+func watchSources(ctx context.Context, svc *core.Service, logger *log.Logger, every time.Duration, watched map[string][]string) {
+	type stamp struct {
+		mtime time.Time
+		size  int64
+	}
+	last := make(map[string]stamp)
+	observe := func(file string) (stamp, bool) {
+		fi, err := os.Stat(file)
+		if err != nil {
+			return stamp{}, false
+		}
+		return stamp{mtime: fi.ModTime(), size: fi.Size()}, true
+	}
+	for _, files := range watched {
 		for _, f := range files {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			tbl, err := db.LoadCSVFile(strings.TrimSpace(f), "")
-			if err != nil {
-				return nil, err
-			}
-			if err := d.AddTable(tbl); err != nil {
-				return nil, err
+			if st, ok := observe(f); ok {
+				last[f] = st
 			}
 		}
-		return d, nil
+	}
+	ticker := time.NewTicker(every)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-ticker.C:
+		}
+		for name, files := range watched {
+			changed := false
+			for _, f := range files {
+				st, ok := observe(f)
+				if !ok {
+					continue
+				}
+				if prev, seen := last[f]; !seen || prev != st {
+					last[f] = st
+					changed = true
+				}
+			}
+			if !changed {
+				continue
+			}
+			st, err := svc.Refresh(ctx, name)
+			switch {
+			case err != nil:
+				logger.Printf("watch: refresh %s: %v", name, err)
+			case st.Appended > 0:
+				logger.Printf("watch: refreshed %s: +%d rows, version %d", name, st.Appended, st.Version)
+			default:
+				logger.Printf("watch: %s changed (not resident or nothing appended)", name)
+			}
+		}
 	}
 }
 

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// startDaemon builds the real binary, starts it with args, and returns the
+// base URL once the listening line is printed.
+func startDaemon(t *testing.T, args ...string) (*exec.Cmd, string, *bytes.Buffer) {
+	t.Helper()
+	bin := filepath.Join(t.TempDir(), "aggcheckd")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+	cmd := exec.Command(bin, args...)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if cmd.Process != nil {
+			_ = cmd.Process.Kill()
+		}
+	})
+	addrCh := make(chan string, 1)
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if strings.Contains(line, "listening on ") {
+				fields := strings.Fields(line)
+				for i, f := range fields {
+					if f == "on" && i+1 < len(fields) {
+						addrCh <- fields[i+1]
+						return
+					}
+				}
+			}
+		}
+		close(addrCh)
+	}()
+	select {
+	case addr, ok := <-addrCh:
+		if !ok {
+			t.Fatalf("daemon exited before listening; stderr:\n%s", stderr.String())
+		}
+		return cmd, "http://" + addr, &stderr
+	case <-time.After(30 * time.Second):
+		t.Fatalf("timeout waiting for listen line; stderr:\n%s", stderr.String())
+		return nil, "", nil
+	}
+}
+
+// TestAggcheckdWatchSmoke exercises the live-corpus path end to end: a CSV
+// database registered with -watch, one check to make it resident, a file
+// append, and the watcher refreshing the snapshot version behind the
+// running daemon — observed through the status endpoint.
+func TestAggcheckdWatchSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exec smoke test in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping under -race: make serve-smoke owns the end-to-end daemon run")
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "fines.csv")
+	if err := os.WriteFile(csvPath, []byte("player,amount\nAlice,100\nBob,200\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cmd, base, stderr := startDaemon(t,
+		"-db", "fines="+csvPath, "-watch", "150ms", "-addr", "127.0.0.1:0", "-timeout", "60s")
+
+	status := func() (int, map[string]any) {
+		resp, err := http.Get(base + "/v1/databases/fines/status")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var st map[string]any
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, st
+	}
+
+	// A check makes the database resident (watch refreshes only touch
+	// loaded catalogs; unloaded ones reload fresh anyway).
+	resp, err := http.Post(base+"/v1/databases/fines/check", "text/plain",
+		strings.NewReader("There are 2 players."))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d; stderr:\n%s", resp.StatusCode, stderr.String())
+	}
+	if code, st := status(); code != http.StatusOK || st["resident"] != true || st["version"].(float64) != 1 {
+		t.Fatalf("resident status = %d %v", code, st)
+	}
+
+	// Grow the file; the watcher must refresh to version 2 with 3 rows.
+	f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("Zed,300\n"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		_, st := status()
+		if v, _ := st["version"].(float64); v >= 2 {
+			rows := st["rows"].(map[string]any)
+			if rows["fines"].(float64) != 3 {
+				t.Fatalf("refreshed rows = %v", st)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never refreshed; last status %v; stderr:\n%s", st, stderr.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+
+	// Clean shutdown.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	exited := make(chan error, 1)
+	go func() { exited <- cmd.Wait() }()
+	select {
+	case err := <-exited:
+		if err != nil {
+			t.Fatalf("daemon exit: %v; stderr:\n%s", err, stderr.String())
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatalf("daemon did not exit after SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "watch: refreshed fines") {
+		t.Errorf("expected watch refresh log, got:\n%s", stderr.String())
+	}
+}

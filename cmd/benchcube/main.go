@@ -17,6 +17,7 @@ import (
 	"os"
 	"runtime"
 	"testing"
+	"time"
 
 	"aggchecker/internal/benchdata"
 	"aggchecker/internal/db"
@@ -45,11 +46,44 @@ type benchFile struct {
 	Speedups map[string]float64 `json:"speedups_vectorized_over_scalar"`
 }
 
+// deltaFile is the machine-readable record of the append-heavy incremental
+// maintenance workload (make bench-delta): a cached cube is advanced
+// through a series of commits, once by delta-scanning only the appended
+// blocks and once by full recomputation, per case.
+type deltaFile struct {
+	Schema     string           `json:"schema"`
+	GoVersion  string           `json:"go_version"`
+	GoMaxProcs int              `json:"go_max_procs"`
+	FactRows   int              `json:"fact_rows"`
+	Batches    int              `json:"append_batches"`
+	BatchRows  int              `json:"batch_rows"`
+	Cases      []deltaCaseEntry `json:"cases"`
+}
+
+type deltaCaseEntry struct {
+	Name             string  `json:"name"`
+	DeltaNsPerCheck  float64 `json:"delta_ns_per_recheck"`
+	RescanNsPerCheck float64 `json:"rescan_ns_per_recheck"`
+	Speedup          float64 `json:"speedup_delta_over_rescan"`
+	DeltaScans       int64   `json:"delta_scans"`
+	BlocksDelta      int64   `json:"blocks_delta"`
+	FullRebuilds     int64   `json:"full_rebuilds"`
+	RowsPerDeltaSec  float64 `json:"appended_rows_per_sec"`
+}
+
 func main() {
 	out := flag.String("out", "BENCH_cube.json", "output path for the JSON perf record")
 	rows := flag.Int("rows", 120000, "fact table rows")
 	workers := flag.Int("workers", 1, "cube-pass scan workers (1 isolates kernel throughput)")
+	delta := flag.Bool("delta", false, "measure the append-heavy incremental-maintenance workload instead of the kernel matrix")
+	batches := flag.Int("batches", 24, "append batches (commits) per case in -delta mode")
+	batchRows := flag.Int("batch-rows", 2000, "rows per append batch in -delta mode")
 	flag.Parse()
+
+	if *delta {
+		runDelta(*out, *rows, *batches, *batchRows)
+		return
+	}
 
 	d := benchdata.BuildDB(*rows)
 	ctx := context.Background()
@@ -103,15 +137,104 @@ func main() {
 		fmt.Printf("%-22s speedup x%.2f\n", bc.Name, file.Speedups[bc.Name])
 	}
 
-	data, err := json.MarshalIndent(&file, "", "  ")
+	writeJSON(*out, &file)
+}
+
+// runDelta measures incremental cube maintenance: for each single-table
+// case, warm a cached cube, then drive `batches` append+commit cycles. The
+// delta engine re-checks after every commit (delta-scanning only the new
+// block); the rescan baseline disables caching so every re-check is a full
+// pass over all rows. The run sanity-checks the engine's own accounting —
+// one delta scan covering exactly one block per commit, zero full rebuilds
+// — and exits non-zero on violation, so the CI artifact doubles as a
+// regression gate for the delta path.
+func runDelta(out string, rows, batches, batchRows int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -delta: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	file := deltaFile{
+		Schema:     "aggchecker-cube-delta-bench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FactRows:   rows,
+		Batches:    batches,
+		BatchRows:  batchRows,
+	}
+	for _, bc := range benchdata.Cases() {
+		if len(bc.Tables) != 1 {
+			continue // joined scopes take the full-rebuild path by design
+		}
+		// Separate database copies so the two strategies see identical,
+		// independent append schedules.
+		deltaDB := benchdata.BuildDB(rows)
+		rescanDB := benchdata.BuildDB(rows)
+		deltaEng := sqlexec.NewEngine(deltaDB)
+		rescanEng := sqlexec.NewEngine(rescanDB)
+		rescanEng.SetCaching(false)
+		if _, err := deltaEng.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+			fail("warm %s: %v", bc.Name, err)
+		}
+
+		var deltaNs, rescanNs int64
+		for b := 0; b < batches; b++ {
+			seed := int64(1000 + b)
+			if err := benchdata.AppendFactRows(deltaDB, batchRows, seed); err != nil {
+				fail("append %s: %v", bc.Name, err)
+			}
+			if err := benchdata.AppendFactRows(rescanDB, batchRows, seed); err != nil {
+				fail("append %s: %v", bc.Name, err)
+			}
+			start := time.Now()
+			if _, err := deltaEng.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+				fail("delta recheck %s: %v", bc.Name, err)
+			}
+			deltaNs += time.Since(start).Nanoseconds()
+			start = time.Now()
+			if _, err := rescanEng.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+				fail("rescan recheck %s: %v", bc.Name, err)
+			}
+			rescanNs += time.Since(start).Nanoseconds()
+		}
+
+		s := deltaEng.Stats.Snapshot()
+		if s["delta_scans"] != int64(batches) {
+			fail("%s: delta_scans = %d, want %d", bc.Name, s["delta_scans"], batches)
+		}
+		if s["blocks_delta"] != int64(batches) {
+			fail("%s: blocks_delta = %d, want %d (one block per commit)", bc.Name, s["blocks_delta"], batches)
+		}
+		if s["full_rebuilds"] != 0 {
+			fail("%s: full_rebuilds = %d, want 0", bc.Name, s["full_rebuilds"])
+		}
+		entry := deltaCaseEntry{
+			Name:             bc.Name,
+			DeltaNsPerCheck:  float64(deltaNs) / float64(batches),
+			RescanNsPerCheck: float64(rescanNs) / float64(batches),
+			Speedup:          float64(rescanNs) / float64(deltaNs),
+			DeltaScans:       s["delta_scans"],
+			BlocksDelta:      s["blocks_delta"],
+			FullRebuilds:     s["full_rebuilds"],
+			RowsPerDeltaSec:  float64(batchRows) / (float64(deltaNs) / float64(batches) * 1e-9),
+		}
+		file.Cases = append(file.Cases, entry)
+		fmt.Printf("%-22s delta %10.0f ns/recheck   rescan %12.0f ns/recheck   speedup x%.1f\n",
+			bc.Name, entry.DeltaNsPerCheck, entry.RescanNsPerCheck, entry.Speedup)
+	}
+	writeJSON(out, &file)
+}
+
+func writeJSON(out string, v any) {
+	data, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "benchcube: %v\n", err)
 		os.Exit(1)
 	}
 	data = append(data, '\n')
-	if err := os.WriteFile(*out, data, 0o644); err != nil {
+	if err := os.WriteFile(out, data, 0o644); err != nil {
 		fmt.Fprintf(os.Stderr, "benchcube: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("wrote %s\n", *out)
+	fmt.Printf("wrote %s\n", out)
 }

@@ -68,6 +68,44 @@ func BuildDB(rows int) *db.Database {
 	return d
 }
 
+// AppendFactRows stages and commits n rows into the fact table, drawn from
+// the same distributions as BuildDB, as one sealed block — the unit of the
+// append-heavy incremental-maintenance workload (cmd/benchcube -delta).
+func AppendFactRows(d *db.Database, n int, seed int64) error {
+	rng := rand.New(rand.NewSource(seed))
+	avals := []string{"p", "q", "r", "s"}
+	bvals := []string{"u", "v", "w"}
+	cvals := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
+	kvals := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	rows := make([][]any, n)
+	for i := range rows {
+		var a any = avals[rng.Intn(len(avals))]
+		if rng.Intn(20) == 0 {
+			a = nil
+		}
+		var x any = float64(rng.Intn(1000))
+		if rng.Intn(20) == 0 {
+			x = nil
+		}
+		rows[i] = []any{
+			a,
+			bvals[rng.Intn(len(bvals))],
+			cvals[rng.Intn(len(cvals))],
+			float64(rng.Intn(6)),
+			float64(rng.Intn(4)),
+			float64(rng.Intn(5)),
+			x,
+			rng.Float64() * 100,
+			kvals[rng.Intn(len(kvals))],
+		}
+	}
+	if err := d.Append("fact", rows...); err != nil {
+		return err
+	}
+	_, err := d.Commit()
+	return err
+}
+
 // Case is one cube-pass benchmark configuration.
 type Case struct {
 	Name   string

@@ -177,6 +177,10 @@ func (c *Checker) check(ctx context.Context, doc *document.Document, set checkSe
 	scores := keywords.MatchAll(c.Catalog, doc, set.cfg.Context, set.cfg.Model.TopKHits)
 
 	ev, engine := c.evaluatorFor(set.cfg)
+	// Pin one storage snapshot for the whole request: every cube pass and
+	// direct scan of this check observes a single version, so a Refresh
+	// committing mid-check cannot mix row sets between EM iterations.
+	ctx = sqlexec.WithSnapshot(ctx, engine.DB.Snapshot())
 	// Diff the engine counters around the run so Report.Stats is
 	// per-document even in cached mode, where the checker-lifetime engine
 	// is shared across calls. Snapshot reads are atomic loads, so taking

@@ -10,6 +10,7 @@ import (
 
 	"aggchecker/internal/db"
 	"aggchecker/internal/document"
+	"aggchecker/internal/fragments"
 )
 
 // ErrUnknownDatabase is returned (wrapped, with the name) when a Service
@@ -43,11 +44,13 @@ type Service struct {
 // source is one registered database.
 type source struct {
 	name string
-	open OpenFunc
+	src  db.Source
 	cfg  *Config // per-database override; nil uses the service default
 
 	// building is the in-flight singleflight build, nil when idle.
 	building *buildCall
+	// refreshing is the in-flight singleflight refresh, nil when idle.
+	refreshing *refreshCall
 	// checker is non-nil while resident; elem is its lru position.
 	checker *Checker
 	elem    *list.Element
@@ -58,6 +61,49 @@ type buildCall struct {
 	done    chan struct{}
 	checker *Checker
 	err     error
+}
+
+// refreshCall coalesces concurrent refreshes of one source.
+type refreshCall struct {
+	done chan struct{}
+	st   Status
+	err  error
+}
+
+// Status reports the storage state of one registered database.
+type Status struct {
+	// Name is the registered database name.
+	Name string `json:"name"`
+	// Resident reports whether the database's checker (catalog + engine)
+	// is currently in memory. Non-resident databases load fresh from their
+	// Source on the next request, so they never need an explicit refresh.
+	Resident bool `json:"resident"`
+	// Version is the database's current snapshot version (0 when not
+	// resident).
+	Version uint64 `json:"version"`
+	// Rows maps table name to visible row count (nil when not resident).
+	Rows map[string]int `json:"rows,omitempty"`
+	// TotalRows sums Rows.
+	TotalRows int `json:"total_rows"`
+	// Appended is the number of rows the last Refresh sealed (only set on
+	// Refresh results).
+	Appended int `json:"appended,omitempty"`
+}
+
+func statusOf(name string, ck *Checker) Status {
+	st := Status{Name: name}
+	if ck == nil {
+		return st
+	}
+	snap := ck.DB.Snapshot()
+	st.Resident = true
+	st.Version = snap.Version()
+	st.Rows = make(map[string]int, len(snap.Tables()))
+	for _, t := range snap.Tables() {
+		st.Rows[t.Name] = t.NumRows()
+		st.TotalRows += t.NumRows()
+	}
+	return st
 }
 
 // ServiceOption configures a Service at construction.
@@ -99,13 +145,17 @@ func WithDatabaseConfig(cfg Config) RegisterOption {
 	return func(src *source) { src.cfg = &cfg }
 }
 
-// Register adds a named database whose data is materialized by open on
-// first use. Registering an already-registered name fails.
-func (s *Service) Register(name string, open OpenFunc, opts ...RegisterOption) error {
-	if open == nil {
-		return fmt.Errorf("aggchecker: register %q: nil OpenFunc", name)
+// RegisterSource adds a named database materialized from a db.Source on
+// first use. Sources that also implement db.Refresher (CSV, JSONL, and
+// in-memory sources do) get incremental Refresh: new rows are appended and
+// committed as fresh blocks, the keyword catalog is rebuilt, and the
+// engine's snapshot-versioned caches absorb the appends by delta scans.
+// Registering an already-registered name fails.
+func (s *Service) RegisterSource(name string, dsrc db.Source, opts ...RegisterOption) error {
+	if dsrc == nil {
+		return fmt.Errorf("aggchecker: register %q: nil source", name)
 	}
-	src := &source{name: name, open: open}
+	src := &source{name: name, src: dsrc}
 	for _, o := range opts {
 		if o != nil {
 			o(src)
@@ -120,12 +170,25 @@ func (s *Service) Register(name string, open OpenFunc, opts ...RegisterOption) e
 	return nil
 }
 
-// RegisterDatabase adds an already-loaded in-memory database.
+// Register adds a named database whose data is materialized by open on
+// first use.
+//
+// Deprecated: use RegisterSource with a db.Source; plain OpenFuncs cannot
+// refresh incrementally (Refresh falls back to evicting the catalog).
+func (s *Service) Register(name string, open OpenFunc, opts ...RegisterOption) error {
+	if open == nil {
+		return fmt.Errorf("aggchecker: register %q: nil OpenFunc", name)
+	}
+	return s.RegisterSource(name, db.SourceFunc(open), opts...)
+}
+
+// RegisterDatabase adds an already-loaded in-memory database (a
+// db.MemSource): Refresh commits rows the owner staged with Append.
 func (s *Service) RegisterDatabase(name string, d *db.Database, opts ...RegisterOption) error {
 	if d == nil {
 		return fmt.Errorf("aggchecker: register %q: nil database", name)
 	}
-	return s.Register(name, func(context.Context) (*db.Database, error) { return d, nil }, opts...)
+	return s.RegisterSource(name, db.NewMemSource(d), opts...)
 }
 
 // Names returns the registered database names, sorted.
@@ -205,7 +268,7 @@ func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, er
 
 	// The expensive part — loading data and building the fragment catalog —
 	// runs outside the service lock so other databases stay available.
-	d, err := src.open(ctx)
+	d, err := src.src.Open(ctx)
 	if err == nil {
 		cfg := s.defaultCfg
 		if src.cfg != nil {
@@ -250,6 +313,126 @@ func (s *Service) evictLocked() {
 		s.lru.Remove(e)
 		victim.elem = nil
 		victim.checker = nil
+	}
+}
+
+// Status reports the storage state of a registered database without
+// loading it: version and row counts when resident, Resident=false
+// otherwise (a non-resident database always opens fresh, so there is
+// nothing to refresh).
+func (s *Service) Status(name string) (Status, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	src, ok := s.sources[name]
+	if !ok {
+		return Status{}, fmt.Errorf("aggchecker: %w: %q", ErrUnknownDatabase, name)
+	}
+	return statusOf(name, src.checker), nil
+}
+
+// Refresh brings a registered database up to date with its source.
+// Concurrent refreshes of the same database are coalesced onto one run
+// (singleflight). Three outcomes:
+//
+//   - Not resident: nothing to do — the source re-opens with current data
+//     on the next request.
+//   - Resident with a refreshable source (db.Refresher): new rows are
+//     appended and committed, publishing snapshot version N+1 behind the
+//     engine's back-compatible caches (delta-scanned on the next check),
+//     and the keyword catalog is rebuilt so appended values match.
+//   - Resident with an opaque source: the checker is evicted and rebuilt
+//     lazily from fresh data on the next request.
+func (s *Service) Refresh(ctx context.Context, name string) (Status, error) {
+	s.mu.Lock()
+	src, ok := s.sources[name]
+	if !ok {
+		s.mu.Unlock()
+		return Status{}, fmt.Errorf("aggchecker: %w: %q", ErrUnknownDatabase, name)
+	}
+	if call := src.refreshing; call != nil {
+		s.mu.Unlock()
+		select {
+		case <-call.done:
+			return call.st, call.err
+		case <-ctx.Done():
+			return Status{}, ctx.Err()
+		}
+	}
+	call := &refreshCall{done: make(chan struct{})}
+	src.refreshing = call
+	ck := src.checker
+	s.mu.Unlock()
+
+	st, err := s.refresh(ctx, src, ck)
+
+	s.mu.Lock()
+	src.refreshing = nil
+	s.mu.Unlock()
+	call.st, call.err = st, err
+	close(call.done)
+	return st, err
+}
+
+// refresh performs one refresh outside the singleflight bookkeeping.
+func (s *Service) refresh(ctx context.Context, src *source, ck *Checker) (Status, error) {
+	if ck == nil {
+		return Status{Name: src.name}, nil
+	}
+	r, ok := src.src.(db.Refresher)
+	if !ok {
+		// Opaque source: evict so the next request reloads fresh data.
+		s.evictChecker(src, ck)
+		return Status{Name: src.name}, nil
+	}
+	appended, err := r.Refresh(ctx, ck.DB)
+	if err != nil && ctx.Err() == nil {
+		// The source changed in a way the incremental contract cannot
+		// express (a rewritten or shrunken file, a type flip): fall back
+		// to a full re-open by evicting the checker, so the next request
+		// loads the file as it now is instead of serving pre-rewrite data
+		// forever. Cancellation is not a source problem and evicts nothing.
+		s.evictChecker(src, ck)
+		return Status{Name: src.name}, err
+	}
+	if err != nil {
+		return statusOf(src.name, ck), err
+	}
+	if appended > 0 {
+		// The engine keeps its snapshot-versioned caches (appends are
+		// absorbed by delta scans); only the keyword catalog, which indexes
+		// column values, needs a rebuild so freshly appended literals
+		// match. The swapped checker shares DB and Engine, so readers
+		// mid-check on the old struct stay consistent.
+		fresh := &Checker{
+			DB:      ck.DB,
+			Catalog: fragments.BuildCatalog(ck.DB, ck.Config.Fragments),
+			Engine:  ck.Engine,
+			Config:  ck.Config,
+		}
+		s.mu.Lock()
+		if src.checker == ck {
+			src.checker = fresh
+		}
+		s.mu.Unlock()
+		ck = fresh
+	}
+	st := statusOf(src.name, ck)
+	st.Appended = appended
+	return st, nil
+}
+
+// evictChecker drops a resident checker (if still the given one) so the
+// next request rebuilds from a fresh source open.
+func (s *Service) evictChecker(src *source, ck *Checker) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if src.checker != ck {
+		return
+	}
+	src.checker = nil
+	if src.elem != nil {
+		s.lru.Remove(src.elem)
+		src.elem = nil
 	}
 }
 

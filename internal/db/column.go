@@ -50,10 +50,12 @@ type Column struct {
 	dict   []string
 	dictID map[string]int32
 
-	mu       sync.Mutex
-	valIndex map[int32][]int32 // string code -> row ids (built lazily)
-	nullBits []uint64          // null bitmap (built lazily by Nulls)
-	nullCnt  int
+	mu          sync.Mutex
+	valIndex    map[int32][]int32 // string code -> row ids (built lazily)
+	valIndexLen int               // rows covered by valIndex
+	nullBits    []uint64          // null bitmap (built lazily by Nulls)
+	nullCnt     int
+	nullsLen    int // rows covered by nullBits; rebuilt when the column grew
 }
 
 // NewStringColumn returns an empty string column.
@@ -171,10 +173,10 @@ func (c *Column) NullCount() int {
 func (c *Column) HasNulls() bool { return c.NullCount() > 0 }
 
 func (c *Column) buildNullsLocked() {
-	if c.nullBits != nil {
+	n := c.Len()
+	if c.nullBits != nil && c.nullsLen == n {
 		return
 	}
-	n := c.Len()
 	bm := make([]uint64, (n+63)/64)
 	cnt := 0
 	for i := 0; i < n; i++ {
@@ -185,6 +187,7 @@ func (c *Column) buildNullsLocked() {
 	}
 	c.nullBits = bm
 	c.nullCnt = cnt
+	c.nullsLen = n
 }
 
 // CodeOf returns the dictionary code of value v, or -1 if v never occurs.
@@ -262,13 +265,14 @@ func (c *Column) RowsWithCode(code int32) []int32 {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	if c.valIndex == nil {
+	if c.valIndex == nil || c.valIndexLen != len(c.codes) {
 		c.valIndex = make(map[int32][]int32)
 		for i, cd := range c.codes {
 			if cd >= 0 {
 				c.valIndex[cd] = append(c.valIndex[cd], int32(i))
 			}
 		}
+		c.valIndexLen = len(c.codes)
 	}
 	return c.valIndex[code]
 }

@@ -3,6 +3,8 @@ package db
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 )
 
 // ForeignKey declares that FromTable.FromColumn references ToTable's
@@ -14,25 +16,61 @@ type ForeignKey struct {
 
 // Database is a set of tables connected by PK-FK constraints. The paper
 // assumes an acyclic schema (§6.3); AddForeignKey enforces it.
+//
+// The database is the mutable head of a snapshot-versioned store: Append
+// stages rows, Commit seals them into immutable blocks and publishes the
+// next Snapshot, and Snapshot returns the latest published view. All
+// structural and row mutations are serialized by an internal lock; any
+// number of readers may hold Snapshots concurrently with mutation. After
+// the first Snapshot has been published, column data must only be mutated
+// through Append/Commit — direct Column appends bypass versioning.
 type Database struct {
 	Name   string
 	tables []*Table
 	byName map[string]*Table
 	fks    []ForeignKey
+
+	// mu serializes mutation (Append/Commit/AddTable/AddForeignKey) and
+	// snapshot publication; snap is the latest published snapshot (nil
+	// until first use or after a structural change, rebuilt lazily).
+	mu       sync.Mutex
+	snap     atomic.Pointer[Snapshot]
+	lastSnap *Snapshot // previous publication, for incremental rebuilds
+	staged   map[string][]stagedRow
+	blocks   map[string][]Block
+	version  uint64
+	epoch    uint64
+	blockSeq int
+}
+
+// stagedRow is one appended row, already normalized to storage values.
+type stagedRow struct {
+	floats  []float64
+	strings []string
 }
 
 // NewDatabase creates an empty database.
 func NewDatabase(name string) *Database {
-	return &Database{Name: name, byName: make(map[string]*Table)}
+	return &Database{
+		Name:   name,
+		byName: make(map[string]*Table),
+		staged: make(map[string][]stagedRow),
+		blocks: make(map[string][]Block),
+	}
 }
 
-// AddTable registers a table; names must be unique.
+// AddTable registers a table; names must be unique. Adding a table is a
+// structural change: it bumps the schema epoch and the next Snapshot call
+// publishes a fresh version.
 func (d *Database) AddTable(t *Table) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	if _, dup := d.byName[t.Name]; dup {
 		return fmt.Errorf("db: duplicate table %s", t.Name)
 	}
 	d.tables = append(d.tables, t)
 	d.byName[t.Name] = t
+	d.invalidateLocked()
 	return nil
 }
 
@@ -45,8 +83,11 @@ func (d *Database) MustAddTable(t *Table) {
 
 // AddForeignKey registers a PK-FK edge, validating both endpoints and
 // rejecting edges that would introduce a cycle in the (undirected) schema
-// graph, as the join-path logic assumes acyclicity.
+// graph, as the join-path logic assumes acyclicity. Like AddTable, this is
+// a structural change and bumps the schema epoch.
 func (d *Database) AddForeignKey(fk ForeignKey) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
 	from := d.byName[fk.FromTable]
 	to := d.byName[fk.ToTable]
 	if from == nil || to == nil {
@@ -61,10 +102,11 @@ func (d *Database) AddForeignKey(fk ForeignKey) error {
 	if to.PrimaryKey != fk.ToColumn {
 		return fmt.Errorf("db: foreign key target %s.%s is not the primary key", fk.ToTable, fk.ToColumn)
 	}
-	if d.connected(fk.FromTable, fk.ToTable) {
+	if d.connectedLocked(fk.FromTable, fk.ToTable) {
 		return fmt.Errorf("db: foreign key %s->%s would create a cycle", fk.FromTable, fk.ToTable)
 	}
 	d.fks = append(d.fks, fk)
+	d.invalidateLocked()
 	return nil
 }
 
@@ -73,6 +115,141 @@ func (d *Database) MustAddForeignKey(fk ForeignKey) {
 	if err := d.AddForeignKey(fk); err != nil {
 		panic(err)
 	}
+}
+
+// invalidateLocked drops the published snapshot after a structural change;
+// the next Snapshot call rebuilds it under a fresh version and epoch.
+// Callers hold d.mu.
+func (d *Database) invalidateLocked() {
+	d.epoch++
+	d.snap.Store(nil)
+}
+
+// Snapshot returns the latest published snapshot, building and publishing
+// one (sealing any pre-existing unsealed rows as initial blocks) on first
+// use or after a structural change. Snapshots are immutable and cheap; hold
+// one for the duration of a consistent read.
+func (d *Database) Snapshot() *Snapshot {
+	if s := d.snap.Load(); s != nil {
+		return s
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.publishLocked()
+}
+
+// Version returns the version the next Snapshot call will observe (the
+// latest published version, or the pending one after an invalidation).
+func (d *Database) Version() uint64 {
+	return d.Snapshot().Version()
+}
+
+// publishLocked seals initial blocks for tables with unsealed rows, builds
+// the snapshot, and publishes it. Callers hold d.mu.
+func (d *Database) publishLocked() *Snapshot {
+	if s := d.snap.Load(); s != nil {
+		return s
+	}
+	for _, t := range d.tables {
+		sealed := 0
+		if bs := d.blocks[t.Name]; len(bs) > 0 {
+			sealed = bs[len(bs)-1].End
+		}
+		if rows := t.NumRows(); rows > sealed {
+			d.blocks[t.Name] = append(d.blocks[t.Name], Block{Seq: d.blockSeq, Start: sealed, End: rows})
+			d.blockSeq++
+		}
+	}
+	d.version++
+	s := buildSnapshotLocked(d, d.lastSnap, d.version, d.epoch)
+	d.lastSnap = s
+	d.snap.Store(s)
+	return s
+}
+
+// Append stages rows for a table; each row lists one value per table column
+// in declaration order. Numeric columns accept float64/float32/int/int64,
+// numeric strings, or nil/NaN for NULL; string columns accept strings
+// (empty = NULL), nil, or numbers (formatted). Staged rows become visible
+// only when Commit seals them into a block and publishes the next snapshot.
+func (d *Database) Append(table string, rows ...[]any) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	t := d.byName[table]
+	if t == nil {
+		return fmt.Errorf("db: append to unknown table %s", table)
+	}
+	staged := make([]stagedRow, 0, len(rows))
+	for _, row := range rows {
+		if len(row) != len(t.Columns) {
+			return fmt.Errorf("db: append to %s: row has %d values, want %d", table, len(row), len(t.Columns))
+		}
+		sr := stagedRow{floats: make([]float64, len(row)), strings: make([]string, len(row))}
+		for j, c := range t.Columns {
+			fv, sv, err := normalizeCell(c, row[j])
+			if err != nil {
+				return fmt.Errorf("db: append to %s: %w", table, err)
+			}
+			sr.floats[j], sr.strings[j] = fv, sv
+		}
+		staged = append(staged, sr)
+	}
+	d.staged[table] = append(d.staged[table], staged...)
+	return nil
+}
+
+// Pending returns the number of staged (uncommitted) rows for a table.
+func (d *Database) Pending(table string) int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.staged[table])
+}
+
+// Commit seals all staged rows into one new block per touched table and
+// publishes the next snapshot (version N+1). Readers holding version N keep
+// a fully consistent view: sealed storage is append-only and snapshots
+// capture bounded slice headers. With nothing staged, Commit publishes no
+// new version and returns the current snapshot.
+func (d *Database) Commit() (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	// Make sure the pre-commit state is published first: initial-load rows
+	// get their own sealed blocks and version, so the commit below is a
+	// clean N -> N+1 append even when nobody snapshotted the database yet.
+	d.publishLocked()
+	touched := false
+	names := make([]string, 0, len(d.staged))
+	for name, rows := range d.staged {
+		if len(rows) > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := d.byName[name]
+		if t == nil {
+			return nil, fmt.Errorf("db: staged rows for unknown table %s", name)
+		}
+		start := t.NumRows()
+		for _, sr := range d.staged[name] {
+			for j, c := range t.Columns {
+				if c.Kind == KindFloat {
+					c.AppendFloat(sr.floats[j])
+				} else {
+					c.AppendString(sr.strings[j])
+				}
+			}
+		}
+		d.blocks[name] = append(d.blocks[name], Block{Seq: d.blockSeq, Start: start, End: t.NumRows()})
+		d.blockSeq++
+		touched = true
+	}
+	d.staged = make(map[string][]stagedRow)
+	if !touched {
+		return d.publishLocked(), nil
+	}
+	d.snap.Store(nil)
+	return d.publishLocked(), nil
 }
 
 // Tables returns all tables in registration order.
@@ -84,12 +261,13 @@ func (d *Database) Table(name string) *Table { return d.byName[name] }
 // ForeignKeys returns the registered PK-FK edges.
 func (d *Database) ForeignKeys() []ForeignKey { return d.fks }
 
-// connected reports whether two tables are already linked through FK edges.
-func (d *Database) connected(a, b string) bool {
+// connectedLocked reports whether two tables are already linked through FK
+// edges. Callers hold d.mu.
+func (d *Database) connectedLocked(a, b string) bool {
 	if a == b {
 		return true
 	}
-	adj := d.adjacency()
+	adj := adjacencyOf(d.fks)
 	seen := map[string]bool{a: true}
 	queue := []string{a}
 	for len(queue) > 0 {
@@ -115,9 +293,9 @@ type edge struct {
 	forward bool
 }
 
-func (d *Database) adjacency() map[string][]edge {
+func adjacencyOf(fks []ForeignKey) map[string][]edge {
 	adj := make(map[string][]edge)
-	for _, fk := range d.fks {
+	for _, fk := range fks {
 		adj[fk.FromTable] = append(adj[fk.FromTable], edge{other: fk.ToTable, fk: fk, forward: true})
 		adj[fk.ToTable] = append(adj[fk.ToTable], edge{other: fk.FromTable, fk: fk, forward: false})
 	}
@@ -135,18 +313,23 @@ type JoinStep struct {
 // tables via PK-FK equi-joins (the paper's FROM-clause inference, §4.4). The
 // result starts from tables[0]. An error is returned when the tables cannot
 // be connected.
-func (d *Database) JoinPath(tables []string) (steps []JoinStep, err error) {
+func (d *Database) JoinPath(tables []string) ([]JoinStep, error) {
+	return joinPathOver(d.fks, func(t string) bool { return d.byName[t] != nil }, tables)
+}
+
+// joinPathOver is the join-path BFS shared by Database and Snapshot.
+func joinPathOver(fks []ForeignKey, known func(string) bool, tables []string) (steps []JoinStep, err error) {
 	if len(tables) <= 1 {
 		return nil, nil
 	}
 	need := make(map[string]bool)
 	for _, t := range tables {
-		if d.byName[t] == nil {
+		if !known(t) {
 			return nil, fmt.Errorf("db: unknown table %s", t)
 		}
 		need[t] = true
 	}
-	adj := d.adjacency()
+	adj := adjacencyOf(fks)
 	// BFS tree from tables[0]; because the schema is acyclic the discovered
 	// paths are unique.
 	parent := map[string]edge{}

@@ -7,35 +7,44 @@ import (
 )
 
 // JoinView is a materialized equi-join of one or more tables along PK-FK
-// paths. It exposes, for each participating table, the mapping from joined
-// row number to that table's row number, which the executor uses to read
-// aggregation and predicate columns without copying data. A nil row map
-// encodes the identity mapping: single-table views (the common case) carry
-// no per-row state at all, and their accessors read column storage directly
-// (the zero-copy fast path of the block-access contract).
+// paths, evaluated over one immutable Snapshot: the view's row set is frozen
+// at the snapshot's version, so a scan mid-flight is never affected by
+// concurrent appends. It exposes, for each participating table, the mapping
+// from joined row number to that table's row number, which the executor
+// uses to read aggregation and predicate columns without copying data. A
+// nil row map encodes the identity mapping: single-table views (the common
+// case) carry no per-row state at all, and their accessors read snapshot
+// column storage directly (the zero-copy fast path of the block-access
+// contract).
 type JoinView struct {
-	db      *Database
+	snap    *Snapshot
 	tables  []string
 	rowMaps map[string][]int32 // nil slice = identity (zero-copy fast path)
 	n       int
 }
 
-// BuildJoinView joins the given tables. Single-table views cost O(1): the
-// identity row map is never materialized and accessors read columns
-// directly. Inner-join semantics: rows with NULL or dangling foreign keys
-// are dropped.
+// BuildJoinView joins the given tables over the database's latest snapshot.
+// It is the convenience form of BuildSnapshotView.
 func BuildJoinView(d *Database, tables []string) (*JoinView, error) {
+	return BuildSnapshotView(d.Snapshot(), tables)
+}
+
+// BuildSnapshotView joins the given tables over one snapshot. Single-table
+// views cost O(1): the identity row map is never materialized and accessors
+// read columns directly. Inner-join semantics: rows with NULL or dangling
+// foreign keys are dropped.
+func BuildSnapshotView(s *Snapshot, tables []string) (*JoinView, error) {
 	if len(tables) == 0 {
 		return nil, fmt.Errorf("db: join over zero tables")
 	}
-	base := d.Table(tables[0])
+	base := s.Table(tables[0])
 	if base == nil {
 		return nil, fmt.Errorf("db: unknown table %s", tables[0])
 	}
-	v := &JoinView{db: d, tables: []string{tables[0]}, rowMaps: make(map[string][]int32), n: base.NumRows()}
+	v := &JoinView{snap: s, tables: []string{tables[0]}, rowMaps: make(map[string][]int32), n: base.NumRows()}
 	v.rowMaps[tables[0]] = nil // identity
 
-	steps, err := d.JoinPath(tables)
+	steps, err := s.JoinPath(tables)
 	if err != nil {
 		return nil, err
 	}
@@ -57,18 +66,18 @@ func BuildJoinView(d *Database, tables []string) (*JoinView, error) {
 }
 
 // joinKey canonicalizes a join-column value at a row; ok is false for NULL.
-func joinKey(c *Column, row int32) (string, bool) {
+func joinKey(c *ColView, row int32) (string, bool) {
 	if c.IsNull(int(row)) {
 		return "", false
 	}
 	if c.Kind == KindString {
-		return c.Dictionary()[c.Code(int(row))], true
+		return c.dict[c.codes[row]], true
 	}
-	return strconv.FormatFloat(c.Float(int(row)), 'g', -1, 64), true
+	return strconv.FormatFloat(c.floats[row], 'g', -1, 64), true
 }
 
-// keyIndex builds value -> row ids for a column.
-func keyIndex(c *Column) map[string][]int32 {
+// keyIndex builds value -> row ids for a column view.
+func keyIndex(c *ColView) map[string][]int32 {
 	idx := make(map[string][]int32)
 	for i := 0; i < c.Len(); i++ {
 		if k, ok := joinKey(c, int32(i)); ok {
@@ -90,8 +99,8 @@ func (v *JoinView) apply(step JoinStep) error {
 		haveTable, haveCol = step.FK.ToTable, step.FK.ToColumn
 		addCol = step.FK.FromColumn
 	}
-	have := v.db.Table(haveTable)
-	add := v.db.Table(step.Add)
+	have := v.snap.Table(haveTable)
+	add := v.snap.Table(step.Add)
 	if have == nil || add == nil {
 		return fmt.Errorf("db: join step references unknown table")
 	}
@@ -138,11 +147,14 @@ func (v *JoinView) NumRows() int { return v.n }
 // Tables returns the joined tables in join order.
 func (v *JoinView) Tables() []string { return v.tables }
 
+// Snapshot returns the snapshot the view was built over.
+func (v *JoinView) Snapshot() *Snapshot { return v.snap }
+
 // ColumnAccessor resolves a (table, column) pair into direct accessors over
 // joined rows. A nil rowMap means the accessor is direct: joined row numbers
-// equal table row numbers and block reads alias column storage.
+// equal table row numbers and block reads alias snapshot column storage.
 type ColumnAccessor struct {
-	col    *Column
+	col    *ColView
 	rowMap []int32
 }
 
@@ -153,7 +165,7 @@ func (v *JoinView) Accessor(table, column string) (ColumnAccessor, error) {
 	if !ok {
 		return ColumnAccessor{}, fmt.Errorf("db: table %s not in join view", table)
 	}
-	t := v.db.Table(table)
+	t := v.snap.Table(table)
 	c := t.Column(column)
 	if c == nil {
 		return ColumnAccessor{}, fmt.Errorf("db: column %s.%s not found", table, column)
@@ -161,8 +173,8 @@ func (v *JoinView) Accessor(table, column string) (ColumnAccessor, error) {
 	return ColumnAccessor{col: c, rowMap: rm}, nil
 }
 
-// Column returns the underlying column.
-func (a ColumnAccessor) Column() *Column { return a.col }
+// Column returns the underlying snapshot column view.
+func (a ColumnAccessor) Column() *ColView { return a.col }
 
 // Direct reports whether the accessor reads column storage without a row-map
 // indirection (single-table views). Direct accessors serve zero-copy blocks.
@@ -184,7 +196,7 @@ func (a ColumnAccessor) Float(r int) float64 {
 	if a.rowMap != nil {
 		r = int(a.rowMap[r])
 	}
-	return a.col.Float(r)
+	return a.col.floats[r]
 }
 
 // Code returns the dictionary code at joined row r (-1 when NULL).
@@ -197,11 +209,11 @@ func (a ColumnAccessor) Code(r int) int32 {
 
 // FloatBlock returns the numeric values at joined rows [start, start+n).
 // On the zero-copy fast path (direct accessor) the returned slice aliases
-// column storage and direct is true; otherwise the values are gathered
-// through the row map into buf (which must have length >= n) and direct is
-// false. NaN encodes NULL, mirroring Float. The returned slice must not be
-// modified. Non-numeric columns yield all-NaN blocks, mirroring Float's
-// permissive kind handling.
+// snapshot column storage and direct is true; otherwise the values are
+// gathered through the row map into buf (which must have length >= n) and
+// direct is false. NaN encodes NULL, mirroring Float. The returned slice
+// must not be modified. Non-numeric columns yield all-NaN blocks, mirroring
+// Float's permissive kind handling.
 func (a ColumnAccessor) FloatBlock(start, n int, buf []float64) (vals []float64, direct bool) {
 	if a.col.Kind != KindFloat {
 		// Callers on the zero-copy path legitimately pass no buffer.

@@ -1,0 +1,148 @@
+package db
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// LoadJSONL reads a table from JSON-lines data: one JSON object per line,
+// keys become columns (union over all lines, in first-seen order). A column
+// is numeric when every present, non-null value is a JSON number; booleans
+// and strings make it text. Missing keys and JSON nulls are NULL.
+func LoadJSONL(r io.Reader, tableName string) (*Table, error) {
+	objs, keys, err := readJSONLObjects(r, tableName)
+	if err != nil {
+		return nil, err
+	}
+	return buildJSONLTable(tableName, keys, objs)
+}
+
+// LoadJSONLFile loads a table from a .jsonl file; the table name defaults
+// to the file's base name without extension.
+func LoadJSONLFile(path, tableName string) (*Table, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if tableName == "" {
+		tableName = tableNameFromPath(path)
+	}
+	return LoadJSONL(f, tableName)
+}
+
+// readJSONLObjects decodes every non-blank line and collects the key union
+// in first-seen order.
+func readJSONLObjects(r io.Reader, tableName string) ([]map[string]any, []string, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 64*1024), 16*1024*1024)
+	var objs []map[string]any
+	var keys []string
+	seen := make(map[string]bool)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" {
+			continue
+		}
+		var obj map[string]any
+		if err := json.Unmarshal([]byte(text), &obj); err != nil {
+			return nil, nil, fmt.Errorf("db: jsonl for %s: line %d: %w", tableName, line, err)
+		}
+		objs = append(objs, obj)
+		// Per-line key order is lost by map decoding; sort new keys so the
+		// column order is deterministic.
+		var fresh []string
+		for k := range obj {
+			if !seen[k] {
+				seen[k] = true
+				fresh = append(fresh, k)
+			}
+		}
+		if len(fresh) > 1 {
+			sort.Strings(fresh)
+		}
+		keys = append(keys, fresh...)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, nil, fmt.Errorf("db: jsonl for %s: %w", tableName, err)
+	}
+	if len(objs) == 0 {
+		return nil, nil, fmt.Errorf("db: jsonl for %s is empty", tableName)
+	}
+	return objs, keys, nil
+}
+
+func buildJSONLTable(tableName string, keys []string, objs []map[string]any) (*Table, error) {
+	numeric := make([]bool, len(keys))
+	for j, k := range keys {
+		numeric[j] = true
+		nonNull := 0
+		for _, obj := range objs {
+			v, ok := obj[k]
+			if !ok || v == nil {
+				continue
+			}
+			nonNull++
+			if _, isNum := v.(float64); !isNum {
+				numeric[j] = false
+				break
+			}
+		}
+		if nonNull == 0 {
+			numeric[j] = false
+		}
+	}
+	cols := make([]*Column, len(keys))
+	for j, k := range keys {
+		if numeric[j] {
+			cols[j] = NewFloatColumn(k)
+		} else {
+			cols[j] = NewStringColumn(k)
+		}
+	}
+	for _, obj := range objs {
+		for j, k := range keys {
+			v, ok := obj[k]
+			if numeric[j] {
+				if f, isNum := v.(float64); ok && isNum {
+					cols[j].AppendFloat(f)
+				} else {
+					cols[j].AppendFloat(math.NaN())
+				}
+				continue
+			}
+			cols[j].AppendString(jsonCellString(v, ok))
+		}
+	}
+	return NewTable(tableName, cols...)
+}
+
+// jsonCellString formats a decoded JSON value for a text column ("" = NULL).
+func jsonCellString(v any, present bool) string {
+	if !present || v == nil {
+		return ""
+	}
+	switch x := v.(type) {
+	case string:
+		return x
+	case bool:
+		return strconv.FormatBool(x)
+	case float64:
+		return strconv.FormatFloat(x, 'g', -1, 64)
+	default:
+		data, err := json.Marshal(x)
+		if err != nil {
+			return ""
+		}
+		return string(data)
+	}
+}

@@ -1,0 +1,392 @@
+package db
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"sync"
+)
+
+// This file implements the snapshot side of the storage contract. A Database
+// is the mutable head: rows are staged with Append and sealed into immutable
+// Blocks by Commit, which publishes a new Snapshot under a monotonically
+// increasing version. A Snapshot is a frozen, consistent view — per-column
+// slice headers captured at publication time — so readers that hold one are
+// never affected by later appends (copy-on-write at the slice-header level:
+// committed storage is append-only and sealed prefixes are never rewritten).
+// Query execution (join views, cube kernels) runs entirely over Snapshots;
+// the engine keys its caches by snapshot version and delta-scans only the
+// blocks sealed since the version it has cached.
+
+// Block is one sealed, immutable run of rows of a table. Every Commit seals
+// exactly one block per table that received staged rows; the initial load
+// is sealed as one block per table when the first snapshot is published.
+// Blocks are the granularity of incremental cube maintenance: a cached cube
+// at version N is brought to version N+1 by scanning only the blocks with
+// Start at or beyond the rows it already covers.
+type Block struct {
+	// Seq is the database-wide sequence number of the block (monotonic
+	// across tables, in seal order).
+	Seq int
+	// Start and End delimit the row range [Start, End) in table order.
+	Start, End int
+}
+
+// Rows returns the number of rows the block holds.
+func (b Block) Rows() int { return b.End - b.Start }
+
+// ColView is the immutable view of one column at a snapshot version. The
+// exported fields mirror Column's metadata; the data accessors are bounded
+// by the snapshot's row count via captured slice headers, so they are safe
+// to use concurrently with Append/Commit on the owning database.
+type ColView struct {
+	Name        string
+	Description string
+	Kind        Kind
+	Integral    bool
+
+	floats  []float64
+	codes   []int32
+	dict    []string
+	nullCnt int
+
+	// codeOf is built lazily over the captured dictionary so CodeOf never
+	// touches the live column's mutable dictionary index.
+	codeOnce sync.Once
+	codeOf   map[string]int32
+}
+
+// Len returns the number of rows visible in this snapshot.
+func (c *ColView) Len() int {
+	if c.Kind == KindString {
+		return len(c.codes)
+	}
+	return len(c.floats)
+}
+
+// IsNull reports whether row i holds NULL.
+func (c *ColView) IsNull(i int) bool {
+	if c.Kind == KindString {
+		return c.codes[i] < 0
+	}
+	return math.IsNaN(c.floats[i])
+}
+
+// Float returns the numeric value at row i (NaN when NULL or non-numeric).
+func (c *ColView) Float(i int) float64 {
+	if c.Kind == KindFloat {
+		return c.floats[i]
+	}
+	return math.NaN()
+}
+
+// Code returns the dictionary code at row i (-1 when NULL or numeric).
+func (c *ColView) Code(i int) int32 {
+	if c.Kind == KindString {
+		return c.codes[i]
+	}
+	return -1
+}
+
+// Floats returns the raw numeric storage of the snapshot (NaN encodes NULL),
+// or nil for string columns. The slice must not be modified.
+func (c *ColView) Floats() []float64 {
+	if c.Kind != KindFloat {
+		return nil
+	}
+	return c.floats
+}
+
+// Codes returns the raw dictionary codes of the snapshot (-1 encodes NULL),
+// or nil for numeric columns. The slice must not be modified.
+func (c *ColView) Codes() []int32 {
+	if c.Kind != KindString {
+		return nil
+	}
+	return c.codes
+}
+
+// Dictionary returns the distinct non-null string values visible in this
+// snapshot, in first-seen order. The returned slice must not be modified.
+func (c *ColView) Dictionary() []string {
+	if c.Kind != KindString {
+		return nil
+	}
+	return c.dict
+}
+
+// CodeOf returns the dictionary code of value v, or -1 if v does not occur
+// in this snapshot. The lookup index is built lazily over the captured
+// dictionary, so it never races with appends on the live column.
+func (c *ColView) CodeOf(v string) int32 {
+	if c.Kind != KindString {
+		return -1
+	}
+	c.codeOnce.Do(func() {
+		m := make(map[string]int32, len(c.dict))
+		for i, s := range c.dict {
+			m[s] = int32(i)
+		}
+		c.codeOf = m
+	})
+	if id, ok := c.codeOf[v]; ok {
+		return id
+	}
+	return -1
+}
+
+// NullCount returns the number of NULL rows visible in this snapshot.
+func (c *ColView) NullCount() int { return c.nullCnt }
+
+// HasNulls reports whether any visible row holds NULL. Scan kernels use it
+// to hoist the per-row NULL branch out of columns that cannot produce one.
+func (c *ColView) HasNulls() bool { return c.nullCnt > 0 }
+
+// StringAt formats the value at row i for display.
+func (c *ColView) StringAt(i int) string {
+	if c.IsNull(i) {
+		return ""
+	}
+	if c.Kind == KindString {
+		return c.dict[c.codes[i]]
+	}
+	if c.Integral {
+		return strconv.FormatInt(int64(c.floats[i]), 10)
+	}
+	return strconv.FormatFloat(c.floats[i], 'g', -1, 64)
+}
+
+// TableView is the immutable view of one table at a snapshot version.
+type TableView struct {
+	Name       string
+	PrimaryKey string
+
+	cols   []*ColView
+	byName map[string]*ColView
+	rows   int
+	blocks []Block
+}
+
+// NumRows returns the row count visible in this snapshot.
+func (t *TableView) NumRows() int { return t.rows }
+
+// Columns returns the column views in declaration order.
+func (t *TableView) Columns() []*ColView { return t.cols }
+
+// Column returns the named column view, or nil.
+func (t *TableView) Column(name string) *ColView { return t.byName[name] }
+
+// Blocks returns the sealed blocks covering the snapshot's rows, in seal
+// order. The returned slice must not be modified.
+func (t *TableView) Blocks() []Block { return t.blocks }
+
+// Snapshot is an immutable, versioned view of a whole database. Snapshots
+// are cheap (per-column slice headers, no data copies) and safe to read
+// concurrently with Append/Commit on the owning Database.
+type Snapshot struct {
+	db      *Database // identity only; data reads go through the views
+	name    string
+	version uint64
+	epoch   uint64
+	tables  []*TableView
+	byName  map[string]*TableView
+	fks     []ForeignKey
+}
+
+// Of reports whether the snapshot was published by the given database.
+// Consumers pinning snapshots across API layers use it to reject a
+// snapshot that belongs to a different store.
+func (s *Snapshot) Of(d *Database) bool { return s.db == d }
+
+// Version returns the snapshot's monotonically increasing version. Every
+// Commit that seals rows bumps it, as does any structural change (AddTable,
+// AddForeignKey) followed by a snapshot rebuild.
+func (s *Snapshot) Version() uint64 { return s.version }
+
+// Epoch identifies the structural generation of the schema: it bumps on
+// AddTable/AddForeignKey but not on row appends. Incremental cube
+// maintenance requires the cached and current snapshots to share an epoch —
+// across epochs the same version delta may not be a pure row append.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// DatabaseName returns the owning database's name.
+func (s *Snapshot) DatabaseName() string { return s.name }
+
+// Tables returns the table views in registration order.
+func (s *Snapshot) Tables() []*TableView { return s.tables }
+
+// Table returns the named table view, or nil.
+func (s *Snapshot) Table(name string) *TableView { return s.byName[name] }
+
+// NumRows returns the visible row count of a table (0 when unknown).
+func (s *Snapshot) NumRows(table string) int {
+	if t := s.byName[table]; t != nil {
+		return t.rows
+	}
+	return 0
+}
+
+// TotalRows returns the visible row count summed over all tables.
+func (s *Snapshot) TotalRows() int {
+	n := 0
+	for _, t := range s.tables {
+		n += t.rows
+	}
+	return n
+}
+
+// BlocksSince returns the table's blocks whose rows start at or beyond row
+// fromRow — exactly the blocks sealed after a snapshot that covered fromRow
+// rows, because commits seal whole blocks at row-count boundaries.
+func (s *Snapshot) BlocksSince(table string, fromRow int) []Block {
+	t := s.byName[table]
+	if t == nil {
+		return nil
+	}
+	for i, b := range t.blocks {
+		if b.Start >= fromRow {
+			return t.blocks[i:]
+		}
+	}
+	return nil
+}
+
+// ForeignKeys returns the PK-FK edges captured by the snapshot.
+func (s *Snapshot) ForeignKeys() []ForeignKey { return s.fks }
+
+// JoinPath returns the FK steps connecting the given tables within this
+// snapshot; see Database.JoinPath.
+func (s *Snapshot) JoinPath(tables []string) ([]JoinStep, error) {
+	return joinPathOver(s.fks, func(t string) bool { return s.byName[t] != nil }, tables)
+}
+
+// buildSnapshotLocked captures the current sealed state of the database as
+// an immutable snapshot. prev, when non-nil and still structurally
+// compatible, donates unchanged table views and incremental null counts so
+// publication cost is proportional to the appended rows, not the table size.
+// Callers hold d.mu.
+func buildSnapshotLocked(d *Database, prev *Snapshot, version, epoch uint64) *Snapshot {
+	s := &Snapshot{
+		db:      d,
+		name:    d.Name,
+		version: version,
+		epoch:   epoch,
+		byName:  make(map[string]*TableView, len(d.tables)),
+		fks:     append([]ForeignKey(nil), d.fks...),
+	}
+	for _, t := range d.tables {
+		var pt *TableView
+		if prev != nil && prev.epoch == epoch {
+			pt = prev.byName[t.Name]
+		}
+		tv := buildTableView(t, d.blocks[t.Name], pt)
+		s.tables = append(s.tables, tv)
+		s.byName[t.Name] = tv
+	}
+	return s
+}
+
+func buildTableView(t *Table, blocks []Block, prev *TableView) *TableView {
+	rows := t.NumRows()
+	if prev != nil && prev.rows == rows && len(prev.blocks) == len(blocks) && len(prev.cols) == len(t.Columns) {
+		// Nothing appended to this table since the previous snapshot: the
+		// captured headers are still exact, so the view is reused wholesale.
+		return prev
+	}
+	tv := &TableView{
+		Name:       t.Name,
+		PrimaryKey: t.PrimaryKey,
+		rows:       rows,
+		blocks:     append([]Block(nil), blocks...),
+		byName:     make(map[string]*ColView, len(t.Columns)),
+	}
+	for i, c := range t.Columns {
+		var pc *ColView
+		if prev != nil && i < len(prev.cols) && prev.cols[i].Name == c.Name && prev.cols[i].Kind == c.Kind {
+			pc = prev.cols[i]
+		}
+		cv := buildColView(c, pc)
+		tv.cols = append(tv.cols, cv)
+		tv.byName[c.Name] = cv
+	}
+	return tv
+}
+
+func buildColView(c *Column, prev *ColView) *ColView {
+	cv := &ColView{
+		Name:        c.Name,
+		Description: c.Description,
+		Kind:        c.Kind,
+		Integral:    c.Integral,
+		floats:      c.floats,
+		codes:       c.codes,
+		dict:        c.dict,
+	}
+	// Null counting is incremental: reuse the previous snapshot's count and
+	// scan only the appended suffix. Sealed storage is append-only, so the
+	// prefix count can never change.
+	lo := 0
+	if prev != nil && prev.Len() <= cv.Len() {
+		cv.nullCnt = prev.nullCnt
+		lo = prev.Len()
+	}
+	if c.Kind == KindString {
+		for _, code := range c.codes[lo:] {
+			if code < 0 {
+				cv.nullCnt++
+			}
+		}
+	} else {
+		for _, v := range c.floats[lo:] {
+			if math.IsNaN(v) {
+				cv.nullCnt++
+			}
+		}
+	}
+	return cv
+}
+
+// normalizeCell converts a staged cell value to the column's storage
+// representation: a float64 (NaN = NULL) for numeric columns, a string
+// ("" = NULL) for string columns.
+func normalizeCell(c *Column, v any) (fv float64, sv string, err error) {
+	if c.Kind == KindFloat {
+		switch x := v.(type) {
+		case nil:
+			return math.NaN(), "", nil
+		case float64:
+			return x, "", nil
+		case float32:
+			return float64(x), "", nil
+		case int:
+			return float64(x), "", nil
+		case int64:
+			return float64(x), "", nil
+		case string:
+			if x == "" {
+				return math.NaN(), "", nil
+			}
+			f, perr := parseNumericCell(x)
+			if perr != nil {
+				return 0, "", fmt.Errorf("db: column %s: cannot parse %q as number", c.Name, x)
+			}
+			return f, "", nil
+		default:
+			return 0, "", fmt.Errorf("db: column %s: unsupported value type %T", c.Name, v)
+		}
+	}
+	switch x := v.(type) {
+	case nil:
+		return 0, "", nil
+	case string:
+		return 0, x, nil
+	case float64:
+		return 0, strconv.FormatFloat(x, 'g', -1, 64), nil
+	case int:
+		return 0, strconv.Itoa(x), nil
+	case int64:
+		return 0, strconv.FormatInt(x, 10), nil
+	default:
+		return 0, "", fmt.Errorf("db: column %s: unsupported value type %T", c.Name, v)
+	}
+}

@@ -36,6 +36,8 @@ type Options struct {
 //
 //	GET  /healthz                          -> 200 ok
 //	GET  /v1/databases                     -> {"databases":[...]}
+//	GET  /v1/databases/{name}/status       -> snapshot version + row counts
+//	POST /v1/databases/{name}/refresh      -> refresh from source, report status
 //	POST /v1/databases/{name}/check        -> JSON report
 //	POST /v1/databases/{name}/check/stream -> NDJSON event stream
 //
@@ -64,6 +66,8 @@ func New(svc *core.Service, opts Options) *Server {
 		fmt.Fprintln(w, "ok")
 	})
 	s.mux.HandleFunc("GET /v1/databases", s.handleList)
+	s.mux.HandleFunc("GET /v1/databases/{name}/status", s.handleStatus)
+	s.mux.HandleFunc("POST /v1/databases/{name}/refresh", s.handleRefresh)
 	s.mux.HandleFunc("POST /v1/databases/{name}/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/databases/{name}/check/stream", s.handleStream)
 	return s
@@ -79,6 +83,38 @@ func (s *Server) logf(format string, args ...any) {
 
 func (s *Server) handleList(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"databases": s.svc.Names()})
+}
+
+// handleStatus reports a database's storage state: snapshot version and
+// per-table row counts when its catalog is resident.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	st, err := s.svc.Status(r.PathValue("name"))
+	if err != nil {
+		s.writeCheckError(w, r.PathValue("name"), err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleRefresh brings a database up to date with its source (appending
+// new rows as fresh blocks for refreshable sources, evicting the catalog
+// otherwise) and reports the resulting status, including how many rows the
+// refresh appended.
+func (s *Server) handleRefresh(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	st, err := s.svc.Refresh(r.Context(), name)
+	if err != nil {
+		if errors.Is(err, core.ErrUnknownDatabase) || errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			s.writeCheckError(w, name, err)
+			return
+		}
+		// Refresh failures (e.g. a source file that shrank) are a client-
+		// visible state conflict, not an internal error.
+		s.logf("httpapi: refresh %q: %v", name, err)
+		httpError(w, http.StatusConflict, "refresh failed: %v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, st)
 }
 
 // acquire claims a verification slot, honoring ctx while queued. An

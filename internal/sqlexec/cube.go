@@ -226,6 +226,13 @@ func newCubeResultWithCols(tables []string, dims []DimSpec, cols []trackedCol) (
 // when literal sets make the vectorized kernel's dense lattice too large
 // (see flatLatticeSize in kernel.go).
 func computeCubeScalar(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	return computeCubeScalarRange(ctx, view, tables, dims, cols, 0, view.NumRows())
+}
+
+// computeCubeScalarRange is the scalar interpreter restricted to joined
+// rows [lo, hi): the full pass with lo=0, hi=NumRows, or a delta scan over
+// appended rows when the literal pool forced the scalar fallback.
+func computeCubeScalarRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, lo, hi int) (*CubeResult, error) {
 	r, err := newCubeResultWithCols(tables, dims, cols)
 	if err != nil {
 		return nil, err
@@ -280,10 +287,9 @@ func computeCubeScalar(ctx context.Context, view *db.JoinView, tables []string, 
 	}
 
 	nsubsets := 1 << len(dims)
-	n := view.NumRows()
 	var rowCodes [maxCubeDims]int16
-	for row := 0; row < n; row++ {
-		if row%ctxCheckRows == 0 && row > 0 {
+	for row := lo; row < hi; row++ {
+		if (row-lo)%ctxCheckRows == 0 && row > lo {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
@@ -402,6 +408,94 @@ func (r *CubeResult) merged(other *CubeResult) *CubeResult {
 			if cell[i] == nil {
 				cell[i] = newAccumulator(out.cols[i].needDistinct)
 			}
+		}
+	}
+	return out
+}
+
+// trackedCols returns the result's tracked aggregation columns (star
+// excluded) in tracking order — the column set a delta scan must cover so
+// the merged cube keeps answering everything the cached one did.
+func (r *CubeResult) trackedCols() []trackedCol {
+	if len(r.cols) <= 1 {
+		return nil
+	}
+	return append([]trackedCol(nil), r.cols[1:]...)
+}
+
+// mergeAppend returns a new CubeResult equal to scanning the union of the
+// two results' disjoint row ranges: r covers the sealed prefix, delta the
+// appended rows (computed with r's own Dims and tracked columns). Neither
+// input is modified — published cube results are immutable, so readers
+// answering queries from the pre-append snapshot never race with the
+// advance (copy-on-write). Cells untouched by the delta share r's
+// accumulators outright; merged cells get fresh accumulators, so counts,
+// sums, min/max, and distinct sets combine exactly as a from-scratch
+// rebuild would produce them (bit-for-bit for integer-valued data, where
+// float addition is associative).
+func (r *CubeResult) mergeAppend(delta *CubeResult) *CubeResult {
+	out := &CubeResult{
+		Tables:   r.Tables,
+		Dims:     r.Dims,
+		dimIndex: r.dimIndex, // immutable after construction, safe to share
+		litIndex: r.litIndex,
+		cols:     r.cols,
+		colIndex: r.colIndex,
+		cells:    make(map[cellKey][]*accumulator, len(r.cells)+len(delta.cells)),
+	}
+	for key, cell := range r.cells {
+		dcell, ok := delta.cells[key]
+		if !ok {
+			out.cells[key] = cell // untouched by the appended rows: share
+			continue
+		}
+		merged := make([]*accumulator, len(cell))
+		for i := range cell {
+			merged[i] = addAccumulators(cell[i], dcell[i])
+		}
+		out.cells[key] = merged
+	}
+	for key, dcell := range delta.cells {
+		if _, ok := r.cells[key]; !ok {
+			out.cells[key] = dcell // first seen in the appended rows: adopt
+		}
+	}
+	return out
+}
+
+// addAccumulators combines two accumulators over disjoint row ranges into a
+// fresh one (a first, preserving the scan-order semantics of min/max ties
+// and summation order).
+func addAccumulators(a, b *accumulator) *accumulator {
+	if a == nil && b == nil {
+		return nil
+	}
+	if a == nil {
+		a = newAccumulator(b.distinct != nil)
+	}
+	if b == nil {
+		b = newAccumulator(a.distinct != nil)
+	}
+	out := &accumulator{
+		rows:    a.rows + b.rows,
+		nonNull: a.nonNull + b.nonNull,
+		sum:     a.sum + b.sum,
+		min:     a.min,
+		max:     a.max,
+	}
+	if b.min < out.min {
+		out.min = b.min
+	}
+	if b.max > out.max {
+		out.max = b.max
+	}
+	if a.distinct != nil || b.distinct != nil {
+		out.distinct = make(map[uint64]struct{}, len(a.distinct)+len(b.distinct))
+		for k := range a.distinct {
+			out.distinct[k] = struct{}{}
+		}
+		for k := range b.distinct {
+			out.distinct[k] = struct{}{}
 		}
 	}
 	return out

@@ -58,6 +58,16 @@ type Stats struct {
 	GatherBlockReads atomic.Int64
 	PartialsMerged   atomic.Int64
 	ScalarPasses     atomic.Int64
+
+	// Incremental-maintenance counters. DeltaScans counts cached cubes
+	// brought up to a newer snapshot version by scanning only the appended
+	// rows; BlocksDelta the sealed storage blocks those delta scans covered
+	// (exactly the blocks committed since the cached version); FullRebuilds
+	// the cube passes forced by a snapshot advance the delta path could not
+	// express (joined scopes, changed dimensions, structural changes).
+	DeltaScans   atomic.Int64
+	BlocksDelta  atomic.Int64
+	FullRebuilds atomic.Int64
 }
 
 // Snapshot returns a plain copy of the counters.
@@ -80,6 +90,10 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"gather_block_reads": s.GatherBlockReads.Load(),
 		"partials_merged":    s.PartialsMerged.Load(),
 		"scalar_passes":      s.ScalarPasses.Load(),
+
+		"delta_scans":   s.DeltaScans.Load(),
+		"blocks_delta":  s.BlocksDelta.Load(),
+		"full_rebuilds": s.FullRebuilds.Load(),
 	}
 }
 
@@ -114,15 +128,43 @@ type viewShard struct {
 	entries map[string]*viewEntry
 }
 
-// cubeEntry serializes computation and extension of one cube signature.
-// result is replaced, never mutated, so snapshots handed to readers stay
-// valid while another goroutine extends the cube (copy-on-write) — and a
-// request covered by the current snapshot is served straight off the
-// atomic load without queuing behind an in-flight extension.
+// cubeEntry serializes computation, extension, and delta-advance of one
+// cube signature. state is replaced, never mutated, so results handed to
+// readers stay valid while another goroutine extends or advances the cube
+// (copy-on-write) — and a request covered by the published state at the
+// current snapshot version is served straight off the atomic load without
+// queuing behind in-flight work.
 type cubeEntry struct {
 	mu        sync.Mutex
 	computing atomic.Bool
-	result    atomic.Pointer[CubeResult]
+	state     atomic.Pointer[cubeState]
+	// stale holds one result computed for a reader pinned (WithSnapshot)
+	// to a version older than the published state — typically the single
+	// in-flight check that overlapped a refresh. Without it, every cube
+	// request of such a check would rescan from scratch each EM iteration.
+	// It never replaces state: newer published results are never regressed.
+	stale atomic.Pointer[cubeState]
+}
+
+// cubeState is one published (result, storage version) pair. For
+// single-table scopes it also records the row count the result covers, so
+// a later snapshot that only appended rows can be absorbed by delta-
+// scanning [rows, newRows) and merging, instead of recomputing; rows is -1
+// for joined scopes, where appends can rewrite earlier joined rows (a
+// previously dangling foreign key may gain a match) and the delta path is
+// not sound.
+type cubeState struct {
+	res     *CubeResult
+	version uint64
+	epoch   uint64
+	table   string
+	rows    int
+}
+
+// appendable reports whether snap can be reached from this state by
+// scanning appended rows only.
+func (st *cubeState) appendable(snap *db.Snapshot) bool {
+	return st.rows >= 0 && st.epoch == snap.Epoch() && snap.NumRows(st.table) >= st.rows
 }
 
 type cubeShard struct {
@@ -234,14 +276,60 @@ func (e *Engine) DefaultTable() string {
 	return ts[0].Name
 }
 
-// view returns the (cached) join view over the given tables. Concurrent
-// requests for the same view share one build.
+// snapCtxKey carries a pinned storage snapshot through a request context.
+type snapCtxKey struct{}
+
+// WithSnapshot pins a snapshot for every engine read under ctx: all cube
+// passes and direct scans of one verification request then observe a
+// single storage version even if commits land mid-request. A snapshot
+// belonging to a different database is ignored (the engine falls back to
+// its own latest snapshot), so pinned contexts are safe to pass across
+// multi-database services.
+func WithSnapshot(ctx context.Context, snap *db.Snapshot) context.Context {
+	return context.WithValue(ctx, snapCtxKey{}, snap)
+}
+
+// snapshotFor resolves the snapshot a request reads: the context-pinned
+// one when it belongs to this engine's database, the latest published one
+// otherwise.
+func (e *Engine) snapshotFor(ctx context.Context) *db.Snapshot {
+	if snap, ok := ctx.Value(snapCtxKey{}).(*db.Snapshot); ok && snap != nil && snap.Of(e.DB) {
+		return snap
+	}
+	return e.DB.Snapshot()
+}
+
+// view returns the (cached) join view over the given tables at the
+// database's latest snapshot. Concurrent requests for the same view share
+// one build.
 func (e *Engine) view(tables []string) (*db.JoinView, error) {
-	key := strings.Join(sortedCopy(tables), ",")
-	sh := &e.views[shardOf(key)]
+	return e.viewAt(e.DB.Snapshot(), tables)
+}
+
+// viewAt returns the (cached) join view over the given tables at one
+// snapshot. The cache is keyed by (table set, snapshot version): a commit
+// publishes a new version and later requests build fresh views over it,
+// while scans holding an older view keep their consistent row set. Stale
+// versions of the same scope are dropped from the cache as new ones arrive
+// (in-flight readers keep their entries alive through their own pointers).
+func (e *Engine) viewAt(snap *db.Snapshot, tables []string) (*db.JoinView, error) {
+	base := strings.Join(sortedCopy(tables), ",")
+	key := base + "@" + strconv.FormatUint(snap.Version(), 10)
+	sh := &e.views[shardOf(base)]
 	e.lock(&sh.mu)
 	ent, ok := sh.entries[key]
 	if !ok {
+		// Drop only strictly older versions of this scope: a reader pinned
+		// to an old snapshot must not evict the current version's view (or
+		// the two would thrash rebuilding each other's joins); newer
+		// entries stay until an even newer version arrives.
+		for k := range sh.entries {
+			if len(k) > len(base) && k[len(base)] == '@' && strings.HasPrefix(k, base) {
+				if v, err := strconv.ParseUint(k[len(base)+1:], 10, 64); err == nil && v < snap.Version() {
+					delete(sh.entries, k)
+				}
+			}
+		}
 		ent = &viewEntry{}
 		sh.entries[key] = ent
 	}
@@ -250,7 +338,7 @@ func (e *Engine) view(tables []string) (*db.JoinView, error) {
 		e.Stats.ViewDedups.Add(1)
 	}
 	ent.once.Do(func() {
-		ent.view, ent.err = db.BuildJoinView(e.DB, tables)
+		ent.view, ent.err = db.BuildSnapshotView(snap, tables)
 		ent.ready.Store(true)
 	})
 	return ent.view, ent.err
@@ -279,7 +367,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, q Query) (float64, error) 
 		return math.NaN(), err
 	}
 	tables := q.Tables(e.DefaultTable())
-	view, err := e.view(tables)
+	view, err := e.viewAt(e.snapshotFor(ctx), tables)
 	if err != nil {
 		return math.NaN(), err
 	}
@@ -392,11 +480,22 @@ func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*C
 }
 
 // CubeForContext returns a cube result covering the given dimensions and
-// aggregate requests over the join scope, reusing or extending a cached cube
-// when caching is enabled. The requests are translated into tracked columns
-// (star is always tracked). The cube pass checks ctx periodically and aborts
-// with ctx.Err() when the request is cancelled; a cancelled pass publishes
-// nothing, so the cache never holds partial results.
+// aggregate requests over the join scope, reusing, extending, or
+// incrementally advancing a cached cube when caching is enabled. The
+// requests are translated into tracked columns (star is always tracked).
+// The cube pass checks ctx periodically and aborts with ctx.Err() when the
+// request is cancelled; a cancelled pass publishes nothing, so the cache
+// never holds partial results.
+//
+// The cache is snapshot-versioned: every request resolves the database's
+// current snapshot, and a cached cube is served only at the version it was
+// computed for. When the snapshot advanced by appends to the cube's
+// (single-table) scope, the cached cube is brought up to date by scanning
+// only the appended blocks and merging the partial into the published
+// result (Stats.DeltaScans / Stats.BlocksDelta); sealed blocks are never
+// rescanned. Advances the delta path cannot express — joined scopes,
+// changed dimensions, structural changes — recompute from scratch
+// (Stats.FullRebuilds).
 //
 // Concurrent calls with the same signature are coalesced: exactly one
 // goroutine runs the cube pass while the others wait and share the result
@@ -407,8 +506,9 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 		return nil, err
 	}
 	cols := trackedColsFor(reqs)
+	snap := e.snapshotFor(ctx)
 	if !e.caching.Load() {
-		view, err := e.view(tables)
+		view, err := e.viewAt(snap, tables)
 		if err != nil {
 			return nil, err
 		}
@@ -426,11 +526,16 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 	}
 	sh.mu.Unlock()
 
-	// Fast path: a request fully covered by the published snapshot never
-	// queues, even while another goroutine extends or recomputes the cube.
-	if cached := ent.result.Load(); cached != nil && len(missingCols(cached, cols)) == 0 {
+	// Fast path: a request fully covered by the published state at the
+	// current storage version never queues, even while another goroutine
+	// extends or advances the cube.
+	if st := ent.state.Load(); st != nil && st.version == snap.Version() && len(missingCols(st.res, cols)) == 0 {
 		e.Stats.CacheHits.Add(1)
-		return cached, nil
+		return st.res, nil
+	}
+	if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && sameDims(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
+		e.Stats.CacheHits.Add(1)
+		return sst.res, nil
 	}
 	if ok && ent.computing.Load() {
 		e.Stats.CubeDedups.Add(1)
@@ -442,52 +547,155 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 		ent.mu.Unlock()
 	}()
 
-	cached := ent.result.Load()
-	if cached == nil {
-		view, err := e.view(tables)
+	st := ent.state.Load()
+	if st == nil {
+		fresh, err := e.freshState(ctx, snap, tables, dims, cols)
 		if err != nil {
 			return nil, err
 		}
-		fresh, err := e.runCube(ctx, view, tables, dims, cols)
-		if err != nil {
-			return nil, err
-		}
-		ent.result.Store(fresh)
+		ent.state.Store(fresh)
 		e.Stats.CacheMisses.Add(1)
-		return fresh, nil
+		return fresh.res, nil
+	}
+
+	if st.version != snap.Version() {
+		return e.advanceState(ctx, ent, st, snap, tables, dims, cols)
 	}
 
 	// Re-check coverage under the lock; extend with the missing columns if
 	// the goroutine ahead of us did not already.
-	missing := missingCols(cached, cols)
+	missing := missingCols(st.res, cols)
 	if len(missing) == 0 {
 		e.Stats.CacheHits.Add(1)
-		return cached, nil
+		return st.res, nil
 	}
 	ent.computing.Store(true)
-	view, err := e.view(tables)
-	if err != nil {
-		return nil, err
-	}
 	// Literal sets may differ between the cached cube and the request;
 	// recompute only when the cached dims cannot encode the request.
-	if !sameDims(cached.Dims, dims) {
-		fresh, err := e.runCube(ctx, view, tables, dims, cols)
+	if !sameDims(st.res.Dims, dims) {
+		fresh, err := e.freshState(ctx, snap, tables, dims, cols)
 		if err != nil {
 			return nil, err
 		}
-		ent.result.Store(fresh)
+		ent.state.Store(fresh)
 		e.Stats.CacheMisses.Add(1)
-		return fresh, nil
+		return fresh.res, nil
 	}
-	extra, err := e.runCube(ctx, view, tables, dims, missing)
+	view, err := e.viewAt(snap, tables)
 	if err != nil {
 		return nil, err
 	}
-	wider := cached.merged(extra)
-	ent.result.Store(wider)
+	extra, err := e.runCube(ctx, view, tables, st.res.Dims, missing)
+	if err != nil {
+		return nil, err
+	}
+	wider := st.res.merged(extra)
+	ent.state.Store(&cubeState{res: wider, version: st.version, epoch: st.epoch, table: st.table, rows: st.rows})
 	e.Stats.CacheHits.Add(1)
 	return wider, nil
+}
+
+// freshState runs a full cube pass at one snapshot and wraps it with the
+// coverage metadata the delta path needs.
+func (e *Engine) freshState(ctx context.Context, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol) (*cubeState, error) {
+	view, err := e.viewAt(snap, tables)
+	if err != nil {
+		return nil, err
+	}
+	res, err := e.runCube(ctx, view, tables, dims, cols)
+	if err != nil {
+		return nil, err
+	}
+	st := &cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1}
+	if len(tables) == 1 {
+		st.table = tables[0]
+		st.rows = snap.NumRows(tables[0])
+	}
+	return st, nil
+}
+
+// advanceState reconciles a cached cube with a snapshot at a newer storage
+// version: republish when the appends missed its scope, delta-scan the
+// appended blocks when possible, and fall back to a counted full rebuild
+// otherwise. Callers hold ent.mu.
+func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+	if snap.Version() < st.version {
+		// A reader pinned to an older snapshot than the published cube
+		// (its request started before a commit another goroutine already
+		// absorbed): serve it a consistent result computed at its own
+		// version, without regressing the newer published state. The
+		// result is parked in the entry's stale slot so the pinned check
+		// pays for the pass once, not once per EM iteration.
+		if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && sameDims(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
+			e.Stats.CacheHits.Add(1)
+			return sst.res, nil
+		}
+		ent.computing.Store(true)
+		view, err := e.viewAt(snap, tables)
+		if err != nil {
+			return nil, err
+		}
+		res, err := e.runCube(ctx, view, tables, dims, cols)
+		if err != nil {
+			return nil, err
+		}
+		ent.stale.Store(&cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1})
+		e.Stats.CacheMisses.Add(1)
+		return res, nil
+	}
+	if st.appendable(snap) && sameDims(st.res.Dims, dims) && len(missingCols(st.res, cols)) == 0 {
+		newRows := snap.NumRows(st.table)
+		if newRows == st.rows {
+			// The commits since st.version touched other tables only: the
+			// cached result is still exact, so republish it at the current
+			// version without scanning anything.
+			ent.state.Store(&cubeState{res: st.res, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: st.rows})
+			e.Stats.CacheHits.Add(1)
+			return st.res, nil
+		}
+		ent.computing.Store(true)
+		view, err := e.viewAt(snap, tables)
+		if err != nil {
+			return nil, err
+		}
+		// Scan only [st.rows, newRows) — the rows of the blocks sealed
+		// since the cached version — with the cached cube's own dims and
+		// tracked columns, then merge the partial into the published
+		// result copy-on-write.
+		delta, err := e.runCubeDelta(ctx, view, tables, st.res.Dims, st.res.trackedCols(), st.rows, newRows)
+		if err != nil {
+			return nil, err
+		}
+		merged := st.res.mergeAppend(delta)
+		ent.state.Store(&cubeState{res: merged, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: newRows})
+		e.Stats.DeltaScans.Add(1)
+		e.Stats.BlocksDelta.Add(int64(len(snap.BlocksSince(st.table, st.rows))))
+		e.Stats.CacheHits.Add(1)
+		return merged, nil
+	}
+
+	// Joined scope, changed dims/columns, or a structural change: the
+	// advance cannot be expressed as an append-only delta.
+	ent.computing.Store(true)
+	e.Stats.FullRebuilds.Add(1)
+	fresh, err := e.freshState(ctx, snap, tables, dims, cols)
+	if err != nil {
+		return nil, err
+	}
+	ent.state.Store(fresh)
+	e.Stats.CacheMisses.Add(1)
+	return fresh.res, nil
+}
+
+// runCubeDelta scans joined rows [lo, hi) into a partial CubeResult using
+// the same kernel dispatch as a full pass. Delta ranges are small (the
+// appended blocks), so the scan is single-threaded.
+func (e *Engine) runCubeDelta(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, lo, hi int) (*CubeResult, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	e.Stats.RowsScanned.Add(int64(hi - lo))
+	return computeCubeRange(ctx, view, tables, dims, cols, &e.Stats, lo, hi, e.scalarKernel.Load())
 }
 
 // missingCols returns the requested tracked columns the cube does not cover.

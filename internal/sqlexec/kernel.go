@@ -4,6 +4,7 @@ import (
 	"context"
 	"math"
 	"math/bits"
+	"sort"
 	"sync"
 
 	"aggchecker/internal/db"
@@ -18,8 +19,9 @@ import (
 //
 //  1. Each dimension column is coded into a dense offset vector per block.
 //     String dimensions translate dictionary codes through a flat lookup
-//     table (no per-row map probes); numeric dimensions probe a small
-//     value→literal map. The coded value is already pre-multiplied by the
+//     table; numeric dimensions run a branchless binary search over their
+//     sorted literal values — no per-row map probes or hashes anywhere in
+//     the scan. The coded value is already pre-multiplied by the
 //     dimension's mixed-radix stride.
 //  2. The cell store is a flat accumulator array over the bounded lattice:
 //     each dimension contributes |literals|+2 codes (literal, other, any)
@@ -86,6 +88,21 @@ func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims [
 	return computeCubeVectorized(ctx, view, tables, dims, cols, stats, workers)
 }
 
+// computeCubeRange is the delta-scan entry point: it accumulates only
+// joined rows [lo, hi) — the rows of blocks sealed after a cached cube's
+// snapshot — into a partial CubeResult that CubeResult.mergeAppend folds
+// into the published result. Kernel dispatch matches computeCube, so the
+// partial is produced by exactly the code paths a full rebuild would use.
+func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, lo, hi int, forceScalar bool) (*CubeResult, error) {
+	if forceScalar || flatLatticeSize(dims) < 0 {
+		if stats != nil {
+			stats.ScalarPasses.Add(1)
+		}
+		return computeCubeScalarRange(ctx, view, tables, dims, cols, lo, hi)
+	}
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, 1, lo, hi)
+}
+
 // vecDim codes one dimension column into pre-multiplied lattice offsets.
 type vecDim struct {
 	acc   db.ColumnAccessor
@@ -94,12 +111,17 @@ type vecDim struct {
 	// (entries for non-literal values hold otherOff), replacing the scalar
 	// kernel's per-row map probe with an array load.
 	dictToOff []int32
-	// floatToOff maps a numeric value to literalIndex*stride.
-	floatToOff map[float64]int32
-	stride     int32
-	card       int32 // |literals|+2
-	otherOff   int32 // |literals| * stride
-	anyOff     int32 // (|literals|+1) * stride
+	// litVals/litOffs code numeric dimensions: the distinct literal values
+	// sorted ascending, with litOffs[i] = literalIndex*stride of
+	// litVals[i]. Literal sets are tiny, so a branchless lower-bound
+	// binary search over litVals beats the per-row map probe that used to
+	// be the kernel's last hash (ROADMAP: numeric dimension coding).
+	litVals  []float64
+	litOffs  []int32
+	stride   int32
+	card     int32 // |literals|+2
+	otherOff int32 // |literals| * stride
+	anyOff   int32 // (|literals|+1) * stride
 }
 
 // vecCol reads one tracked aggregation column (index 0, star, is unused).
@@ -165,11 +187,23 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 			}
 			vd.dictToOff = lut
 		} else {
-			vd.floatToOff = make(map[float64]int32, len(d.Literals))
+			// Duplicate literal values (e.g. "1" and "1.0") resolve to the
+			// last literal's offset, matching the map semantics of the
+			// scalar reference kernel.
+			m := make(map[float64]int32, len(d.Literals))
 			for j, lit := range d.Literals {
 				if v, err := parseLiteralFloat(lit); err == nil {
-					vd.floatToOff[v] = int32(j) * stride
+					m[v] = int32(j) * stride
 				}
+			}
+			vd.litVals = make([]float64, 0, len(m))
+			for v := range m {
+				vd.litVals = append(vd.litVals, v)
+			}
+			sort.Float64s(vd.litVals)
+			vd.litOffs = make([]int32, len(vd.litVals))
+			for j, v := range vd.litVals {
+				vd.litOffs[j] = m[v]
 			}
 		}
 		countAcc(acc)
@@ -316,13 +350,26 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 				}
 			} else {
 				vals, _ := d.acc.FloatBlock(start, bn, fScratch)
-				m := d.floatToOff
+				lvals, loffs := d.litVals, d.litOffs
 				oo := d.otherOff
+				nl := len(lvals)
 				for r, v := range vals {
 					off := oo
-					if v == v { // not NaN
-						if o, ok := m[v]; ok {
-							off = o
+					if v == v && nl > 0 { // not NaN
+						// Branchless lower bound over the sorted literal
+						// values: the comparison compiles to a conditional
+						// add, so the loop has no data-dependent branch and
+						// no hash, just log2(|literals|) compares.
+						base, n := 0, nl
+						for n > 1 {
+							half := n >> 1
+							if lvals[base+half-1] < v {
+								base += half
+							}
+							n -= half
+						}
+						if lvals[base] == v {
+							off = loffs[base]
 						}
 					}
 					offs[r] = off
@@ -578,6 +625,13 @@ func (k *vecKernel) fill(r *CubeResult, pt *vecPartial) {
 // workers bounds the number of row-range partials scanned concurrently;
 // small views always scan single-threaded.
 func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int) (*CubeResult, error) {
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, workers, 0, view.NumRows())
+}
+
+// computeCubeVectorizedRange is computeCubeVectorized restricted to joined
+// rows [rangeLo, rangeHi) — the full pass with rangeLo=0, rangeHi=NumRows,
+// or a delta scan over just the appended rows.
+func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers, rangeLo, rangeHi int) (*CubeResult, error) {
 	r, err := newCubeResultWithCols(tables, dims, cols)
 	if err != nil {
 		return nil, err
@@ -588,14 +642,14 @@ func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []stri
 		if stats != nil {
 			stats.ScalarPasses.Add(1)
 		}
-		return computeCubeScalar(ctx, view, tables, dims, cols)
+		return computeCubeScalarRange(ctx, view, tables, dims, cols, rangeLo, rangeHi)
 	}
 	k, err := newVecKernel(view, dims, r, size, stats)
 	if err != nil {
 		return nil, err
 	}
 
-	n := view.NumRows()
+	n := rangeHi - rangeLo
 	parts := 1
 	if workers > 1 && n >= kernelParallelMinRows {
 		parts = workers
@@ -611,7 +665,7 @@ func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []stri
 
 	var root *vecPartial
 	if parts <= 1 {
-		if root, err = k.scanRange(ctx, 0, n); err != nil {
+		if root, err = k.scanRange(ctx, rangeLo, rangeHi); err != nil {
 			return nil, err
 		}
 	} else {
@@ -620,10 +674,10 @@ func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []stri
 		chunk := (n + parts - 1) / parts
 		var wg sync.WaitGroup
 		for p := 0; p < parts; p++ {
-			lo := p * chunk
+			lo := rangeLo + p*chunk
 			hi := lo + chunk
-			if hi > n {
-				hi = n
+			if hi > rangeHi {
+				hi = rangeHi
 			}
 			wg.Add(1)
 			go func(p, lo, hi int) {
