@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-guard serve-smoke ci
 
 all: build test
 
@@ -38,14 +38,32 @@ bench-cube:
 bench-delta:
 	$(GO) run ./cmd/benchcube -delta -out BENCH_delta.json
 
+# bench-scan measures direct scans (Table 6's naive row and the planner's
+# small-group fallback): the retired closure-matcher baseline vs the
+# vectorized selection-vector pipeline vs zone-map pruning, writing
+# BENCH_scan.json. The run hard-fails when the three modes disagree on any
+# answer or when a prunable case records zero pruned blocks.
+bench-scan:
+	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.json
+
+# bench-guard is the bench-regression gate: it re-runs the cube matrix at
+# the committed record's scale and fails when any case's vectorized rows/s
+# falls more than 30% below the committed BENCH_cube.json — measured as
+# the vectorized/scalar ratio, so the gate is meaningful on hardware other
+# than the machine that produced the seed (the scalar interpreter scans
+# the same rows on both and serves as the per-machine yardstick).
+bench-guard:
+	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
+
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
-# kernel perf trajectory at reduced scale; used by CI (which uploads the
-# smoke record as an artifact). Writes to a separate path so local ci runs
-# never clobber the committed full-scale BENCH_cube.json seed.
+# kernel and direct-scan perf trajectories at reduced scale; used by CI
+# (which uploads the smoke records as artifacts). Writes to separate paths
+# so local ci runs never clobber the committed full-scale seeds.
 bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchcube -out BENCH_cube.smoke.json -rows 30000
+	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.smoke.json -rows 30000
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo
@@ -54,4 +72,4 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -count=1 -run TestAggcheckdSmoke ./cmd/aggcheckd
 
-ci: fmt vet build race bench-smoke bench-delta serve-smoke
+ci: fmt vet build race bench-smoke bench-guard bench-delta serve-smoke

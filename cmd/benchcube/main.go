@@ -14,8 +14,11 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
+	"strconv"
+	"strings"
 	"testing"
 	"time"
 
@@ -78,10 +81,17 @@ func main() {
 	delta := flag.Bool("delta", false, "measure the append-heavy incremental-maintenance workload instead of the kernel matrix")
 	batches := flag.Int("batches", 24, "append batches (commits) per case in -delta mode")
 	batchRows := flag.Int("batch-rows", 2000, "rows per append batch in -delta mode")
+	scan := flag.Bool("scan", false, "measure direct scans (closure baseline vs vectorized vs zone-pruned) instead of the kernel matrix")
+	against := flag.String("against", "", "committed BENCH_cube.json record to guard against: fail when a fresh vectorized case regresses below (1-tolerance) of its recorded rows/s")
+	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional rows/s regression for -against")
 	flag.Parse()
 
 	if *delta {
 		runDelta(*out, *rows, *batches, *batchRows)
+		return
+	}
+	if *scan {
+		runScan(*out, *rows)
 		return
 	}
 
@@ -138,6 +148,51 @@ func main() {
 	}
 
 	writeJSON(*out, &file)
+	if *against != "" {
+		guardAgainst(*against, &file, *tolerance)
+	}
+}
+
+// guardAgainst is the bench-regression gate: per case, the fresh run's
+// vectorized rows/s — normalized by the scalar interpreter's rows/s from
+// the SAME run — must reach at least (1-tol) of the committed record's
+// normalized value. Comparing the vectorized/scalar ratio instead of raw
+// rows/s makes the gate hold across machines: the committed seed and the
+// CI runner differ in absolute throughput, but the scalar kernel scans
+// the same rows on both, so it serves as the per-machine yardstick. (A
+// regression that slows both kernels equally escapes this gate; the raw
+// numbers are still recorded in the uploaded artifact for trend review.)
+// CI runs it against the committed seed so a kernel regression fails the
+// build instead of silently rewriting the trajectory.
+func guardAgainst(path string, fresh *benchFile, tol float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old benchFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	failed := false
+	for name, freshSpeedup := range fresh.Speedups {
+		recorded, ok := old.Speedups[name]
+		if !ok || recorded <= 0 {
+			continue // new case, no baseline yet
+		}
+		floor := recorded * (1 - tol)
+		if freshSpeedup < floor {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchcube: REGRESSION %s: vectorized/scalar x%.2f < floor x%.2f (record x%.2f, tolerance %.0f%%)\n",
+				name, freshSpeedup, floor, recorded, 100*tol)
+		} else {
+			fmt.Printf("guard %-22s vectorized/scalar x%.2f >= floor x%.2f ok\n", name, freshSpeedup, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
 }
 
 // runDelta measures incremental cube maintenance: for each single-table
@@ -221,6 +276,210 @@ func runDelta(out string, rows, batches, batchRows int) {
 		file.Cases = append(file.Cases, entry)
 		fmt.Printf("%-22s delta %10.0f ns/recheck   rescan %12.0f ns/recheck   speedup x%.1f\n",
 			bc.Name, entry.DeltaNsPerCheck, entry.RescanNsPerCheck, entry.Speedup)
+	}
+	writeJSON(out, &file)
+}
+
+// scanFile is the machine-readable record of the direct-scan workload
+// (make bench-scan): each case evaluated by the retired closure-matcher
+// baseline (reimplemented here, since the production path deleted it), the
+// vectorized pipeline with zone maps off, and the full pipeline with
+// zone-map pruning.
+type scanFile struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	FactRows   int             `json:"fact_rows"`
+	Entries    []scanCaseEntry `json:"entries"`
+	// Speedups map case name to vectorized-over-closure and
+	// pruned-over-closure rows/s ratios.
+	SpeedupVectorOverClosure map[string]float64 `json:"speedups_vector_over_closure"`
+	SpeedupPrunedOverClosure map[string]float64 `json:"speedups_pruned_over_closure"`
+}
+
+type scanCaseEntry struct {
+	Name         string  `json:"name"`
+	Mode         string  `json:"mode"` // "closure" | "vector" | "vector+zones"
+	NsPerOp      float64 `json:"ns_per_op"`
+	RowsPerSec   float64 `json:"rows_per_sec"`
+	BlocksPruned int64   `json:"blocks_pruned,omitempty"`
+}
+
+// closureScan is the retired row-at-a-time direct scan, preserved as the
+// benchmark baseline: per-row heap-allocated closure matchers, one
+// row at a time, exactly the code shape Engine.EvaluateContext had before
+// the vectorized pipeline replaced it. It supports the aggregate subset
+// the scan cases use (Count, Sum, Percentage).
+func closureScan(view *db.JoinView, q sqlexec.Query) (float64, error) {
+	matchers := make([]func(int) bool, 0, len(q.Preds))
+	for _, p := range q.Preds {
+		acc, err := view.Accessor(p.Col.Table, p.Col.Column)
+		if err != nil {
+			return math.NaN(), err
+		}
+		if acc.Column().Kind == db.KindString {
+			code := acc.Column().CodeOf(p.Value)
+			a := acc
+			matchers = append(matchers, func(row int) bool { return a.Code(row) == code && code >= 0 })
+		} else {
+			want, err := strconv.ParseFloat(strings.TrimSpace(p.Value), 64)
+			if err != nil {
+				matchers = append(matchers, func(int) bool { return false })
+				continue
+			}
+			a := acc
+			matchers = append(matchers, func(row int) bool { return a.Float(row) == want })
+		}
+	}
+	star := q.AggCol.IsStar()
+	var aggAcc db.ColumnAccessor
+	if !star {
+		var err error
+		aggAcc, err = view.Accessor(q.AggCol.Table, q.AggCol.Column)
+		if err != nil {
+			return math.NaN(), err
+		}
+	}
+	var matched, total, nonNull int64
+	var sum float64
+	n := view.NumRows()
+	for row := 0; row < n; row++ {
+		total++
+		all := true
+		for i := range matchers {
+			if !matchers[i](row) {
+				all = false
+				break
+			}
+		}
+		if !all {
+			continue
+		}
+		matched++
+		if !star {
+			if v := aggAcc.Float(row); !math.IsNaN(v) {
+				nonNull++
+				sum += v
+			}
+		}
+	}
+	switch q.Agg {
+	case sqlexec.Count:
+		if star {
+			return float64(matched), nil
+		}
+		return float64(nonNull), nil
+	case sqlexec.Sum:
+		if nonNull == 0 {
+			return math.NaN(), nil
+		}
+		return sum, nil
+	case sqlexec.Percentage:
+		if total == 0 {
+			return math.NaN(), nil
+		}
+		return 100 * float64(matched) / float64(total), nil
+	}
+	return math.NaN(), fmt.Errorf("closureScan: unsupported aggregate %v", q.Agg)
+}
+
+// runScan measures the direct-scan pipeline: closure baseline vs
+// vectorized selection vectors vs zone-pruned, per case. All three modes
+// must agree on every answer, and prunable cases must actually record
+// pruned blocks — the run hard-fails otherwise, so the CI artifact
+// doubles as a regression gate for the scan pipeline.
+func runScan(out string, rows int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -scan: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	d := benchdata.BuildDB(rows)
+	view, err := db.BuildJoinView(d, []string{"fact"})
+	if err != nil {
+		fail("%v", err)
+	}
+	viewRows := view.NumRows()
+
+	flatEng := sqlexec.NewEngine(d)
+	flatEng.SetZoneMaps(false)
+	zoneEng := sqlexec.NewEngine(d)
+
+	file := scanFile{
+		Schema:                   "aggchecker-direct-scan-bench/v1",
+		GoVersion:                runtime.Version(),
+		GoMaxProcs:               runtime.GOMAXPROCS(0),
+		FactRows:                 rows,
+		SpeedupVectorOverClosure: map[string]float64{},
+		SpeedupPrunedOverClosure: map[string]float64{},
+	}
+
+	eq := func(a, b float64) bool {
+		if math.IsNaN(a) && math.IsNaN(b) {
+			return true
+		}
+		return math.Abs(a-b) < 1e-9
+	}
+	for _, sc := range benchdata.ScanCases(rows) {
+		want, err := closureScan(view, sc.Query)
+		if err != nil {
+			fail("%s: closure: %v", sc.Name, err)
+		}
+		for _, mode := range []string{"vector", "vector+zones"} {
+			e := flatEng
+			if mode == "vector+zones" {
+				e = zoneEng
+			}
+			got, err := e.Evaluate(sc.Query)
+			if err != nil {
+				fail("%s: %s: %v", sc.Name, mode, err)
+			}
+			if !eq(want, got) {
+				fail("%s: %s answered %v, closure baseline %v", sc.Name, mode, got, want)
+			}
+		}
+		prunedBefore := zoneEng.Stats.BlocksPruned.Load()
+		if _, err := zoneEng.Evaluate(sc.Query); err != nil {
+			fail("%s: %v", sc.Name, err)
+		}
+		prunedPerScan := zoneEng.Stats.BlocksPruned.Load() - prunedBefore
+		if sc.Prunable && prunedPerScan == 0 {
+			fail("%s: marked prunable but zone maps pruned no blocks", sc.Name)
+		}
+
+		rowsPerSec := map[string]float64{}
+		for _, mode := range []string{"closure", "vector", "vector+zones"} {
+			run := func() {
+				switch mode {
+				case "closure":
+					_, err = closureScan(view, sc.Query)
+				case "vector":
+					_, err = flatEng.Evaluate(sc.Query)
+				default:
+					_, err = zoneEng.Evaluate(sc.Query)
+				}
+				if err != nil {
+					fail("%s: %s: %v", sc.Name, mode, err)
+				}
+			}
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					run()
+				}
+			})
+			nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+			rps := float64(viewRows) / (nsPerOp * 1e-9)
+			rowsPerSec[mode] = rps
+			entry := scanCaseEntry{Name: sc.Name, Mode: mode, NsPerOp: nsPerOp, RowsPerSec: rps}
+			if mode == "vector+zones" {
+				entry.BlocksPruned = prunedPerScan
+			}
+			file.Entries = append(file.Entries, entry)
+			fmt.Printf("%-20s %-13s %12.0f ns/op %14.0f rows/s\n", sc.Name, mode, nsPerOp, rps)
+		}
+		file.SpeedupVectorOverClosure[sc.Name] = rowsPerSec["vector"] / rowsPerSec["closure"]
+		file.SpeedupPrunedOverClosure[sc.Name] = rowsPerSec["vector+zones"] / rowsPerSec["closure"]
+		fmt.Printf("%-20s speedup vector x%.2f   pruned x%.2f\n",
+			sc.Name, file.SpeedupVectorOverClosure[sc.Name], file.SpeedupPrunedOverClosure[sc.Name])
 	}
 	writeJSON(out, &file)
 }

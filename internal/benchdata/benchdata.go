@@ -8,16 +8,25 @@ package benchdata
 import (
 	"math"
 	"math/rand"
+	"strconv"
 
 	"aggchecker/internal/db"
 	"aggchecker/internal/sqlexec"
 )
 
+// scanBands is the number of clustered bands the fact table's z column
+// splits into: z literals occur in ~1/scanBands of the zone maps, so
+// equality predicates on z measure zone pruning.
+const scanBands = 12
+
 // BuildDB constructs the benchmark database: a fact table with string
 // dimension columns (a: 4 values, b: 3, c: 6), small-domain numeric
 // dimension columns (d1: 6 values, d2: 4, d3: 5), numeric measures x and y
-// with ~5% NULLs, and a foreign key into an 8-row dims table whose string
-// column g drives the joined cases. Deterministic (fixed seed).
+// with ~5% NULLs, clustered columns z (one string band per rows/scanBands
+// run) and t (monotone numeric, a synthetic event time) that give zone
+// maps something to prune, and a foreign key into an 8-row dims table
+// whose string column g drives the joined cases. Deterministic (fixed
+// seed).
 func BuildDB(rows int) *db.Database {
 	rng := rand.New(rand.NewSource(17))
 	a := db.NewStringColumn("a")
@@ -28,11 +37,17 @@ func BuildDB(rows int) *db.Database {
 	d3 := db.NewFloatColumn("d3")
 	x := db.NewFloatColumn("x")
 	y := db.NewFloatColumn("y")
+	z := db.NewStringColumn("z")
+	tc := db.NewFloatColumn("t")
 	k := db.NewStringColumn("k")
 	avals := []string{"p", "q", "r", "s"}
 	bvals := []string{"u", "v", "w"}
 	cvals := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
 	kvals := []string{"k0", "k1", "k2", "k3", "k4", "k5", "k6", "k7"}
+	band := rows / scanBands
+	if band == 0 {
+		band = 1
+	}
 	for i := 0; i < rows; i++ {
 		if rng.Intn(20) == 0 {
 			a.AppendString("")
@@ -50,9 +65,11 @@ func BuildDB(rows int) *db.Database {
 			x.AppendFloat(float64(rng.Intn(1000)))
 		}
 		y.AppendFloat(rng.Float64() * 100)
+		z.AppendString("z" + strconv.Itoa(i/band))
+		tc.AppendFloat(float64(i))
 		k.AppendString(kvals[rng.Intn(len(kvals))])
 	}
-	fact := db.MustNewTable("fact", a, b, c, d1, d2, d3, x, y, k)
+	fact := db.MustNewTable("fact", a, b, c, d1, d2, d3, x, y, z, tc, k)
 	d := db.NewDatabase("bench")
 	d.MustAddTable(fact)
 	dk := db.NewStringColumn("k")
@@ -96,6 +113,11 @@ func AppendFactRows(d *db.Database, n int, seed int64) error {
 			float64(rng.Intn(5)),
 			x,
 			rng.Float64() * 100,
+			// Appended rows continue the clustered columns with values the
+			// seed rows never carry, so zone maps can prune the sealed
+			// prefix for append-band queries (and vice versa).
+			"zapp",
+			float64(1 << 30),
 			kvals[rng.Intn(len(kvals))],
 		}
 	}
@@ -104,6 +126,82 @@ func AppendFactRows(d *db.Database, n int, seed int64) error {
 	}
 	_, err := d.Commit()
 	return err
+}
+
+// ScanCase is one direct-scan benchmark configuration: a single query
+// evaluated with a dedicated scan, the workload of Table 6's naive row and
+// the planner's small-group fallback.
+type ScanCase struct {
+	Name  string
+	Query sqlexec.Query
+	// Prunable marks cases whose literals cluster in few zones: the
+	// zone-mapped pipeline must record pruned blocks on them (benchcube
+	// -scan hard-fails otherwise).
+	Prunable bool
+}
+
+// ScanCases returns the direct-scan matrix: hot predicates zone maps
+// cannot prune (isolating the vectorized-selection-vector win over the
+// retired closure matchers), clustered string and numeric predicates
+// (isolating the zone-pruning win), and a pruned ratio query whose
+// denominator still covers every row. Prunable is asserted only at table
+// sizes where a clustered literal is guaranteed to miss at least one
+// whole zone (bands shorter than a zone can straddle every zone boundary
+// of a tiny table, making the cold cases legitimately unprunable).
+func ScanCases(rows int) []ScanCase {
+	fc := func(c string) sqlexec.ColumnRef { return sqlexec.ColumnRef{Table: "fact", Column: c} }
+	band := rows / scanBands
+	if band == 0 {
+		band = 1
+	}
+	// A mid-table band touches at most band/ZoneRows+2 zones; some zone is
+	// provably band-free once the table holds a few more zones than that.
+	bandPrunable := rows/db.ZoneRows > band/db.ZoneRows+2
+	// A single point value touches one zone; any second zone can prune.
+	pointPrunable := rows > 2*db.ZoneRows
+	midT := strconv.Itoa(band*(scanBands/2) + band/2) // one t value, mid-table
+	return []ScanCase{
+		{
+			Name: "count-2pred-hot",
+			Query: sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
+				{Col: fc("a"), Value: "p"}, {Col: fc("b"), Value: "u"},
+			}},
+		},
+		{
+			Name: "sum-1pred-hot",
+			Query: sqlexec.Query{Agg: sqlexec.Sum, AggCol: fc("x"), Preds: []sqlexec.Predicate{
+				{Col: fc("a"), Value: "p"},
+			}},
+		},
+		{
+			Name: "count-band-cold",
+			Query: sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
+				{Col: fc("z"), Value: "z" + strconv.Itoa(scanBands/2)},
+			}},
+			Prunable: bandPrunable,
+		},
+		{
+			Name: "sum-band-cold",
+			Query: sqlexec.Query{Agg: sqlexec.Sum, AggCol: fc("x"), Preds: []sqlexec.Predicate{
+				{Col: fc("z"), Value: "z" + strconv.Itoa(scanBands/2)},
+			}},
+			Prunable: bandPrunable,
+		},
+		{
+			Name: "count-time-point",
+			Query: sqlexec.Query{Agg: sqlexec.Count, Preds: []sqlexec.Predicate{
+				{Col: fc("t"), Value: midT},
+			}},
+			Prunable: pointPrunable,
+		},
+		{
+			Name: "pct-band-cold",
+			Query: sqlexec.Query{Agg: sqlexec.Percentage, Preds: []sqlexec.Predicate{
+				{Col: fc("z"), Value: "z" + strconv.Itoa(scanBands/2)},
+			}},
+			Prunable: bandPrunable,
+		},
+	}
 }
 
 // Case is one cube-pass benchmark configuration.

@@ -88,6 +88,29 @@ type Status struct {
 	// Appended is the number of rows the last Refresh sealed (only set on
 	// Refresh results).
 	Appended int `json:"appended,omitempty"`
+	// Scan reports the resident checker's scan-pipeline counters (nil when
+	// not resident), so watch-mode operators can see how effectively zone
+	// maps prune re-checks per database.
+	Scan *ScanStats `json:"scan,omitempty"`
+}
+
+// ScanStats is the zone-map/scan-pipeline slice of the engine counters,
+// accumulated over the lifetime of the resident checker's cached-mode
+// engine.
+type ScanStats struct {
+	// BlocksScanned and BlocksPruned count scan segments processed versus
+	// skipped by zone maps (cube passes, delta scans, and vectorized
+	// direct scans alike); PruneRate is pruned/(pruned+scanned).
+	BlocksScanned int64   `json:"blocks_scanned"`
+	BlocksPruned  int64   `json:"blocks_pruned"`
+	PruneRate     float64 `json:"prune_rate"`
+	// DirectVectorScans counts direct queries run through the vectorized
+	// pipeline; SelvecReuses the segments that filtered through a reused
+	// selection-vector buffer; DeltaScans the cached cubes advanced by
+	// scanning only appended blocks.
+	DirectVectorScans int64 `json:"direct_vector_scans"`
+	SelvecReuses      int64 `json:"selvec_reuses"`
+	DeltaScans        int64 `json:"delta_scans"`
 }
 
 func statusOf(name string, ck *Checker) Status {
@@ -103,6 +126,18 @@ func statusOf(name string, ck *Checker) Status {
 		st.Rows[t.Name] = t.NumRows()
 		st.TotalRows += t.NumRows()
 	}
+	s := ck.Engine.Stats.Snapshot()
+	scan := &ScanStats{
+		BlocksScanned:     s["blocks_scanned"],
+		BlocksPruned:      s["blocks_pruned"],
+		DirectVectorScans: s["direct_vector_scans"],
+		SelvecReuses:      s["selvec_reuses"],
+		DeltaScans:        s["delta_scans"],
+	}
+	if tot := scan.BlocksScanned + scan.BlocksPruned; tot > 0 {
+		scan.PruneRate = float64(scan.BlocksPruned) / float64(tot)
+	}
+	st.Scan = scan
 	return st
 }
 

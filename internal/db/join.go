@@ -144,6 +144,19 @@ func (v *JoinView) apply(step JoinStep) error {
 // NumRows returns the joined row count.
 func (v *JoinView) NumRows() int { return v.n }
 
+// ZoneSpans returns the shared zone-map segmentation of the view's rows on
+// the zero-copy path: for single-table views, joined row numbers equal
+// table row numbers, so the base table's spans segment the scan and every
+// direct accessor's Zones() list aligns with them. Materialized joins
+// return nil — their row maps shuffle storage order, voiding zone
+// locality.
+func (v *JoinView) ZoneSpans() []ZoneSpan {
+	if len(v.tables) != 1 || v.rowMaps[v.tables[0]] != nil {
+		return nil
+	}
+	return v.snap.Table(v.tables[0]).ZoneSpans()
+}
+
 // Tables returns the joined tables in join order.
 func (v *JoinView) Tables() []string { return v.tables }
 
@@ -179,6 +192,16 @@ func (a ColumnAccessor) Column() *ColView { return a.col }
 // Direct reports whether the accessor reads column storage without a row-map
 // indirection (single-table views). Direct accessors serve zero-copy blocks.
 func (a ColumnAccessor) Direct() bool { return a.rowMap == nil }
+
+// Zones returns the column's zone-map entries when the accessor is direct
+// (aligned with the view's ZoneSpans), or nil when reads gather through a
+// row map and zone pruning does not apply.
+func (a ColumnAccessor) Zones() []ZoneEntry {
+	if a.rowMap != nil {
+		return nil
+	}
+	return a.col.zones
+}
 
 // IsNull reports NULL at joined row r.
 func (a ColumnAccessor) IsNull(r int) bool {

@@ -49,6 +49,7 @@ type ColView struct {
 	codes   []int32
 	dict    []string
 	nullCnt int
+	zones   []ZoneEntry
 
 	// codeOf is built lazily over the captured dictionary so CodeOf never
 	// touches the live column's mutable dictionary index.
@@ -138,6 +139,10 @@ func (c *ColView) CodeOf(v string) int32 {
 // NullCount returns the number of NULL rows visible in this snapshot.
 func (c *ColView) NullCount() int { return c.nullCnt }
 
+// Zones returns the column's zone-map entries, aligned positionally with
+// the owning TableView's ZoneSpans. The returned slice is immutable.
+func (c *ColView) Zones() []ZoneEntry { return c.zones }
+
 // HasNulls reports whether any visible row holds NULL. Scan kernels use it
 // to hoist the per-row NULL branch out of columns that cannot produce one.
 func (c *ColView) HasNulls() bool { return c.nullCnt > 0 }
@@ -165,6 +170,7 @@ type TableView struct {
 	byName map[string]*ColView
 	rows   int
 	blocks []Block
+	spans  []ZoneSpan
 }
 
 // NumRows returns the row count visible in this snapshot.
@@ -179,6 +185,12 @@ func (t *TableView) Column(name string) *ColView { return t.byName[name] }
 // Blocks returns the sealed blocks covering the snapshot's rows, in seal
 // order. The returned slice must not be modified.
 func (t *TableView) Blocks() []Block { return t.blocks }
+
+// ZoneSpans returns the table's zone-map segmentation: consecutive row
+// ranges of at most ZoneRows rows that never cross a sealed block. Every
+// column's Zones() list is positionally aligned with these spans. The
+// returned slice is immutable.
+func (t *TableView) ZoneSpans() []ZoneSpan { return t.spans }
 
 // Snapshot is an immutable, versioned view of a whole database. Snapshots
 // are cheap (per-column slice headers, no data copies) and safe to read
@@ -300,19 +312,29 @@ func buildTableView(t *Table, blocks []Block, prev *TableView) *TableView {
 		blocks:     append([]Block(nil), blocks...),
 		byName:     make(map[string]*ColView, len(t.Columns)),
 	}
+	// Zone spans extend the previous snapshot's: sealed blocks are
+	// append-only and commits seal at block boundaries, so the prefix of
+	// spans covering the previously visible rows is still exact.
+	prevRows := 0
+	var prevSpans []ZoneSpan
+	if prev != nil {
+		prevRows = prev.rows
+		prevSpans = prev.spans
+	}
+	tv.spans = zoneSpansFor(blocks, prevRows, prevSpans)
 	for i, c := range t.Columns {
 		var pc *ColView
 		if prev != nil && i < len(prev.cols) && prev.cols[i].Name == c.Name && prev.cols[i].Kind == c.Kind {
 			pc = prev.cols[i]
 		}
-		cv := buildColView(c, pc)
+		cv := buildColView(c, pc, tv.spans)
 		tv.cols = append(tv.cols, cv)
 		tv.byName[c.Name] = cv
 	}
 	return tv
 }
 
-func buildColView(c *Column, prev *ColView) *ColView {
+func buildColView(c *Column, prev *ColView, spans []ZoneSpan) *ColView {
 	cv := &ColView{
 		Name:        c.Name,
 		Description: c.Description,
@@ -322,13 +344,15 @@ func buildColView(c *Column, prev *ColView) *ColView {
 		codes:       c.codes,
 		dict:        c.dict,
 	}
-	// Null counting is incremental: reuse the previous snapshot's count and
-	// scan only the appended suffix. Sealed storage is append-only, so the
-	// prefix count can never change.
+	// Null counting and zone maps are incremental: reuse the previous
+	// snapshot's count and zone entries and scan only the appended suffix.
+	// Sealed storage is append-only, so neither can change for the prefix.
 	lo := 0
+	var prevZones []ZoneEntry
 	if prev != nil && prev.Len() <= cv.Len() {
 		cv.nullCnt = prev.nullCnt
 		lo = prev.Len()
+		prevZones = prev.zones
 	}
 	if c.Kind == KindString {
 		for _, code := range c.codes[lo:] {
@@ -336,12 +360,14 @@ func buildColView(c *Column, prev *ColView) *ColView {
 				cv.nullCnt++
 			}
 		}
+		cv.zones = codeZones(cv.codes, len(cv.dict), spans, len(prevZones), prevZones)
 	} else {
 		for _, v := range c.floats[lo:] {
 			if math.IsNaN(v) {
 				cv.nullCnt++
 			}
 		}
+		cv.zones = floatZones(cv.floats, spans, len(prevZones), prevZones)
 	}
 	return cv
 }

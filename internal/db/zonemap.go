@@ -1,0 +1,150 @@
+package db
+
+import "math"
+
+// This file implements per-block zone maps: small immutable summaries of
+// fixed-size row runs inside each sealed storage block, computed once at
+// snapshot publication and exposed through the block-access contract. Scan
+// kernels consult them to skip row runs that provably cannot contain a
+// predicate literal (equality on dictionary codes via a per-zone domain
+// bitset, numeric equality via a min/max range test) and to hoist NULL
+// branches out of runs whose null count is zero. Zones never span a sealed
+// block, so append-only commits extend the zone list without touching
+// sealed entries — the property that lets delta scans prune too.
+
+// ZoneRows is the zone-map granularity: the maximum number of rows one
+// zone summarizes. It matches the execution kernel's block size so each
+// kernel block of a zero-copy scan maps to exactly one zone.
+const ZoneRows = 4096
+
+// maxZoneDomainDict caps the dictionary size for which per-zone domain
+// bitsets are built. Beyond it the bitsets would rival the column storage
+// itself (one bit per dictionary entry per zone), so high-cardinality
+// string columns carry min/max-less zones that never prune; equality
+// pruning on them would rarely pay for the memory anyway.
+const maxZoneDomainDict = 1 << 15
+
+// ZoneSpan is one zone-map row range of a table. All columns of a table
+// share the same spans (they are derived from the sealed block layout
+// alone), so scan pipelines can segment a table once and index every
+// column's ZoneEntry list by the same position.
+type ZoneSpan struct {
+	Start, End int
+}
+
+// Rows returns the number of rows the span covers.
+func (z ZoneSpan) Rows() int { return z.End - z.Start }
+
+// ZoneEntry summarizes rows [Start, End) of one column.
+type ZoneEntry struct {
+	Start, End int
+	// NullCount is the number of NULL rows in the zone.
+	NullCount int
+	// Min and Max bound the non-NULL values of a numeric column
+	// (Min=+Inf, Max=-Inf when every row is NULL); unused for strings.
+	Min, Max float64
+	// domain is the dictionary-code presence bitset of a string column:
+	// bit c is set when code c occurs in the zone. hasDomain distinguishes
+	// "no codes present" from "bitset not built" (dictionary too large).
+	domain    []uint64
+	hasDomain bool
+}
+
+// Rows returns the number of rows the zone covers.
+func (z *ZoneEntry) Rows() int { return z.End - z.Start }
+
+// AllNull reports whether every row of the zone is NULL.
+func (z *ZoneEntry) AllNull() bool { return z.NullCount == z.Rows() }
+
+// MayContainFloat reports whether a numeric equality predicate on v could
+// match inside the zone. NaN never matches (NULL semantics).
+func (z *ZoneEntry) MayContainFloat(v float64) bool {
+	return v >= z.Min && v <= z.Max
+}
+
+// MayContainCode reports whether dictionary code c could occur in the
+// zone. Codes minted after the zone was sealed cannot appear in it, so a
+// built bitset answers exactly; without a bitset the zone claims nothing.
+func (z *ZoneEntry) MayContainCode(c int32) bool {
+	if c < 0 {
+		return false
+	}
+	if !z.hasDomain {
+		return true
+	}
+	w := int(c >> 6)
+	if w >= len(z.domain) {
+		return false
+	}
+	return z.domain[w]&(1<<(uint(c)&63)) != 0
+}
+
+// zoneSpansFor chunks the sealed blocks into zone spans, reusing the prev
+// spans covering [0, from) (always a block boundary: commits seal whole
+// blocks).
+func zoneSpansFor(blocks []Block, from int, prev []ZoneSpan) []ZoneSpan {
+	spans := prev
+	for _, b := range blocks {
+		if b.End <= from {
+			continue
+		}
+		for lo := b.Start; lo < b.End; lo += ZoneRows {
+			hi := lo + ZoneRows
+			if hi > b.End {
+				hi = b.End
+			}
+			spans = append(spans, ZoneSpan{Start: lo, End: hi})
+		}
+	}
+	return spans
+}
+
+// floatZones summarizes vals over the given spans starting at span index
+// first, appending to prev.
+func floatZones(vals []float64, spans []ZoneSpan, first int, prev []ZoneEntry) []ZoneEntry {
+	zones := prev
+	for _, sp := range spans[first:] {
+		z := ZoneEntry{Start: sp.Start, End: sp.End, Min: math.Inf(1), Max: math.Inf(-1)}
+		for _, v := range vals[sp.Start:sp.End] {
+			if math.IsNaN(v) {
+				z.NullCount++
+				continue
+			}
+			if v < z.Min {
+				z.Min = v
+			}
+			if v > z.Max {
+				z.Max = v
+			}
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}
+
+// codeZones summarizes dictionary codes over the given spans starting at
+// span index first, appending to prev. dictLen is the dictionary size at
+// publication time; codes in sealed rows are always below it.
+func codeZones(codes []int32, dictLen int, spans []ZoneSpan, first int, prev []ZoneEntry) []ZoneEntry {
+	zones := prev
+	buildDomain := dictLen <= maxZoneDomainDict
+	words := (dictLen + 63) / 64
+	for _, sp := range spans[first:] {
+		z := ZoneEntry{Start: sp.Start, End: sp.End, Min: math.Inf(1), Max: math.Inf(-1)}
+		if buildDomain {
+			z.domain = make([]uint64, words)
+			z.hasDomain = true
+		}
+		for _, c := range codes[sp.Start:sp.End] {
+			if c < 0 {
+				z.NullCount++
+				continue
+			}
+			if z.hasDomain {
+				z.domain[c>>6] |= 1 << (uint(c) & 63)
+			}
+		}
+		zones = append(zones, z)
+	}
+	return zones
+}

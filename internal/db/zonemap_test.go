@@ -1,0 +1,261 @@
+package db
+
+import (
+	"math"
+	"testing"
+)
+
+// zoneTestDB builds a database whose single table has one numeric and one
+// string column with values chosen so zones carry distinguishable
+// summaries (values grow with the row index).
+func zoneTestDB(t *testing.T, rows int) *Database {
+	t.Helper()
+	n := NewFloatColumn("n")
+	s := NewStringColumn("s")
+	for i := 0; i < rows; i++ {
+		if i%7 == 3 {
+			n.AppendFloat(math.NaN())
+		} else {
+			n.AppendFloat(float64(i))
+		}
+		// One string value per ZoneRows band: band literals cluster.
+		s.AppendString("band" + string(rune('A'+i/ZoneRows)))
+	}
+	d := NewDatabase("zones")
+	d.MustAddTable(MustNewTable("t", n, s))
+	return d
+}
+
+func TestZoneSpansAlignWithBlocks(t *testing.T) {
+	d := zoneTestDB(t, 2*ZoneRows+100)
+	snap := d.Snapshot()
+	tv := snap.Table("t")
+	spans := tv.ZoneSpans()
+	if len(spans) != 3 {
+		t.Fatalf("spans = %d, want 3", len(spans))
+	}
+	covered := 0
+	for i, sp := range spans {
+		if sp.Rows() <= 0 || sp.Rows() > ZoneRows {
+			t.Errorf("span %d covers %d rows", i, sp.Rows())
+		}
+		if sp.Start != covered {
+			t.Errorf("span %d starts at %d, want %d (contiguous)", i, sp.Start, covered)
+		}
+		covered = sp.End
+	}
+	if covered != tv.NumRows() {
+		t.Errorf("spans cover %d rows, want %d", covered, tv.NumRows())
+	}
+	for _, name := range []string{"n", "s"} {
+		if zones := tv.Column(name).Zones(); len(zones) != len(spans) {
+			t.Errorf("column %s has %d zones, want %d", name, len(zones), len(spans))
+		}
+	}
+}
+
+func TestZoneEntryNumericBounds(t *testing.T) {
+	d := zoneTestDB(t, 2*ZoneRows+100)
+	nz := d.Snapshot().Table("t").Column("n").Zones()
+	for i, z := range nz {
+		if z.Min < float64(z.Start) || z.Max > float64(z.End-1) {
+			t.Errorf("zone %d bounds [%v,%v] escape rows [%d,%d)", i, z.Min, z.Max, z.Start, z.End)
+		}
+		if z.NullCount == 0 || z.AllNull() {
+			t.Errorf("zone %d null count = %d of %d rows", i, z.NullCount, z.Rows())
+		}
+		// Values from other zones are provably absent.
+		if i > 0 && z.MayContainFloat(0) {
+			t.Errorf("zone %d claims it may contain 0", i)
+		}
+		if !z.MayContainFloat(float64(z.Start)) && z.Start%7 != 3 {
+			t.Errorf("zone %d denies its own first value", i)
+		}
+		if z.MayContainFloat(math.NaN()) {
+			t.Errorf("zone %d claims it may contain NaN", i)
+		}
+	}
+}
+
+func TestZoneEntryDomainBitsets(t *testing.T) {
+	d := zoneTestDB(t, 2*ZoneRows+100)
+	col := d.Snapshot().Table("t").Column("s")
+	sz := col.Zones()
+	for i, z := range sz {
+		own := col.CodeOf("band" + string(rune('A'+i)))
+		if own < 0 || !z.MayContainCode(own) {
+			t.Errorf("zone %d denies its own band code %d", i, own)
+		}
+		for j := range sz {
+			if j == i {
+				continue
+			}
+			other := col.CodeOf("band" + string(rune('A'+j)))
+			if z.MayContainCode(other) {
+				t.Errorf("zone %d claims foreign band %d", i, j)
+			}
+		}
+		if z.MayContainCode(-1) {
+			t.Errorf("zone %d claims NULL code", i)
+		}
+		if z.MayContainCode(int32(len(col.Dictionary()))) {
+			t.Errorf("zone %d claims a code beyond the dictionary", i)
+		}
+	}
+}
+
+// TestZoneMapsIncrementalOnCommit asserts appends extend the zone list
+// without touching sealed entries, and that new dictionary codes minted by
+// appends are provably absent from old zones.
+func TestZoneMapsIncrementalOnCommit(t *testing.T) {
+	d := zoneTestDB(t, 500)
+	before := d.Snapshot().Table("t")
+	if err := d.Append("t", []any{9999.0, "fresh"}, []any{nil, "fresh"}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := d.Commit()
+	if err != nil {
+		t.Fatal(err)
+	}
+	after := snap.Table("t")
+	if len(after.ZoneSpans()) != len(before.ZoneSpans())+1 {
+		t.Fatalf("spans %d -> %d, want one appended zone", len(before.ZoneSpans()), len(after.ZoneSpans()))
+	}
+	for i := range before.ZoneSpans() {
+		if after.ZoneSpans()[i] != before.ZoneSpans()[i] {
+			t.Errorf("sealed span %d changed", i)
+		}
+	}
+	sCol := after.Column("s")
+	fresh := sCol.CodeOf("fresh")
+	if fresh < 0 {
+		t.Fatal("appended literal missing from dictionary")
+	}
+	zones := sCol.Zones()
+	last := zones[len(zones)-1]
+	if !last.MayContainCode(fresh) || last.NullCount != 0 {
+		t.Errorf("appended zone: contains=%v nulls=%d", last.MayContainCode(fresh), last.NullCount)
+	}
+	for i := 0; i < len(zones)-1; i++ {
+		if zones[i].MayContainCode(fresh) {
+			t.Errorf("sealed zone %d claims the freshly minted code", i)
+		}
+	}
+	nz := after.Column("n").Zones()
+	nLast := nz[len(nz)-1]
+	if nLast.Min != 9999 || nLast.Max != 9999 || nLast.NullCount != 1 {
+		t.Errorf("appended numeric zone = %+v", nLast)
+	}
+}
+
+// TestZoneDomainCapHighCardinality pins the memory guard: a dictionary
+// larger than maxZoneDomainDict gets no bitsets, and the zones answer
+// MayContainCode conservatively.
+func TestZoneDomainCapHighCardinality(t *testing.T) {
+	s := NewStringColumn("id")
+	for i := 0; i < maxZoneDomainDict+10; i++ {
+		s.AppendString("v" + itoa(i))
+	}
+	d := NewDatabase("wide")
+	d.MustAddTable(MustNewTable("w", s))
+	zones := d.Snapshot().Table("w").Column("id").Zones()
+	if len(zones) == 0 {
+		t.Fatal("no zones built")
+	}
+	for _, z := range zones {
+		if z.hasDomain {
+			t.Fatal("domain bitset built past the dictionary cap")
+		}
+		if !z.MayContainCode(0) {
+			t.Fatal("capped zone must answer conservatively")
+		}
+	}
+}
+
+func itoa(i int) string {
+	if i == 0 {
+		return "0"
+	}
+	var b [12]byte
+	p := len(b)
+	for i > 0 {
+		p--
+		b[p] = byte('0' + i%10)
+		i /= 10
+	}
+	return string(b[p:])
+}
+
+func TestAllNullZone(t *testing.T) {
+	n := NewFloatColumn("n")
+	s := NewStringColumn("s")
+	for i := 0; i < 10; i++ {
+		n.AppendFloat(math.NaN())
+		s.AppendString("")
+	}
+	d := NewDatabase("nulls")
+	d.MustAddTable(MustNewTable("t", n, s))
+	tv := d.Snapshot().Table("t")
+	nz := tv.Column("n").Zones()[0]
+	if !nz.AllNull() || nz.MayContainFloat(0) {
+		t.Errorf("all-NULL numeric zone = %+v", nz)
+	}
+	sz := tv.Column("s").Zones()[0]
+	if !sz.AllNull() {
+		t.Errorf("all-NULL string zone = %+v", sz)
+	}
+}
+
+// TestAccessorZones pins the accessor contract: direct accessors expose
+// zones aligned with the view's spans, gathered accessors expose none.
+func TestAccessorZones(t *testing.T) {
+	d := zoneTestDB(t, 300)
+	view, err := BuildJoinView(d, []string{"t"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if view.ZoneSpans() == nil {
+		t.Fatal("single-table view has no zone spans")
+	}
+	acc, err := view.Accessor("t", "n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := acc.Zones(); len(got) != len(view.ZoneSpans()) {
+		t.Errorf("accessor zones = %d, want %d", len(got), len(view.ZoneSpans()))
+	}
+
+	// A joined view materializes row maps for every table: no zones.
+	fk := NewStringColumn("k")
+	for i := 0; i < 20; i++ {
+		fk.AppendString("a")
+	}
+	v2 := NewFloatColumn("v2")
+	for i := 0; i < 20; i++ {
+		v2.AppendFloat(1)
+	}
+	dk := NewStringColumn("k")
+	dk.AppendString("a")
+	g := NewFloatColumn("g")
+	g.AppendFloat(7)
+	d2 := NewDatabase("j")
+	d2.MustAddTable(MustNewTable("f", fk, v2))
+	dim := MustNewTable("dim", dk, g)
+	dim.PrimaryKey = "k"
+	d2.MustAddTable(dim)
+	d2.MustAddForeignKey(ForeignKey{FromTable: "f", FromColumn: "k", ToTable: "dim", ToColumn: "k"})
+	jv, err := BuildJoinView(d2, []string{"f", "dim"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jv.ZoneSpans() != nil {
+		t.Error("joined view must not expose zone spans")
+	}
+	jacc, err := jv.Accessor("f", "v2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jacc.Zones() != nil {
+		t.Error("gathered accessor must not expose zones")
+	}
+}

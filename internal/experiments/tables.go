@@ -270,9 +270,9 @@ func PrintTable5(w io.Writer, context, modelRows, hits []AccuracyRow, fm1, fm2, 
 // time ratio compresses (EXPERIMENTS.md discusses this).
 func PrintTable6(w io.Writer, rows []Table6Row) {
 	fmt.Fprintf(w, "Table 6: Run time for all test cases.\n")
-	fmt.Fprintf(w, "%-18s %10s %10s %10s %14s %10s %12s %8s %8s %8s %8s %8s %8s %8s\n",
+	fmt.Fprintf(w, "%-18s %10s %10s %10s %14s %10s %12s %8s %8s %8s %8s %8s %8s %8s %8s %8s %8s\n",
 		"Version", "Total", "Query", "Speedup", "RowsScanned", "RowSpdup", "#Queries",
-		"Cubes", "CacheHit", "Dedup", "LockWait", "Blocks", "Gather%", "Partial")
+		"Cubes", "CacheHit", "Dedup", "LockWait", "Blocks", "Pruned", "Gather%", "Partial", "DirScan", "SelReuse")
 	var prevQuery time.Duration
 	var prevRows int64
 	for i, r := range rows {
@@ -289,19 +289,25 @@ func PrintTable6(w io.Writer, rows []Table6Row) {
 		// the common case and cube coalescing appears when several
 		// documents share one engine.
 		//
-		// Blocks/Gather%/Partial profile the vectorized kernel: blocks
-		// scanned by cube passes, the share of per-column block reads that
-		// gathered through join-view row maps (vs zero-copy column
+		// Blocks/Pruned/Gather%/Partial profile the shared scan pipeline:
+		// blocks scanned (cube passes and vectorized direct scans alike),
+		// blocks skipped by zone maps, the share of per-column block reads
+		// that gathered through join-view row maps (vs zero-copy column
 		// slices), and row-range partials merged inside cube passes.
+		// DirScan counts direct queries run through the vectorized
+		// pipeline (the Naive row's scans, plus planner fallbacks in the
+		// merged modes); SelReuse the segments that filtered through a
+		// reused selection-vector buffer.
 		gatherPct := "-"
 		if tot := r.Stats["direct_block_reads"] + r.Stats["gather_block_reads"]; tot > 0 {
 			gatherPct = fmt.Sprintf("%.0f%%", 100*float64(r.Stats["gather_block_reads"])/float64(tot))
 		}
-		fmt.Fprintf(w, "%-18s %9.1fs %9.1fs %10s %14d %10s %12d %8d %8d %8d %8d %8d %8s %8d\n",
+		fmt.Fprintf(w, "%-18s %9.1fs %9.1fs %10s %14d %10s %12d %8d %8d %8d %8d %8d %8d %8s %8d %8d %8d\n",
 			r.Name, r.Total.Seconds(), r.Query.Seconds(), speed, r.Rows, rspeed, r.Evaluated,
 			r.Stats["cube_passes"], r.Stats["cache_hits"],
 			r.Stats["cube_dedups"]+r.Stats["view_dedups"], r.Stats["lock_waits"],
-			r.Stats["blocks_scanned"], gatherPct, r.Stats["partials_merged"])
+			r.Stats["blocks_scanned"], r.Stats["blocks_pruned"], gatherPct, r.Stats["partials_merged"],
+			r.Stats["direct_vector_scans"], r.Stats["selvec_reuses"])
 		prevQuery, prevRows = r.Query, r.Rows
 	}
 }

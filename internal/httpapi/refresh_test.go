@@ -70,6 +70,17 @@ func TestStatusAndRefreshEndpoints(t *testing.T) {
 	if code != http.StatusOK || !st.Resident || st.Version != 1 || st.Rows["fines"] != 2 {
 		t.Fatalf("resident status = %d %+v", code, st)
 	}
+	// A resident database surfaces its scan-pipeline counters, so watch
+	// operators can read pruning effectiveness off the status endpoint.
+	if st.Scan == nil {
+		t.Fatal("resident status carries no scan stats")
+	}
+	if st.Scan.BlocksScanned == 0 {
+		t.Errorf("scan stats after a check = %+v, want blocks scanned", st.Scan)
+	}
+	if st.Scan.PruneRate < 0 || st.Scan.PruneRate > 1 {
+		t.Errorf("prune rate = %v, want within [0,1]", st.Scan.PruneRate)
+	}
 
 	// Grow the backing file and refresh over HTTP: the response reports the
 	// appended rows and new version.

@@ -132,7 +132,7 @@ func TestDeltaMergeDifferentialRandomized(t *testing.T) {
 			if scalar {
 				want, err = computeCubeScalar(ctx, view, sc.tables, dims, trackedColsFor(reqs))
 			} else {
-				want, err = computeCubeVectorized(ctx, view, sc.tables, dims, trackedColsFor(reqs), nil, 1)
+				want, err = computeCubeVectorized(ctx, view, sc.tables, dims, trackedColsFor(reqs), nil, 1, true)
 			}
 			if err != nil {
 				t.Fatalf("%s: rebuild: %v", label, err)
@@ -435,4 +435,79 @@ func TestEngineDeltaRepublishAndRebuild(t *testing.T) {
 		t.Fatal(err)
 	}
 	requireCubesIdentical(t, fresh, joined, "joined rebuild")
+}
+
+// TestDeltaZoneMapPruning is the delta-aware zone map test: a cached cube
+// whose dimension literals are confined to the initially sealed rows is
+// advanced through appends that miss every tracked literal. Each delta
+// block must take the batched rolled-up update (counted in blocks_pruned)
+// rather than the per-row coding loops, and the advanced cube must stay
+// bit-for-bit identical to a from-scratch rebuild at every version.
+func TestDeltaZoneMapPruning(t *testing.T) {
+	band := db.NewStringColumn("band")
+	num := db.NewFloatColumn("num")
+	val := db.NewFloatColumn("val")
+	d := db.NewDatabase("deltazone")
+	d.MustAddTable(db.MustNewTable("t", band, num, val))
+	seed := make([][]any, 400)
+	for i := range seed {
+		seed[i] = []any{"base", float64(i % 50), float64(i)}
+	}
+	if err := d.Append("t", seed...); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	cr := func(c string) ColumnRef { return ColumnRef{Table: "t", Column: c} }
+	dims := []DimSpec{
+		{Col: cr("band"), Literals: []string{"base"}},
+		{Col: cr("num"), Literals: []string{"7", "11"}},
+	}
+	reqs := []AggRequest{
+		{Fn: Count, Col: ColumnRef{}},
+		{Fn: Sum, Col: cr("val")},
+		{Fn: CountDistinct, Col: cr("val")},
+	}
+	e := NewEngine(d)
+	if _, err := e.CubeFor([]string{"t"}, dims, reqs); err != nil {
+		t.Fatal(err)
+	}
+
+	const commits = 4
+	for c := 0; c < commits; c++ {
+		// Appended rows carry a fresh band and out-of-range numerics: the
+		// delta blocks' zones refute every tracked literal.
+		rows := make([][]any, 100)
+		for i := range rows {
+			rows[i] = []any{"app" + strconv.Itoa(c), float64(1000 + i), float64(c*1000 + i)}
+		}
+		if err := d.Append("t", rows...); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := d.Commit(); err != nil {
+			t.Fatal(err)
+		}
+		before := e.Stats.Snapshot()
+		adv, err := e.CubeFor([]string{"t"}, dims, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := e.Stats.Snapshot()
+		if got := s["delta_scans"] - before["delta_scans"]; got != 1 {
+			t.Fatalf("commit %d: delta_scans = %d, want 1", c, got)
+		}
+		if got := s["blocks_pruned"] - before["blocks_pruned"]; got != 1 {
+			t.Errorf("commit %d: delta blocks_pruned = %d, want 1 (rolled-up batch update)", c, got)
+		}
+		if got := s["blocks_scanned"] - before["blocks_scanned"]; got != 0 {
+			t.Errorf("commit %d: delta blocks_scanned = %d, want 0", c, got)
+		}
+		fresh, err := NewEngine(d).CubeFor([]string{"t"}, dims, reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		requireCubesIdentical(t, fresh, adv, "delta-pruned advance commit "+strconv.Itoa(c))
+	}
 }

@@ -59,6 +59,19 @@ type Stats struct {
 	PartialsMerged   atomic.Int64
 	ScalarPasses     atomic.Int64
 
+	// Scan-pipeline counters. BlocksPruned counts scan segments skipped by
+	// zone maps: segments whose per-block summaries (min/max ranges,
+	// dictionary-code domain bitsets) refute every tracked dimension
+	// literal (cube and delta passes, which then take a batched rolled-up
+	// update) or the predicate conjunction (direct scans).
+	// DirectVectorScans counts direct queries executed through the shared
+	// vectorized scan pipeline; SelvecReuses counts scan segments that
+	// filtered through a reused selection-vector buffer instead of
+	// allocating a fresh one (every segment after a scan's first).
+	BlocksPruned      atomic.Int64
+	DirectVectorScans atomic.Int64
+	SelvecReuses      atomic.Int64
+
 	// Incremental-maintenance counters. DeltaScans counts cached cubes
 	// brought up to a newer snapshot version by scanning only the appended
 	// rows; BlocksDelta the sealed storage blocks those delta scans covered
@@ -90,6 +103,10 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"gather_block_reads": s.GatherBlockReads.Load(),
 		"partials_merged":    s.PartialsMerged.Load(),
 		"scalar_passes":      s.ScalarPasses.Load(),
+
+		"blocks_pruned":       s.BlocksPruned.Load(),
+		"direct_vector_scans": s.DirectVectorScans.Load(),
+		"selvec_reuses":       s.SelvecReuses.Load(),
 
 		"delta_scans":   s.DeltaScans.Load(),
 		"blocks_delta":  s.BlocksDelta.Load(),
@@ -194,6 +211,10 @@ type Engine struct {
 	// scalarKernel forces cube passes onto the legacy row-at-a-time
 	// interpreter; the vectorized columnar kernel is the default.
 	scalarKernel atomic.Bool
+	// zoneMaps enables zone-map pruning in the scan pipeline (on by
+	// default); SetZoneMaps(false) is the operational escape hatch and the
+	// benchmark baseline toggle.
+	zoneMaps atomic.Bool
 	// scanWorkers bounds intra-pass parallelism (row-range partials);
 	// <= 0 means min(GOMAXPROCS, defaultScanWorkers).
 	scanWorkers atomic.Int64
@@ -214,8 +235,17 @@ func NewEngine(d *db.Database) *Engine {
 		e.cubes[i].entries = make(map[string]*cubeEntry)
 	}
 	e.caching.Store(true)
+	e.zoneMaps.Store(true)
 	return e
 }
+
+// SetZoneMaps toggles zone-map pruning in the shared scan pipeline. With
+// pruning off, direct scans and cube passes process every block; results
+// are identical either way (pruning only skips provably irrelevant rows).
+func (e *Engine) SetZoneMaps(on bool) { e.zoneMaps.Store(on) }
+
+// ZoneMapsEnabled reports whether zone-map pruning is active.
+func (e *Engine) ZoneMapsEnabled() bool { return e.zoneMaps.Load() }
 
 // CachingEnabled reports whether cube results are cached.
 func (e *Engine) CachingEnabled() bool { return e.caching.Load() }
@@ -358,10 +388,13 @@ func (e *Engine) Evaluate(q Query) (float64, error) {
 }
 
 // EvaluateContext runs a single query with a dedicated scan (the naive
-// strategy of Table 6). Percentage and ConditionalProbability require
-// denominator statistics and therefore accumulate two cells in the same
-// scan. The scan checks ctx every ctxCheckRows rows and aborts with
-// ctx.Err() when the request is cancelled.
+// strategy of Table 6), executed through the shared vectorized scan
+// pipeline: predicates compile to storage-level comparisons evaluated into
+// per-segment selection vectors, and zone maps prune segments that cannot
+// contribute (see pipeline.go, including the ratio-aggregate base
+// contract for Percentage and ConditionalProbability denominators). The
+// scan checks ctx between segments and aborts with ctx.Err() when the
+// request is cancelled.
 func (e *Engine) EvaluateContext(ctx context.Context, q Query) (float64, error) {
 	if err := ctx.Err(); err != nil {
 		return math.NaN(), err
@@ -372,101 +405,7 @@ func (e *Engine) EvaluateContext(ctx context.Context, q Query) (float64, error) 
 		return math.NaN(), err
 	}
 	e.Stats.DirectQueries.Add(1)
-	e.Stats.RowsScanned.Add(int64(view.NumRows()))
-
-	matchers, err := buildMatchers(view, q.Preds)
-	if err != nil {
-		return math.NaN(), err
-	}
-	star := q.AggCol.IsStar()
-	var aggAcc db.ColumnAccessor
-	aggIsStr := false
-	if !star {
-		aggAcc, err = view.Accessor(q.AggCol.Table, q.AggCol.Column)
-		if err != nil {
-			return math.NaN(), err
-		}
-		aggIsStr = aggAcc.Column().Kind == db.KindString
-	}
-
-	main := newAccumulator(q.Agg == CountDistinct)
-	var base *accumulator
-	needBase := q.Agg == Percentage || q.Agg == ConditionalProbability
-	if needBase {
-		base = newAccumulator(false)
-	}
-	n := view.NumRows()
-	for row := 0; row < n; row++ {
-		if row%ctxCheckRows == 0 && row > 0 {
-			if err := ctx.Err(); err != nil {
-				return math.NaN(), err
-			}
-		}
-		all := true
-		for i := range matchers {
-			if !matchers[i](row) {
-				all = false
-				break
-			}
-		}
-		inBase := false
-		if needBase {
-			switch q.Agg {
-			case Percentage:
-				inBase = true
-			case ConditionalProbability:
-				inBase = len(matchers) == 0 || matchers[0](row)
-			}
-		}
-		if !all && !inBase {
-			continue
-		}
-		var null bool
-		var v float64
-		var key uint64
-		if star {
-			null, v = false, math.NaN()
-		} else if aggIsStr {
-			c := aggAcc.Code(row)
-			null, v, key = c < 0, math.NaN(), uint64(uint32(c))
-		} else {
-			v = aggAcc.Float(row)
-			null, key = math.IsNaN(v), math.Float64bits(v)
-		}
-		if all {
-			main.addRow(null, v, key)
-		}
-		if inBase {
-			base.addRow(null, v, key)
-		}
-	}
-	return main.finalize(q.Agg, star, base), nil
-}
-
-// buildMatchers compiles predicates into per-row match functions.
-func buildMatchers(view *db.JoinView, preds []Predicate) ([]func(int) bool, error) {
-	matchers := make([]func(int) bool, 0, len(preds))
-	for _, p := range preds {
-		acc, err := view.Accessor(p.Col.Table, p.Col.Column)
-		if err != nil {
-			return nil, err
-		}
-		if acc.Column().Kind == db.KindString {
-			code := acc.Column().CodeOf(p.Value)
-			a := acc
-			matchers = append(matchers, func(row int) bool { return a.Code(row) == code && code >= 0 })
-		} else {
-			want, err := parseLiteralFloat(p.Value)
-			if err != nil {
-				// Non-numeric literal on a numeric column never matches.
-				matchers = append(matchers, func(int) bool { return false })
-				continue
-			}
-			a := acc
-			matchers = append(matchers, func(row int) bool { return a.Float(row) == want })
-		}
-	}
-	return matchers, nil
+	return e.evaluateDirect(ctx, view, q)
 }
 
 func parseLiteralFloat(lit string) (float64, error) {
@@ -695,7 +634,7 @@ func (e *Engine) runCubeDelta(ctx context.Context, view *db.JoinView, tables []s
 		return nil, err
 	}
 	e.Stats.RowsScanned.Add(int64(hi - lo))
-	return computeCubeRange(ctx, view, tables, dims, cols, &e.Stats, lo, hi, e.scalarKernel.Load())
+	return computeCubeRange(ctx, view, tables, dims, cols, &e.Stats, lo, hi, e.scalarKernel.Load(), e.zoneMaps.Load())
 }
 
 // missingCols returns the requested tracked columns the cube does not cover.
@@ -733,7 +672,7 @@ func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string
 			workers = defaultScanWorkers
 		}
 	}
-	return computeCube(ctx, view, tables, dims, cols, &e.Stats, workers, e.scalarKernel.Load())
+	return computeCube(ctx, view, tables, dims, cols, &e.Stats, workers, e.scalarKernel.Load(), e.zoneMaps.Load())
 }
 
 // defaultScanWorkers caps intra-pass parallelism when SetScanWorkers was

@@ -77,36 +77,47 @@ func flatLatticeSize(dims []DimSpec) int {
 // the scalar interpreter when forced (Engine.SetScalarKernel) or when the
 // literal sets blow the dense lattice bound. Both kernels produce
 // bit-for-bit identical CubeResults (asserted by the differential tests in
-// kernel_diff_test.go).
-func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, forceScalar bool) (*CubeResult, error) {
+// kernel_diff_test.go); zoneMaps enables block pruning, which never
+// changes results either.
+func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, forceScalar, zoneMaps bool) (*CubeResult, error) {
 	if forceScalar || flatLatticeSize(dims) < 0 {
 		if stats != nil {
 			stats.ScalarPasses.Add(1)
 		}
 		return computeCubeScalar(ctx, view, tables, dims, cols)
 	}
-	return computeCubeVectorized(ctx, view, tables, dims, cols, stats, workers)
+	return computeCubeVectorized(ctx, view, tables, dims, cols, stats, workers, zoneMaps)
 }
 
 // computeCubeRange is the delta-scan entry point: it accumulates only
 // joined rows [lo, hi) — the rows of blocks sealed after a cached cube's
 // snapshot — into a partial CubeResult that CubeResult.mergeAppend folds
 // into the published result. Kernel dispatch matches computeCube, so the
-// partial is produced by exactly the code paths a full rebuild would use.
-func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, lo, hi int, forceScalar bool) (*CubeResult, error) {
+// partial is produced by exactly the code paths a full rebuild would use —
+// including zone-map pruning: a delta block whose dimension domains miss
+// every tracked literal takes the batched rolled-up update instead of the
+// per-row coding loops (the "delta-aware zone maps" path).
+func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, lo, hi int, forceScalar, zoneMaps bool) (*CubeResult, error) {
 	if forceScalar || flatLatticeSize(dims) < 0 {
 		if stats != nil {
 			stats.ScalarPasses.Add(1)
 		}
 		return computeCubeScalarRange(ctx, view, tables, dims, cols, lo, hi)
 	}
-	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, 1, lo, hi)
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, 1, lo, hi, zoneMaps)
 }
 
 // vecDim codes one dimension column into pre-multiplied lattice offsets.
 type vecDim struct {
-	acc   db.ColumnAccessor
-	isStr bool
+	acc    db.ColumnAccessor
+	isStr  bool
+	direct bool
+	// zones are the column's zone-map entries (nil on gather views or with
+	// pruning disabled); litCodes the dictionary codes of the string
+	// literals present in the dictionary, tested against zone domain
+	// bitsets.
+	zones    []db.ZoneEntry
+	litCodes []int32
 	// dictToOff maps a dictionary code directly to literalIndex*stride
 	// (entries for non-literal values hold otherOff), replacing the scalar
 	// kernel's per-row map probe with an array load.
@@ -124,12 +135,42 @@ type vecDim struct {
 	anyOff   int32 // (|literals|+1) * stride
 }
 
+// zoneMisses reports whether zone zi provably contains none of the
+// dimension's literals — every row of the segment then codes to "other".
+// A dimension whose literal set is entirely absent from the data (no
+// dictionary codes, no parseable values) misses every zone.
+func (d *vecDim) zoneMisses(zi int) bool {
+	if d.zones == nil || zi < 0 {
+		return false
+	}
+	z := &d.zones[zi]
+	if d.isStr {
+		for _, c := range d.litCodes {
+			if z.MayContainCode(c) {
+				return false
+			}
+		}
+		return true
+	}
+	for _, v := range d.litVals {
+		if z.MayContainFloat(v) {
+			return false
+		}
+	}
+	return true
+}
+
 // vecCol reads one tracked aggregation column (index 0, star, is unused).
 type vecCol struct {
 	acc          db.ColumnAccessor
 	isStr        bool
+	direct       bool
 	needDistinct bool
 	dictLen      int
+	// zones are the column's zone-map entries (nil on gather views or with
+	// pruning disabled): a zone with zero NULLs unlocks the NULL-free fast
+	// path per segment, an all-NULL zone skips the value read entirely.
+	zones []db.ZoneEntry
 	// noNulls lets the accumulation loop hoist the NULL branch out for
 	// numeric columns whose null bitmap is empty.
 	noNulls bool
@@ -141,26 +182,25 @@ type vecKernel struct {
 	dims []vecDim
 	cols []vecCol // parallel to CubeResult.cols
 	size int      // flat lattice cell count
+	// spans is the zone-aligned segmentation of the view's rows (nil on
+	// gather views or with zone maps disabled: fixed-size chunks then).
+	spans []db.ZoneSpan
 	// cBase[mask] is the flat index of a row's cell under subset mask with
 	// every masked dimension's offset still to be added: baseAny minus the
 	// anyOff of each grouped dimension.
 	cBase    []int32
 	maskDims [][]int
-	stats    *Stats
-	// directAcc/gatherAcc count accessors per block read on each path, so
-	// stats flush as two multiplies per partial instead of per-block work.
-	directAcc, gatherAcc int64
+	// maskOtherOff[mask] is the summed otherOff of the mask's dimensions:
+	// cBase[mask]+maskOtherOff[mask] is the constant cell index of a fully
+	// zone-pruned segment (every row codes to "other" on every dimension).
+	maskOtherOff []int32
+	stats        *Stats
 }
 
-func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, stats *Stats) (*vecKernel, error) {
+func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, stats *Stats, zoneMaps bool) (*vecKernel, error) {
 	k := &vecKernel{view: view, size: size, stats: stats}
-
-	countAcc := func(acc db.ColumnAccessor) {
-		if acc.Direct() {
-			k.directAcc++
-		} else {
-			k.gatherAcc++
-		}
+	if zoneMaps {
+		k.spans = view.ZoneSpans()
 	}
 
 	stride := int32(1)
@@ -170,7 +210,10 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 		if err != nil {
 			return nil, err
 		}
-		vd := vecDim{acc: acc, isStr: acc.Column().Kind == db.KindString, stride: stride}
+		vd := vecDim{acc: acc, isStr: acc.Column().Kind == db.KindString, direct: acc.Direct(), stride: stride}
+		if k.spans != nil {
+			vd.zones = acc.Zones()
+		}
 		nl := int32(len(d.Literals))
 		vd.card = nl + 2
 		vd.otherOff = nl * stride
@@ -183,6 +226,7 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 			for j, lit := range d.Literals {
 				if code := acc.Column().CodeOf(lit); code >= 0 {
 					lut[code] = int32(j) * stride
+					vd.litCodes = append(vd.litCodes, code)
 				}
 			}
 			vd.dictToOff = lut
@@ -206,7 +250,6 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 				vd.litOffs[j] = m[v]
 			}
 		}
-		countAcc(acc)
 		k.dims = append(k.dims, vd)
 		baseAny += vd.anyOff
 		stride *= vd.card
@@ -215,12 +258,14 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 	nsubsets := 1 << len(dims)
 	k.cBase = make([]int32, nsubsets)
 	k.maskDims = make([][]int, nsubsets)
+	k.maskOtherOff = make([]int32, nsubsets)
 	for mask := 0; mask < nsubsets; mask++ {
 		c := baseAny
 		for i := range dims {
 			if mask&(1<<i) != 0 {
 				c -= k.dims[i].anyOff
 				k.maskDims[mask] = append(k.maskDims[mask], i)
+				k.maskOtherOff[mask] += k.dims[i].otherOff
 			}
 		}
 		k.cBase[mask] = c
@@ -232,13 +277,15 @@ func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, st
 		if err != nil {
 			return nil, err
 		}
-		vc := vecCol{acc: acc, isStr: acc.Column().Kind == db.KindString, needDistinct: r.cols[i].needDistinct}
+		vc := vecCol{acc: acc, isStr: acc.Column().Kind == db.KindString, direct: acc.Direct(), needDistinct: r.cols[i].needDistinct}
+		if k.spans != nil {
+			vc.zones = acc.Zones()
+		}
 		if vc.isStr {
 			vc.dictLen = len(acc.Column().Dictionary())
 		} else {
 			vc.noNulls = !acc.Column().HasNulls()
 		}
-		countAcc(acc)
 		k.cols[i] = vc
 	}
 	return k, nil
@@ -286,7 +333,14 @@ func (k *vecKernel) newPartial() *vecPartial {
 	return pt
 }
 
-// scanRange accumulates joined rows [lo, hi) into a fresh partial.
+// scanRange accumulates joined rows [lo, hi) into a fresh partial,
+// segment by segment through the shared pipeline segmenter. Zone maps are
+// consulted before any data is read: a segment whose zones refute every
+// literal of every dimension takes the batched rolled-up update (each
+// subset mask accumulates into one constant "other" cell, dimension
+// columns are never read), and per-dimension misses skip that dimension's
+// read and coding loop. All accumulation stays in row order, so results
+// remain bit-for-bit identical to the scalar interpreter.
 func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, error) {
 	pt := k.newPartial()
 	nd := len(k.dims)
@@ -310,7 +364,7 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 	colF := make([][]float64, len(k.cols))
 	colC := make([][]int32, len(k.cols))
 	for i := 1; i < len(k.cols); i++ {
-		if k.cols[i].acc.Direct() {
+		if k.cols[i].direct {
 			continue
 		}
 		if k.cols[i].isStr {
@@ -322,21 +376,78 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 	blockF := make([][]float64, len(k.cols))
 	blockC := make([][]int32, len(k.cols))
 
-	blocks := int64(0)
-	for start := lo; start < hi; start += kernelBlockRows {
+	var blocks, pruned, directReads, gatherReads int64
+	countRead := func(direct bool) {
+		if direct {
+			directReads++
+		} else {
+			gatherReads++
+		}
+	}
+	// readCols loads the tracked aggregation column blocks (zero-copy when
+	// direct), skipping columns whose zone is entirely NULL — their rows
+	// count, but no value can contribute.
+	readCols := func(start, bn, zi int) {
+		for i := 1; i < len(k.cols); i++ {
+			vc := &k.cols[i]
+			if vc.zones != nil && zi >= 0 && vc.zones[zi].AllNull() {
+				blockF[i], blockC[i] = nil, nil
+				continue
+			}
+			countRead(vc.direct)
+			if vc.isStr {
+				blockC[i], _ = vc.acc.CodeBlock(start, bn, colC[i])
+			} else {
+				blockF[i], _ = vc.acc.FloatBlock(start, bn, colF[i])
+			}
+		}
+	}
+
+	var dimMiss [maxCubeDims]bool
+	for _, sg := range segmentsOf(k.spans, lo, hi) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		bn := hi - start
-		if bn > kernelBlockRows {
-			bn = kernelBlockRows
+		start, bn, zi := sg.start, sg.n, sg.zone
+
+		allMiss := nd > 0
+		for i := range k.dims {
+			dimMiss[i] = k.dims[i].zoneMisses(zi)
+			if !dimMiss[i] {
+				allMiss = false
+			}
+		}
+
+		if allMiss {
+			// Batched rolled-up update: every row of the segment lands in
+			// the constant all-"other" cell of each subset mask.
+			pruned++
+			readCols(start, bn, zi)
+			for mask := range k.cBase {
+				ix := k.cBase[mask] + k.maskOtherOff[mask]
+				pt.rows[ix] += int64(bn)
+				for i := 1; i < len(k.cols); i++ {
+					k.accumulateConst(pt, i, ix, zi, blockF[i], blockC[i])
+				}
+			}
+			continue
 		}
 		blocks++
 
-		// Code dimension columns into pre-multiplied offset vectors.
+		// Code dimension columns into pre-multiplied offset vectors. A
+		// dimension whose zone misses every literal codes to a constant
+		// "other" without touching its column.
 		for i := range k.dims {
 			d := &k.dims[i]
 			offs := dimOffs[i][:bn]
+			if dimMiss[i] {
+				oo := d.otherOff
+				for r := range offs {
+					offs[r] = oo
+				}
+				continue
+			}
+			countRead(d.direct)
 			if d.isStr {
 				codes, _ := d.acc.CodeBlock(start, bn, cScratch)
 				lut := d.dictToOff
@@ -377,15 +488,7 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			}
 		}
 
-		// Read aggregation column blocks (zero-copy when direct).
-		for i := 1; i < len(k.cols); i++ {
-			vc := &k.cols[i]
-			if vc.isStr {
-				blockC[i], _ = vc.acc.CodeBlock(start, bn, colC[i])
-			} else {
-				blockF[i], _ = vc.acc.FloatBlock(start, bn, colF[i])
-			}
-		}
+		readCols(start, bn, zi)
 
 		// Accumulate each subset mask of the lattice.
 		for mask := range k.cBase {
@@ -417,24 +520,39 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 				rows[ix]++
 			}
 			for i := 1; i < len(k.cols); i++ {
-				k.accumulate(pt, i, idx, blockF[i], blockC[i])
+				k.accumulate(pt, i, idx, zi, blockF[i], blockC[i])
 			}
 		}
 	}
 
 	if k.stats != nil {
 		k.stats.BlocksScanned.Add(blocks)
-		k.stats.DirectBlockReads.Add(blocks * k.directAcc)
-		k.stats.GatherBlockReads.Add(blocks * k.gatherAcc)
+		k.stats.BlocksPruned.Add(pruned)
+		k.stats.DirectBlockReads.Add(directReads)
+		k.stats.GatherBlockReads.Add(gatherReads)
 	}
 	return pt, nil
 }
 
+// segNoNulls reports whether the column provably holds no NULL inside
+// zone zi (column-wide bitmap, or the zone's own null count).
+func (vc *vecCol) segNoNulls(zi int) bool {
+	if vc.noNulls {
+		return true
+	}
+	return vc.zones != nil && zi >= 0 && vc.zones[zi].NullCount == 0
+}
+
 // accumulate folds one column's block values into the cells named by idx.
-func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, vals []float64, codes []int32) {
+// A nil block (all-NULL zone, read skipped) contributes nothing beyond the
+// row counts already taken.
+func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, zi int, vals []float64, codes []int32) {
 	vc := &k.cols[i]
 	ca := &pt.cols[i]
 	if vc.isStr {
+		if codes == nil {
+			return
+		}
 		nonNull := ca.nonNull
 		if !vc.needDistinct {
 			for r, c := range codes {
@@ -460,8 +578,11 @@ func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, vals []float6
 		}
 		return
 	}
+	if vals == nil {
+		return
+	}
 	nonNull, sum, minv, maxv := ca.nonNull, ca.sum, ca.minv, ca.maxv
-	if vc.noNulls && !vc.needDistinct {
+	if vc.segNoNulls(zi) && !vc.needDistinct {
 		// NULL-free fast path: pure struct-of-arrays batch loop.
 		for r, v := range vals {
 			ix := idx[r]
@@ -498,6 +619,75 @@ func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, vals []float6
 			s[math.Float64bits(v)] = struct{}{}
 		}
 	}
+}
+
+// accumulateConst folds one column's block values into the single cell ix
+// — the fully zone-pruned path, where every row of the segment belongs to
+// the same "other" cell per subset mask. Register-seeded running values
+// keep the accumulation order identical to the per-row path, so even
+// float sums stay bit-for-bit equal to the scalar interpreter.
+func (k *vecKernel) accumulateConst(pt *vecPartial, i int, ix int32, zi int, vals []float64, codes []int32) {
+	vc := &k.cols[i]
+	ca := &pt.cols[i]
+	if vc.isStr {
+		if codes == nil {
+			return
+		}
+		nn := int64(0)
+		if !vc.needDistinct {
+			for _, c := range codes {
+				if c >= 0 {
+					nn++
+				}
+			}
+			ca.nonNull[ix] += nn
+			return
+		}
+		bs := ca.bits[ix]
+		if bs == nil {
+			bs = make([]uint64, (vc.dictLen+63)/64)
+			ca.bits[ix] = bs
+		}
+		for _, c := range codes {
+			if c < 0 {
+				continue
+			}
+			nn++
+			bs[c>>6] |= 1 << (uint(c) & 63)
+		}
+		ca.nonNull[ix] += nn
+		return
+	}
+	if vals == nil {
+		return
+	}
+	var set map[uint64]struct{}
+	if vc.needDistinct {
+		if set = ca.sets[ix]; set == nil {
+			set = make(map[uint64]struct{})
+			ca.sets[ix] = set
+		}
+	}
+	nn := int64(0)
+	s, mn, mx := ca.sum[ix], ca.minv[ix], ca.maxv[ix]
+	for _, v := range vals {
+		if v != v { // NULL
+			continue
+		}
+		nn++
+		s += v
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+		if set != nil {
+			set[math.Float64bits(v)] = struct{}{}
+		}
+	}
+	ca.nonNull[ix] += nn
+	ca.sum[ix], ca.minv[ix], ca.maxv[ix] = s, mn, mx
 }
 
 // merge folds another partial into pt (pt covers the earlier row range, so
@@ -624,14 +814,14 @@ func (k *vecKernel) fill(r *CubeResult, pt *vecPartial) {
 // computeCubeVectorized runs one vectorized cube pass over the joined view.
 // workers bounds the number of row-range partials scanned concurrently;
 // small views always scan single-threaded.
-func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int) (*CubeResult, error) {
-	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, workers, 0, view.NumRows())
+func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, zoneMaps bool) (*CubeResult, error) {
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, workers, 0, view.NumRows(), zoneMaps)
 }
 
 // computeCubeVectorizedRange is computeCubeVectorized restricted to joined
 // rows [rangeLo, rangeHi) — the full pass with rangeLo=0, rangeHi=NumRows,
 // or a delta scan over just the appended rows.
-func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers, rangeLo, rangeHi int) (*CubeResult, error) {
+func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers, rangeLo, rangeHi int, zoneMaps bool) (*CubeResult, error) {
 	r, err := newCubeResultWithCols(tables, dims, cols)
 	if err != nil {
 		return nil, err
@@ -644,7 +834,7 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 		}
 		return computeCubeScalarRange(ctx, view, tables, dims, cols, rangeLo, rangeHi)
 	}
-	k, err := newVecKernel(view, dims, r, size, stats)
+	k, err := newVecKernel(view, dims, r, size, stats, zoneMaps)
 	if err != nil {
 		return nil, err
 	}

@@ -280,7 +280,7 @@ func TestKernelDifferentialRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: scalar: %v", label, err)
 		}
-		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 1)
+		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 1, true)
 		if err != nil {
 			t.Fatalf("%s: vectorized: %v", label, err)
 		}
@@ -312,7 +312,7 @@ func TestKernelDifferentialParallelPartials(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: scalar: %v", label, err)
 		}
-		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 4)
+		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 4, true)
 		if err != nil {
 			t.Fatalf("%s: vectorized: %v", label, err)
 		}
@@ -339,7 +339,7 @@ func TestKernelEmptyView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := computeCubeVectorized(context.Background(), view, []string{"e"}, dims, cols, nil, 4)
+	got, err := computeCubeVectorized(context.Background(), view, []string{"e"}, dims, cols, nil, 4, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -447,7 +447,7 @@ func TestKernelCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = computeCubeVectorized(ctx, view, []string{"t"}, stressDims(), nil, nil, 4)
+	_, err = computeCubeVectorized(ctx, view, []string{"t"}, stressDims(), nil, nil, 4, true)
 	if err != context.Canceled {
 		t.Errorf("cancelled vectorized pass returned %v, want context.Canceled", err)
 	}
