@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-guard serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-guard serve-smoke ci
 
 all: build test
 
@@ -46,14 +46,27 @@ bench-delta:
 bench-scan:
 	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.json
 
+# bench-parallel measures morsel-scheduler scaling and writes
+# BENCH_parallel.json: one representative cube pass at worker widths
+# {1,2,4,NPROC} (deduplicated), its scaling efficiency at NPROC, and a
+# mixed scenario (heavy cube-pass loop + light direct scans on one shared
+# scheduler) recording the light scans' p95 latency under contention.
+bench-parallel:
+	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.json
+
 # bench-guard is the bench-regression gate: it re-runs the cube matrix at
 # the committed record's scale and fails when any case's vectorized rows/s
 # falls more than 30% below the committed BENCH_cube.json — measured as
 # the vectorized/scalar ratio, so the gate is meaningful on hardware other
 # than the machine that produced the seed (the scalar interpreter scans
 # the same rows on both and serves as the per-machine yardstick).
+# The second leg re-runs the parallel matrix and fails when the fresh
+# NPROC scaling efficiency drops below 60% of the committed
+# BENCH_parallel.json seed's (ratio-of-ratios, so absolute machine speed
+# cancels out).
 bench-guard:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
+	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.guard.json -against BENCH_parallel.json
 
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
@@ -64,6 +77,7 @@ bench-smoke:
 	$(GO) test -run='^$$' -bench=. -benchtime=1x ./...
 	$(GO) run ./cmd/benchcube -out BENCH_cube.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.smoke.json -rows 30000
+	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.smoke.json
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo

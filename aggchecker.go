@@ -24,8 +24,17 @@
 // events so callers can watch per-claim probabilities refine, and Service
 // hosts many named databases with lazily built checkers behind singleflight
 // and an LRU residency bound. Per-request tuning uses functional options
-// (WithMode, WithWorkers, WithDeadline, WithTopK) instead of Config
-// mutation. cmd/aggcheckd serves the same surface over HTTP.
+// (WithMode, WithWorkers, WithScanWorkers, WithZoneMaps, WithDeadline,
+// WithTopK) instead of Config mutation. cmd/aggcheckd serves the same
+// surface over HTTP.
+//
+// Scan execution is morsel-driven: cube passes and direct scans decompose
+// into zone-aligned morsels executed on a Scheduler — one shared worker
+// pool spanning every concurrent request, with per-request fair queuing.
+// NewService(WithScheduler(NewScheduler(n))) installs one pool per
+// process; engine-construction knobs (Config.Exec) use ExecOption
+// constructors (ExecScanWorkers, ExecZoneMaps, ExecCaching,
+// ExecScalarKernel, ExecScheduler).
 //
 // Storage is snapshot-versioned: databases are opened from pluggable
 // Sources (CSV, JSONL, in-memory builders), rows appended between checks
@@ -145,6 +154,17 @@ type OpenFunc = core.OpenFunc
 // checker's shared Config.
 type CheckOption = core.CheckOption
 
+// Scheduler is a process-wide morsel scheduler: one worker pool shared by
+// every cube pass and direct scan submitted through it, with round-robin
+// fairness across concurrent requests. Create with NewScheduler, install
+// with WithScheduler (services) or ExecScheduler (Config.Exec), and Close
+// when the process is done with it.
+type Scheduler = sqlexec.Scheduler
+
+// ExecOption configures engine construction (Config.Exec): scan-worker
+// bounds, zone maps, kernel selection, caching, and scheduler attachment.
+type ExecOption = sqlexec.ExecOption
+
 // Event is one element of a verification stream; concrete types are
 // EventIteration, EventClaimUpdate, and EventDone.
 type Event = core.Event
@@ -215,6 +235,42 @@ func WithDeadline(d time.Duration) CheckOption { return core.WithDeadline(d) }
 // WithTopK sets how many ranked query translations are kept per claim for
 // one request.
 func WithTopK(k int) CheckOption { return core.WithTopK(k) }
+
+// WithScanWorkers bounds, for one request, how many scheduler workers any
+// single cube pass or direct scan of that request may occupy at once;
+// n ≤ 0 restores the engine default.
+func WithScanWorkers(n int) CheckOption { return core.WithScanWorkers(n) }
+
+// WithZoneMaps toggles zone-map pruning for one request (results are
+// identical either way).
+func WithZoneMaps(on bool) CheckOption { return core.WithZoneMaps(on) }
+
+// NewScheduler creates a morsel scheduler with the given worker count
+// (≤ 0 uses GOMAXPROCS). The calling goroutine of each scan always
+// participates, so workers=1 spawns no helpers and executes scans exactly
+// single-threaded.
+func NewScheduler(workers int) *Scheduler { return sqlexec.NewScheduler(workers) }
+
+// WithScheduler installs one shared morsel scheduler on every engine a
+// Service builds — one worker pool per process, not per database.
+func WithScheduler(s *Scheduler) ServiceOption { return core.WithScheduler(s) }
+
+// ExecScanWorkers sets an engine's default per-scan worker bound.
+func ExecScanWorkers(n int) ExecOption { return sqlexec.WithScanWorkers(n) }
+
+// ExecZoneMaps sets an engine's default zone-map pruning toggle.
+func ExecZoneMaps(on bool) ExecOption { return sqlexec.WithZoneMaps(on) }
+
+// ExecScalarKernel forces the scalar (non-vectorized) kernel; the
+// vectorized kernel is the default.
+func ExecScalarKernel(on bool) ExecOption { return sqlexec.WithScalarKernel(on) }
+
+// ExecCaching toggles cube-result caching (disabling also drops cached
+// results).
+func ExecCaching(on bool) ExecOption { return sqlexec.WithCaching(on) }
+
+// ExecScheduler attaches a shared morsel scheduler to one engine.
+func ExecScheduler(s *Scheduler) ExecOption { return sqlexec.WithScheduler(s) }
 
 // ParseEvalMode parses "cached", "merged", or "naive" (plus String() forms)
 // into an EvalMode.

@@ -38,6 +38,7 @@ func main() {
 	demo := flag.Bool("demo", false, "run the embedded NFL example")
 	markup := flag.Bool("markup", false, "print the article with inline verdict markup")
 	mode := flag.String("mode", "cached", "evaluation strategy: cached, merged, or naive (Table 6 rows)")
+	scanWorkers := flag.Int("scan-workers", 0, "scan scheduler worker pool size (0 = GOMAXPROCS, 1 = single-threaded scans)")
 	timeout := flag.Duration("timeout", 0, "abort the check after this long (0 = no limit)")
 	query := flag.String("query", "", "evaluate one Simple Aggregate Query instead of checking a document")
 	claimed := flag.Float64("claimed", 0, "with -query: the claimed value to verify (Definition 1 rounding)")
@@ -53,6 +54,13 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// The CLI is one-shot, so the process owns a single scheduler for its
+	// lifetime; every engine the check builds shares it.
+	sched := aggchecker.NewScheduler(*scanWorkers)
+	defer sched.Close()
+	cfg := aggchecker.DefaultConfig()
+	cfg.Exec = append(cfg.Exec, aggchecker.ExecScheduler(sched))
+
 	var checkOpts []aggchecker.CheckOption
 	checkOpts = append(checkOpts, aggchecker.WithMode(evalMode))
 	if *timeout > 0 {
@@ -60,7 +68,7 @@ func main() {
 	}
 
 	if *demo {
-		runDemo(ctx, *color, *top, *markup, *timeout, checkOpts)
+		runDemo(ctx, cfg, *color, *top, *markup, *timeout, checkOpts)
 		return
 	}
 	if *data == "" || (*query == "" && flag.NArg() != 1) {
@@ -80,7 +88,7 @@ func main() {
 		}
 	}
 	if *query != "" {
-		runQuery(db, *query, *claimed, isFlagSet("claimed"))
+		runQuery(db, sched, *query, *claimed, isFlagSet("claimed"))
 		return
 	}
 	if *dict != "" {
@@ -100,7 +108,7 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	checker := aggchecker.New(db, aggchecker.DefaultConfig())
+	checker := aggchecker.New(db, cfg)
 	var doc *aggchecker.Document
 	if strings.Contains(string(raw), "<") {
 		doc = aggchecker.ParseHTML(string(raw))
@@ -129,12 +137,12 @@ func fatalCheck(err error, timeout time.Duration) {
 // runQuery is the manual verification path (the "SQL + User" condition of
 // the paper's study): parse, evaluate, and optionally compare against a
 // claimed value under Definition 1 rounding.
-func runQuery(database *aggchecker.Database, input string, claimed float64, haveClaim bool) {
+func runQuery(database *aggchecker.Database, sched *aggchecker.Scheduler, input string, claimed float64, haveClaim bool) {
 	q, err := sqlparse.Parse(input, database)
 	if err != nil {
 		fatal(err)
 	}
-	v, err := sqlexec.NewEngine(database).Evaluate(q)
+	v, err := sqlexec.NewEngine(database, sqlexec.WithScheduler(sched)).Evaluate(q)
 	if err != nil {
 		fatal(err)
 	}
@@ -158,9 +166,9 @@ func isFlagSet(name string) bool {
 	return set
 }
 
-func runDemo(ctx context.Context, color bool, top int, markup bool, timeout time.Duration, opts []aggchecker.CheckOption) {
+func runDemo(ctx context.Context, cfg aggchecker.Config, color bool, top int, markup bool, timeout time.Duration, opts []aggchecker.CheckOption) {
 	tc := corpus.MustLoad().Cases[0]
-	checker := aggchecker.New(tc.DB, aggchecker.DefaultConfig())
+	checker := aggchecker.New(tc.DB, cfg)
 	report, err := checker.Check(ctx, aggchecker.ParseHTML(tc.HTML), opts...)
 	if err != nil {
 		fatalCheck(err, timeout)

@@ -15,7 +15,10 @@
 //	POST /v1/databases/{name}/check/stream  returns NDJSON of EM-iteration events
 //
 // Query parameters on the check endpoints: mode=cached|merged|naive,
-// topk=N, workers=N, timeout=DURATION. -demo registers the embedded
+// topk=N, workers=N, scan_workers=N, zone_maps=BOOL, timeout=DURATION.
+// Scans execute on one shared morsel scheduler spanning every request
+// (-scan-workers sizes it); scan_workers bounds how much of that pool a
+// single request's scans may occupy. -demo registers the embedded
 // reproduction corpus (the paper's NFL running example as "nfl" plus the
 // generated articles), which doubles as the CI smoke target.
 //
@@ -44,6 +47,7 @@ import (
 	"aggchecker/internal/corpus"
 	"aggchecker/internal/db"
 	"aggchecker/internal/httpapi"
+	"aggchecker/internal/sqlexec"
 )
 
 func main() {
@@ -51,6 +55,7 @@ func main() {
 	demo := flag.Bool("demo", false, "register the embedded reproduction corpus databases")
 	mode := flag.String("mode", "cached", "default evaluation mode: cached, merged, or naive")
 	workers := flag.Int("workers", 0, "default engine worker bound per request (0 = GOMAXPROCS)")
+	scanWorkers := flag.Int("scan-workers", 0, "size of the shared scan scheduler pool spanning all requests (0 = GOMAXPROCS)")
 	reqTimeout := flag.Duration("timeout", 2*time.Minute, "per-request verification timeout (0 = none)")
 	maxConcurrent := flag.Int("max-concurrent", 16, "max simultaneous verification requests (0 = unlimited)")
 	maxResident := flag.Int("max-resident", 8, "max resident database catalogs, LRU-evicted (0 = unlimited)")
@@ -70,9 +75,16 @@ func main() {
 	cfg.Mode = evalMode
 	cfg.Workers = *workers
 
+	// One morsel scheduler for the whole process: every database's cube
+	// passes and direct scans share this pool, so concurrent requests
+	// contend fairly instead of oversubscribing private pools.
+	sched := sqlexec.NewScheduler(*scanWorkers)
+	defer sched.Close()
+
 	svc := core.NewService(
 		core.WithDefaultConfig(cfg),
 		core.WithMaxResident(*maxResident),
+		core.WithScheduler(sched),
 	)
 	registered := 0
 	watched := make(map[string][]string) // database name -> backing files

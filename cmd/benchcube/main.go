@@ -17,8 +17,11 @@ import (
 	"math"
 	"os"
 	"runtime"
+	"sort"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -82,7 +85,8 @@ func main() {
 	batches := flag.Int("batches", 24, "append batches (commits) per case in -delta mode")
 	batchRows := flag.Int("batch-rows", 2000, "rows per append batch in -delta mode")
 	scan := flag.Bool("scan", false, "measure direct scans (closure baseline vs vectorized vs zone-pruned) instead of the kernel matrix")
-	against := flag.String("against", "", "committed BENCH_cube.json record to guard against: fail when a fresh vectorized case regresses below (1-tolerance) of its recorded rows/s")
+	parallel := flag.Bool("parallel", false, "measure morsel-scheduler scaling (worker matrix + mixed heavy/light scenario) instead of the kernel matrix")
+	against := flag.String("against", "", "committed record to guard against: kernel matrix compares per-case vectorized/scalar ratios, -parallel compares NPROC scaling efficiency")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional rows/s regression for -against")
 	flag.Parse()
 
@@ -94,16 +98,27 @@ func main() {
 		runScan(*out, *rows)
 		return
 	}
+	if *parallel {
+		if *out == "BENCH_cube.json" {
+			*out = "BENCH_parallel.json"
+		}
+		runParallel(*out, *rows, *against)
+		return
+	}
 
 	d := benchdata.BuildDB(*rows)
 	ctx := context.Background()
 
+	// Record the effective (resolved) worker count, not the raw flag: 0
+	// resolves to the engine default, so the committed record states what
+	// actually ran.
+	probe := sqlexec.NewEngine(d, sqlexec.WithScanWorkers(*workers))
 	file := benchFile{
 		Schema:     "aggchecker-cube-kernel-bench/v1",
 		GoVersion:  runtime.Version(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		FactRows:   *rows,
-		Workers:    *workers,
+		Workers:    probe.ScanWorkers(),
 		Speedups:   map[string]float64{},
 	}
 
@@ -117,9 +132,9 @@ func main() {
 		rowsPerSec := map[string]float64{}
 		for _, kernel := range []string{"vectorized", "scalar"} {
 			e := sqlexec.NewEngine(d)
-			e.SetCaching(false) // every CubeFor is a full pass
-			e.SetScanWorkers(*workers)
-			e.SetScalarKernel(kernel == "scalar")
+			e.Tune(sqlexec.WithCaching(false)) // every CubeFor is a full pass
+			e.Tune(sqlexec.WithScanWorkers(*workers))
+			e.Tune(sqlexec.WithScalarKernel(kernel == "scalar"))
 			res := testing.Benchmark(func(b *testing.B) {
 				b.ReportAllocs()
 				for i := 0; i < b.N; i++ {
@@ -227,7 +242,7 @@ func runDelta(out string, rows, batches, batchRows int) {
 		rescanDB := benchdata.BuildDB(rows)
 		deltaEng := sqlexec.NewEngine(deltaDB)
 		rescanEng := sqlexec.NewEngine(rescanDB)
-		rescanEng.SetCaching(false)
+		rescanEng.Tune(sqlexec.WithCaching(false))
 		if _, err := deltaEng.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
 			fail("warm %s: %v", bc.Name, err)
 		}
@@ -401,7 +416,7 @@ func runScan(out string, rows int) {
 	viewRows := view.NumRows()
 
 	flatEng := sqlexec.NewEngine(d)
-	flatEng.SetZoneMaps(false)
+	flatEng.Tune(sqlexec.WithZoneMaps(false))
 	zoneEng := sqlexec.NewEngine(d)
 
 	file := scanFile{
@@ -482,6 +497,259 @@ func runScan(out string, rows int) {
 			sc.Name, file.SpeedupVectorOverClosure[sc.Name], file.SpeedupPrunedOverClosure[sc.Name])
 	}
 	writeJSON(out, &file)
+}
+
+// parallelFile is the machine-readable record of the morsel-scheduler
+// scaling workload (make bench-parallel): one representative cube pass
+// measured at a deduplicated worker matrix {1, 2, 4, NPROC}, plus a mixed
+// scenario interleaving a heavy cube-pass loop with light direct scans on
+// one shared scheduler. Absolute rows/s depends on the machine;
+// scaling_efficiency_nproc (speedup at NPROC divided by NPROC) is the
+// machine-portable number the bench guard compares. On a single-core
+// runner (go_max_procs 1) the matrix still exercises widths 2 and 4 — the
+// scheduler machinery runs, but wall-clock speedup is capped at ~1.0 and
+// efficiency at NPROC=1 is trivially 1.0; the committed seed records
+// whatever its machine honestly measured.
+type parallelFile struct {
+	Schema            string          `json:"schema"`
+	GoVersion         string          `json:"go_version"`
+	GoMaxProcs        int             `json:"go_max_procs"`
+	FactRows          int             `json:"fact_rows"`
+	Case              string          `json:"case"`
+	Entries           []parallelEntry `json:"entries"`
+	ScalingEfficiency float64         `json:"scaling_efficiency_nproc"`
+	Mixed             mixedEntry      `json:"mixed"`
+}
+
+type parallelEntry struct {
+	Workers        int     `json:"scan_workers"` // effective (resolved), not the raw flag
+	NsPerOp        float64 `json:"ns_per_op"`
+	RowsPerSec     float64 `json:"rows_per_sec"`
+	Speedup        float64 `json:"speedup_over_1_worker"`
+	MorselsPerPass float64 `json:"morsels_per_pass"`
+	StealsPerPass  float64 `json:"steals_per_pass"`
+}
+
+type mixedEntry struct {
+	SchedWorkers     int     `json:"scan_workers"`
+	LightQuery       string  `json:"light_query"`
+	UncontendedP95Ns float64 `json:"light_p95_uncontended_ns"`
+	ContendedP95Ns   float64 `json:"light_p95_contended_ns"`
+	ContentionRatio  float64 `json:"light_p95_ratio"`
+	HeavyPasses      int64   `json:"heavy_passes_completed"`
+	QueueWaits       int64   `json:"queue_waits"`
+	Steals           int64   `json:"steal_count"`
+}
+
+// parallelGuardFloor is the -parallel regression gate: a fresh run's NPROC
+// scaling efficiency must reach at least this fraction of the committed
+// seed's. Ratio-of-ratios, so it holds across machines of different
+// absolute speed (though not different core counts — the artifact's
+// go_max_procs says which machine class the seed came from).
+const parallelGuardFloor = 0.60
+
+// runParallel measures how cube passes scale across morsel-scheduler
+// widths, and how light direct scans behave while a heavy pass saturates
+// the shared pool.
+func runParallel(out string, rows int, against string) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -parallel: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// Scans below the engine's parallel threshold (64Ki joined rows) run
+	// single-threaded by design and would never reach the scheduler, so a
+	// smoke-scale -rows is raised to the smallest size that measures it.
+	if rows < 1<<16 {
+		fmt.Printf("benchcube -parallel: raising -rows %d to %d (engine parallel threshold)\n", rows, 1<<16)
+		rows = 1 << 17
+	}
+	d := benchdata.BuildDB(rows)
+	ctx := context.Background()
+
+	// The heaviest single-table case keeps the measurement about scan
+	// scheduling rather than join materialization.
+	var bc benchdata.Case
+	found := false
+	for _, c := range benchdata.Cases() {
+		if c.Name == "3dim-string-single" {
+			bc, found = c, true
+		}
+	}
+	if !found {
+		fail("case 3dim-string-single missing from benchdata")
+	}
+	view, err := db.BuildJoinView(d, bc.Tables)
+	if err != nil {
+		fail("%v", err)
+	}
+	viewRows := view.NumRows()
+
+	nproc := runtime.GOMAXPROCS(0)
+	file := parallelFile{
+		Schema:     "aggchecker-parallel-scan-bench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: nproc,
+		FactRows:   rows,
+		Case:       bc.Name,
+	}
+
+	widths := []int{1, 2, 4, nproc}
+	seen := map[int]bool{}
+	var base float64
+	for _, w := range widths {
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		sched := sqlexec.NewScheduler(w)
+		e := sqlexec.NewEngine(d,
+			sqlexec.WithScheduler(sched),
+			sqlexec.WithCaching(false), // every CubeFor is a full pass
+			sqlexec.WithScanWorkers(w))
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		sched.Close()
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		rps := float64(viewRows) / (nsPerOp * 1e-9)
+		passes := e.Stats.CubePasses.Load()
+		entry := parallelEntry{
+			Workers:        e.ScanWorkers(),
+			NsPerOp:        nsPerOp,
+			RowsPerSec:     rps,
+			MorselsPerPass: float64(e.Stats.MorselsDispatched.Load()) / float64(passes),
+			StealsPerPass:  float64(e.Stats.StealCount.Load()) / float64(passes),
+		}
+		if base == 0 {
+			base = rps
+		}
+		entry.Speedup = rps / base
+		if w > 1 && entry.MorselsPerPass == 0 {
+			fail("width %d dispatched no morsels: the pass never reached the scheduler", w)
+		}
+		file.Entries = append(file.Entries, entry)
+		fmt.Printf("workers=%-3d %12.0f ns/op %14.0f rows/s   speedup x%.2f   %.1f morsels/pass (%.1f stolen)\n",
+			entry.Workers, nsPerOp, rps, entry.Speedup, entry.MorselsPerPass, entry.StealsPerPass)
+		if w == nproc {
+			file.ScalingEfficiency = entry.Speedup / float64(nproc)
+		}
+	}
+	fmt.Printf("scaling efficiency at NPROC=%d: %.2f\n", nproc, file.ScalingEfficiency)
+
+	file.Mixed = runMixed(d, viewRows, bc, rows)
+	writeJSON(out, &file)
+	if against != "" {
+		guardParallel(against, &file)
+	}
+}
+
+// runMixed interleaves a heavy cube-pass loop with light direct scans on
+// one shared scheduler and reports the light scans' p95 latency against
+// their uncontended baseline — the fairness number of the morsel design
+// (owner participation plus one-morsel round-robin picks).
+func runMixed(d *db.Database, viewRows int, bc benchdata.Case, rows int) mixedEntry {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -parallel: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	// Width 2 floor so the shared pool (publish/steal) is active even on a
+	// single-core runner.
+	w := runtime.GOMAXPROCS(0)
+	if w < 2 {
+		w = 2
+	}
+	sched := sqlexec.NewScheduler(w)
+	defer sched.Close()
+	heavyEng := sqlexec.NewEngine(d, sqlexec.WithScheduler(sched), sqlexec.WithCaching(false), sqlexec.WithScanWorkers(w))
+	lightEng := sqlexec.NewEngine(d, sqlexec.WithScheduler(sched), sqlexec.WithCaching(false), sqlexec.WithScanWorkers(w))
+
+	scans := benchdata.ScanCases(rows)
+	light := scans[0]
+	for _, sc := range scans {
+		if sc.Name == "sum-1pred-hot" {
+			light = sc
+		}
+	}
+
+	const lights = 60
+	p95 := func() float64 {
+		lat := make([]time.Duration, lights)
+		for i := range lat {
+			start := time.Now()
+			if _, err := lightEng.Evaluate(light.Query); err != nil {
+				fail("light scan: %v", err)
+			}
+			lat[i] = time.Since(start)
+		}
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return float64(lat[lights*95/100].Nanoseconds())
+	}
+
+	uncontended := p95()
+
+	heavyCtx, stopHeavy := context.WithCancel(context.Background())
+	var heavyPasses atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for heavyCtx.Err() == nil {
+			if _, err := heavyEng.CubeForContext(heavyCtx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+				return // cancellation
+			}
+			heavyPasses.Add(1)
+		}
+	}()
+	// Let the heavy loop occupy the pool before measuring.
+	time.Sleep(50 * time.Millisecond)
+	contended := p95()
+	stopHeavy()
+	wg.Wait()
+
+	m := mixedEntry{
+		SchedWorkers:     w,
+		LightQuery:       light.Name,
+		UncontendedP95Ns: uncontended,
+		ContendedP95Ns:   contended,
+		ContentionRatio:  contended / uncontended,
+		HeavyPasses:      heavyPasses.Load(),
+		QueueWaits:       lightEng.Stats.QueueWaits.Load() + heavyEng.Stats.QueueWaits.Load(),
+		Steals:           lightEng.Stats.StealCount.Load() + heavyEng.Stats.StealCount.Load(),
+	}
+	fmt.Printf("mixed: light %s p95 %.0f ns uncontended, %.0f ns under heavy load (x%.2f), %d heavy passes\n",
+		m.LightQuery, m.UncontendedP95Ns, m.ContendedP95Ns, m.ContentionRatio, m.HeavyPasses)
+	return m
+}
+
+// guardParallel is the -parallel regression gate: the fresh NPROC scaling
+// efficiency must reach parallelGuardFloor of the committed seed's.
+func guardParallel(path string, fresh *parallelFile) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old parallelFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if old.ScalingEfficiency <= 0 {
+		fmt.Printf("guard parallel: no recorded scaling efficiency, skipping\n")
+		return
+	}
+	floor := old.ScalingEfficiency * parallelGuardFloor
+	if fresh.ScalingEfficiency < floor {
+		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION parallel scaling efficiency %.2f < floor %.2f (seed %.2f at go_max_procs=%d, floor %.0f%%)\n",
+			fresh.ScalingEfficiency, floor, old.ScalingEfficiency, old.GoMaxProcs, 100*parallelGuardFloor)
+		os.Exit(1)
+	}
+	fmt.Printf("guard parallel: scaling efficiency %.2f >= floor %.2f ok (seed %.2f)\n",
+		fresh.ScalingEfficiency, floor, old.ScalingEfficiency)
 }
 
 func writeJSON(out string, v any) {

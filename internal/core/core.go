@@ -70,6 +70,12 @@ type Config struct {
 	// Workers bounds the engine-side worker pool that executes the merged
 	// cube passes of each document-level batch; ≤ 0 uses GOMAXPROCS.
 	Workers int
+	// Exec configures every engine this config builds (the checker's cached
+	// engine and the fresh per-request engines of merged/naive modes):
+	// scan-worker bounds, zone maps, kernel selection, and — installed by
+	// core.WithScheduler at the service layer — the process-wide shared
+	// morsel scheduler. See sqlexec's ExecOption.
+	Exec []sqlexec.ExecOption
 }
 
 // DefaultConfig is the paper's main configuration.
@@ -97,7 +103,7 @@ func NewChecker(d *db.Database, cfg Config) *Checker {
 	return &Checker{
 		DB:      d,
 		Catalog: fragments.BuildCatalog(d, cfg.Fragments),
-		Engine:  sqlexec.NewEngine(d),
+		Engine:  sqlexec.NewEngine(d, cfg.Exec...),
 		Config:  cfg,
 	}
 }
@@ -181,6 +187,11 @@ func (c *Checker) check(ctx context.Context, doc *document.Document, set checkSe
 	// direct scan of this check observes a single version, so a Refresh
 	// committing mid-check cannot mix row sets between EM iterations.
 	ctx = sqlexec.WithSnapshot(ctx, engine.DB.Snapshot())
+	// Per-request execution overrides (WithScanWorkers, WithZoneMaps) ride
+	// the context: the shared engine is never retuned for one request.
+	if len(set.exec) > 0 {
+		ctx = sqlexec.ContextWithOptions(ctx, set.exec...)
+	}
 	// Diff the engine counters around the run so Report.Stats is
 	// per-document even in cached mode, where the checker-lifetime engine
 	// is shared across calls. Snapshot reads are atomic loads, so taking
@@ -222,11 +233,11 @@ func diffStats(before, after map[string]int64) map[string]int64 {
 func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
 	switch cfg.Mode {
 	case EvalNaive:
-		e := sqlexec.NewEngine(c.DB)
+		e := sqlexec.NewEngine(c.DB, cfg.Exec...)
 		return &evaluate.NaiveEvaluator{Engine: e, Workers: cfg.Workers}, e
 	case EvalMerged:
-		e := sqlexec.NewEngine(c.DB)
-		e.SetCaching(false)
+		e := sqlexec.NewEngine(c.DB, cfg.Exec...)
+		e.Tune(sqlexec.WithCaching(false))
 		ev := evaluate.NewCubeEvaluator(e)
 		ev.Workers = cfg.Workers
 		return ev, e

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"aggchecker/internal/model"
+	"aggchecker/internal/sqlexec"
 )
 
 // CheckOption customizes one Check or Stream call. Options are applied to a
@@ -17,6 +18,9 @@ type checkSettings struct {
 	cfg      Config
 	deadline time.Duration
 	observer model.Observer
+	// exec carries per-request engine overrides (scan workers, zone maps)
+	// into the request context via sqlexec.ContextWithOptions.
+	exec []sqlexec.ExecOption
 }
 
 func newCheckSettings(base Config, opts []CheckOption) checkSettings {
@@ -39,6 +43,21 @@ func WithMode(m EvalMode) CheckOption {
 // uses GOMAXPROCS.
 func WithWorkers(n int) CheckOption {
 	return func(s *checkSettings) { s.cfg.Workers = n }
+}
+
+// WithScanWorkers bounds, for this request only, how many workers any one
+// of its cube passes or direct scans may occupy at once on the engine's
+// scheduler (or private pool); n ≤ 0 restores the engine default. The
+// shared engine is not retuned — the bound rides the request context.
+func WithScanWorkers(n int) CheckOption {
+	return func(s *checkSettings) { s.exec = append(s.exec, sqlexec.WithScanWorkers(n)) }
+}
+
+// WithZoneMaps toggles zone-map pruning for this request only. Results are
+// identical either way; pruning off is the benchmark baseline and an
+// operational escape hatch.
+func WithZoneMaps(on bool) CheckOption {
+	return func(s *checkSettings) { s.exec = append(s.exec, sqlexec.WithZoneMaps(on)) }
 }
 
 // WithDeadline bounds the request's wall-clock time: the check is cancelled

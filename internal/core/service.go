@@ -11,6 +11,7 @@ import (
 	"aggchecker/internal/db"
 	"aggchecker/internal/document"
 	"aggchecker/internal/fragments"
+	"aggchecker/internal/sqlexec"
 )
 
 // ErrUnknownDatabase is returned (wrapped, with the name) when a Service
@@ -34,6 +35,10 @@ type OpenFunc func(ctx context.Context) (*db.Database, error)
 type Service struct {
 	defaultCfg  Config
 	maxResident int
+	// sched, when set, is the process-wide morsel scheduler every checker
+	// engine of this service shares: one pool spans all databases and all
+	// concurrent requests, instead of each engine sizing private pools.
+	sched *sqlexec.Scheduler
 
 	mu      sync.Mutex
 	sources map[string]*source
@@ -111,6 +116,14 @@ type ScanStats struct {
 	DirectVectorScans int64 `json:"direct_vector_scans"`
 	SelvecReuses      int64 `json:"selvec_reuses"`
 	DeltaScans        int64 `json:"delta_scans"`
+	// MorselsDispatched counts morsels this engine's scans executed on the
+	// shared scheduler; StealCount the subset run by shared-pool helpers
+	// rather than the submitting goroutine; QueueWaits the submissions that
+	// found every helper busy and queued fairly behind other requests. All
+	// zero when the service runs without a scheduler.
+	MorselsDispatched int64 `json:"morsels_dispatched"`
+	QueueWaits        int64 `json:"queue_waits"`
+	StealCount        int64 `json:"steal_count"`
 }
 
 func statusOf(name string, ck *Checker) Status {
@@ -133,6 +146,9 @@ func statusOf(name string, ck *Checker) Status {
 		DirectVectorScans: s["direct_vector_scans"],
 		SelvecReuses:      s["selvec_reuses"],
 		DeltaScans:        s["delta_scans"],
+		MorselsDispatched: s["morsels_dispatched"],
+		QueueWaits:        s["queue_waits"],
+		StealCount:        s["steal_count"],
 	}
 	if tot := scan.BlocksScanned + scan.BlocksPruned; tot > 0 {
 		scan.PruneRate = float64(scan.BlocksPruned) / float64(tot)
@@ -155,6 +171,16 @@ func WithDefaultConfig(cfg Config) ServiceOption {
 // rebuilt lazily on its next request. n ≤ 0 means unbounded.
 func WithMaxResident(n int) ServiceOption {
 	return func(s *Service) { s.maxResident = n }
+}
+
+// WithScheduler installs one shared morsel scheduler for every database the
+// service hosts: cube passes and large direct scans of all concurrent
+// requests decompose into zone-aligned morsels dispatched fairly from the
+// scheduler's pool — one pool per process, not per database. The service
+// does not own the scheduler; whoever created it calls Close after the
+// service is done.
+func WithScheduler(sched *sqlexec.Scheduler) ServiceOption {
+	return func(s *Service) { s.sched = sched }
 }
 
 // NewService creates an empty registry with the paper's default Config.
@@ -308,6 +334,11 @@ func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, er
 		cfg := s.defaultCfg
 		if src.cfg != nil {
 			cfg = *src.cfg
+		}
+		if s.sched != nil {
+			// Append onto a copy: the shared default config's option slice
+			// must not grow a backing-array write from a lazy build.
+			cfg.Exec = append(append([]sqlexec.ExecOption{}, cfg.Exec...), sqlexec.WithScheduler(s.sched))
 		}
 		ck = NewChecker(d, cfg)
 	}

@@ -113,7 +113,7 @@ func TestMergingReducesScans(t *testing.T) {
 	naiveEngine := sqlexec.NewEngine(d)
 	naive := &NaiveEvaluator{Engine: naiveEngine}
 	mergedEngine := sqlexec.NewEngine(d)
-	mergedEngine.SetCaching(false)
+	mergedEngine.Tune(sqlexec.WithCaching(false))
 	merged := NewCubeEvaluator(mergedEngine)
 
 	batch := testBatch()
@@ -170,7 +170,7 @@ func TestSetPoolStabilizesSignatures(t *testing.T) {
 func TestSubsetGroupsShareHostCube(t *testing.T) {
 	d := testDB(t)
 	e := sqlexec.NewEngine(d)
-	e.SetCaching(false)
+	e.Tune(sqlexec.WithCaching(false))
 	ev := NewCubeEvaluator(e)
 	// Three column sets: {region}, {product}, {region, product}; the first
 	// two are subsets of the third, so one cube pass suffices.

@@ -113,7 +113,7 @@ func TestConcurrentOverlappingBatchesMatchSerial(t *testing.T) {
 	d := stressDB(t, 2000)
 	shared := NewEngine(d)
 	serial := NewEngine(d)
-	serial.SetCaching(false)
+	serial.Tune(WithCaching(false))
 
 	cr := func(c string) ColumnRef { return ColumnRef{Table: "t", Column: c} }
 	avals := []string{"p", "q", "r", "s"}

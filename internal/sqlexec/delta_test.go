@@ -91,7 +91,7 @@ func TestDeltaMergeDifferentialRandomized(t *testing.T) {
 		scalar := trial%3 == 0
 
 		e := NewEngine(sc.d)
-		e.SetScalarKernel(scalar)
+		e.Tune(WithScalarKernel(scalar))
 		if _, err := e.CubeFor(sc.tables, dims, reqs); err != nil {
 			t.Fatal(err)
 		}
@@ -132,7 +132,7 @@ func TestDeltaMergeDifferentialRandomized(t *testing.T) {
 			if scalar {
 				want, err = computeCubeScalar(ctx, view, sc.tables, dims, trackedColsFor(reqs))
 			} else {
-				want, err = computeCubeVectorized(ctx, view, sc.tables, dims, trackedColsFor(reqs), nil, 1, true)
+				want, err = computeCubeVectorized(ctx, view, sc.tables, dims, trackedColsFor(reqs), passConfig{workers: 1, zones: true})
 			}
 			if err != nil {
 				t.Fatalf("%s: rebuild: %v", label, err)

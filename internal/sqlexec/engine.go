@@ -4,7 +4,6 @@ import (
 	"context"
 	"fmt"
 	"math"
-	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -72,6 +71,16 @@ type Stats struct {
 	DirectVectorScans atomic.Int64
 	SelvecReuses      atomic.Int64
 
+	// Morsel-scheduler counters. MorselsDispatched counts morsels executed
+	// for this engine's jobs on the shared scheduler (owner and helpers
+	// alike); StealCount the subset executed by shared-pool helper workers
+	// rather than the submitting goroutine; QueueWaits the job submissions
+	// that found no idle helper and queued behind other requests (always 0
+	// on a pool of width 1, which has no helpers).
+	MorselsDispatched atomic.Int64
+	QueueWaits        atomic.Int64
+	StealCount        atomic.Int64
+
 	// Incremental-maintenance counters. DeltaScans counts cached cubes
 	// brought up to a newer snapshot version by scanning only the appended
 	// rows; BlocksDelta the sealed storage blocks those delta scans covered
@@ -107,6 +116,10 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"blocks_pruned":       s.BlocksPruned.Load(),
 		"direct_vector_scans": s.DirectVectorScans.Load(),
 		"selvec_reuses":       s.SelvecReuses.Load(),
+
+		"morsels_dispatched": s.MorselsDispatched.Load(),
+		"queue_waits":        s.QueueWaits.Load(),
+		"steal_count":        s.StealCount.Load(),
 
 		"delta_scans":   s.DeltaScans.Load(),
 		"blocks_delta":  s.BlocksDelta.Load(),
@@ -215,9 +228,15 @@ type Engine struct {
 	// default); SetZoneMaps(false) is the operational escape hatch and the
 	// benchmark baseline toggle.
 	zoneMaps atomic.Bool
-	// scanWorkers bounds intra-pass parallelism (row-range partials);
-	// <= 0 means min(GOMAXPROCS, defaultScanWorkers).
+	// scanWorkers bounds intra-pass parallelism (morsels in flight on the
+	// shared scheduler, or private row-range partials without one); <= 0
+	// means the scheduler's pool width, or min(GOMAXPROCS,
+	// defaultScanWorkers) when no scheduler is installed.
 	scanWorkers atomic.Int64
+	// sched, when set, is the shared morsel scheduler cube passes and
+	// large direct scans submit to instead of sizing private pools. The
+	// engine does not own it (its creator calls Close).
+	sched atomic.Pointer[Scheduler]
 
 	// testHookBeforeCubePass, when non-nil, runs at the start of every cube
 	// pass; tests use it to hold a computation open while concurrent
@@ -225,8 +244,10 @@ type Engine struct {
 	testHookBeforeCubePass func()
 }
 
-// NewEngine creates an engine with cube-result caching enabled.
-func NewEngine(d *db.Database) *Engine {
+// NewEngine creates an engine with cube-result caching enabled, then
+// applies the given execution options (see options.go; Engine.Tune applies
+// more at runtime).
+func NewEngine(d *db.Database, opts ...ExecOption) *Engine {
 	e := &Engine{DB: d}
 	for i := range e.views {
 		e.views[i].entries = make(map[string]*viewEntry)
@@ -236,13 +257,15 @@ func NewEngine(d *db.Database) *Engine {
 	}
 	e.caching.Store(true)
 	e.zoneMaps.Store(true)
+	e.Tune(opts...)
 	return e
 }
 
-// SetZoneMaps toggles zone-map pruning in the shared scan pipeline. With
-// pruning off, direct scans and cube passes process every block; results
-// are identical either way (pruning only skips provably irrelevant rows).
-func (e *Engine) SetZoneMaps(on bool) { e.zoneMaps.Store(on) }
+// SetZoneMaps toggles zone-map pruning in the shared scan pipeline.
+//
+// Deprecated: use Tune(WithZoneMaps(on)), or pass WithZoneMaps to
+// NewEngine.
+func (e *Engine) SetZoneMaps(on bool) { e.Tune(WithZoneMaps(on)) }
 
 // ZoneMapsEnabled reports whether zone-map pruning is active.
 func (e *Engine) ZoneMapsEnabled() bool { return e.zoneMaps.Load() }
@@ -250,31 +273,26 @@ func (e *Engine) ZoneMapsEnabled() bool { return e.zoneMaps.Load() }
 // CachingEnabled reports whether cube results are cached.
 func (e *Engine) CachingEnabled() bool { return e.caching.Load() }
 
-// SetCaching toggles the cube-result cache (Table 6's "+ Caching" row turns
-// this off to isolate the effect of query merging).
-func (e *Engine) SetCaching(on bool) {
-	e.caching.Store(on)
-	if !on {
-		e.ResetCache()
-	}
-}
+// SetCaching toggles the cube-result cache.
+//
+// Deprecated: use Tune(WithCaching(on)), or pass WithCaching to NewEngine.
+func (e *Engine) SetCaching(on bool) { e.Tune(WithCaching(on)) }
 
-// SetScalarKernel routes cube passes to the legacy scalar interpreter
-// (row-at-a-time, map-keyed cell store) instead of the vectorized columnar
-// kernel. The flag exists for differential testing and as an operational
-// escape hatch; both kernels produce identical results.
-func (e *Engine) SetScalarKernel(on bool) { e.scalarKernel.Store(on) }
+// SetScalarKernel routes cube passes to the legacy scalar interpreter.
+//
+// Deprecated: use Tune(WithScalarKernel(on)), or pass WithScalarKernel to
+// NewEngine.
+func (e *Engine) SetScalarKernel(on bool) { e.Tune(WithScalarKernel(on)) }
 
 // ScalarKernel reports whether cube passes are forced onto the scalar
 // interpreter.
 func (e *Engine) ScalarKernel() bool { return e.scalarKernel.Load() }
 
-// SetScanWorkers bounds how many goroutines one cube pass may use to scan
-// row-range partials (0 restores the default, min(GOMAXPROCS,
-// defaultScanWorkers) — kept small because passes already parallelize
-// across the batch worker pool). Views smaller than the internal
-// parallelism threshold always scan single-threaded.
-func (e *Engine) SetScanWorkers(n int) { e.scanWorkers.Store(int64(n)) }
+// SetScanWorkers bounds per-scan parallelism.
+//
+// Deprecated: use Tune(WithScanWorkers(n)), or pass WithScanWorkers to
+// NewEngine; per-request, use ContextWithOptions.
+func (e *Engine) SetScanWorkers(n int) { e.Tune(WithScanWorkers(n)) }
 
 // ResetCache drops all cached cube results (join views are kept: they are
 // part of the storage layer, not the evaluation strategy).
@@ -634,7 +652,8 @@ func (e *Engine) runCubeDelta(ctx context.Context, view *db.JoinView, tables []s
 		return nil, err
 	}
 	e.Stats.RowsScanned.Add(int64(hi - lo))
-	return computeCubeRange(ctx, view, tables, dims, cols, &e.Stats, lo, hi, e.scalarKernel.Load(), e.zoneMaps.Load())
+	pc := passConfig{stats: &e.Stats, workers: 1, scalar: e.scalarKernel.Load(), zones: e.zoneMapsFor(ctx)}
+	return computeCubeRange(ctx, view, tables, dims, cols, lo, hi, pc)
 }
 
 // missingCols returns the requested tracked columns the cube does not cover.
@@ -660,19 +679,14 @@ func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string
 	}
 	e.Stats.CubePasses.Add(1)
 	e.Stats.RowsScanned.Add(int64(view.NumRows()))
-	workers := int(e.scanWorkers.Load())
-	if workers <= 0 {
-		// Cube passes already run concurrently on the batch worker pool, so
-		// the default per-pass split stays small: an unbounded GOMAXPROCS
-		// here would multiply goroutines (and per-partial accumulator
-		// arrays) quadratically under a saturated pool. SetScanWorkers
-		// overrides for dedicated large scans.
-		workers = runtime.GOMAXPROCS(0)
-		if workers > defaultScanWorkers {
-			workers = defaultScanWorkers
-		}
+	pc := passConfig{
+		stats:   &e.Stats,
+		workers: e.resolveScanWorkers(e.rawScanWorkersFor(ctx)),
+		scalar:  e.scalarKernel.Load(),
+		zones:   e.zoneMapsFor(ctx),
+		sched:   e.sched.Load(),
 	}
-	return computeCube(ctx, view, tables, dims, cols, &e.Stats, workers, e.scalarKernel.Load(), e.zoneMaps.Load())
+	return computeCube(ctx, view, tables, dims, cols, pc)
 }
 
 // defaultScanWorkers caps intra-pass parallelism when SetScanWorkers was

@@ -73,20 +73,32 @@ func flatLatticeSize(dims []DimSpec) int {
 	return size
 }
 
+// passConfig bundles the resolved execution settings of one cube pass or
+// delta scan: the stats sink, the per-pass worker bound, kernel and
+// zone-map selection, and the shared morsel scheduler (nil: private
+// goroutine pool, the pre-scheduler behavior).
+type passConfig struct {
+	stats   *Stats
+	workers int
+	scalar  bool
+	zones   bool
+	sched   *Scheduler
+}
+
 // computeCube dispatches one cube pass: the vectorized kernel by default,
-// the scalar interpreter when forced (Engine.SetScalarKernel) or when the
+// the scalar interpreter when forced (WithScalarKernel) or when the
 // literal sets blow the dense lattice bound. Both kernels produce
 // bit-for-bit identical CubeResults (asserted by the differential tests in
-// kernel_diff_test.go); zoneMaps enables block pruning, which never
+// kernel_diff_test.go); pc.zones enables block pruning, which never
 // changes results either.
-func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, forceScalar, zoneMaps bool) (*CubeResult, error) {
-	if forceScalar || flatLatticeSize(dims) < 0 {
-		if stats != nil {
-			stats.ScalarPasses.Add(1)
+func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, pc passConfig) (*CubeResult, error) {
+	if pc.scalar || flatLatticeSize(dims) < 0 {
+		if pc.stats != nil {
+			pc.stats.ScalarPasses.Add(1)
 		}
 		return computeCubeScalar(ctx, view, tables, dims, cols)
 	}
-	return computeCubeVectorized(ctx, view, tables, dims, cols, stats, workers, zoneMaps)
+	return computeCubeVectorized(ctx, view, tables, dims, cols, pc)
 }
 
 // computeCubeRange is the delta-scan entry point: it accumulates only
@@ -97,14 +109,14 @@ func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims [
 // including zone-map pruning: a delta block whose dimension domains miss
 // every tracked literal takes the batched rolled-up update instead of the
 // per-row coding loops (the "delta-aware zone maps" path).
-func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, lo, hi int, forceScalar, zoneMaps bool) (*CubeResult, error) {
-	if forceScalar || flatLatticeSize(dims) < 0 {
-		if stats != nil {
-			stats.ScalarPasses.Add(1)
+func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, lo, hi int, pc passConfig) (*CubeResult, error) {
+	if pc.scalar || flatLatticeSize(dims) < 0 {
+		if pc.stats != nil {
+			pc.stats.ScalarPasses.Add(1)
 		}
 		return computeCubeScalarRange(ctx, view, tables, dims, cols, lo, hi)
 	}
-	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, 1, lo, hi, zoneMaps)
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, lo, hi, pc)
 }
 
 // vecDim codes one dimension column into pre-multiplied lattice offsets.
@@ -812,16 +824,20 @@ func (k *vecKernel) fill(r *CubeResult, pt *vecPartial) {
 }
 
 // computeCubeVectorized runs one vectorized cube pass over the joined view.
-// workers bounds the number of row-range partials scanned concurrently;
-// small views always scan single-threaded.
-func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers int, zoneMaps bool) (*CubeResult, error) {
-	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, stats, workers, 0, view.NumRows(), zoneMaps)
+// pc.workers bounds how many row-range partials scan concurrently; small
+// views always scan single-threaded.
+func computeCubeVectorized(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, pc passConfig) (*CubeResult, error) {
+	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, 0, view.NumRows(), pc)
 }
 
 // computeCubeVectorizedRange is computeCubeVectorized restricted to joined
 // rows [rangeLo, rangeHi) — the full pass with rangeLo=0, rangeHi=NumRows,
-// or a delta scan over just the appended rows.
-func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, stats *Stats, workers, rangeLo, rangeHi int, zoneMaps bool) (*CubeResult, error) {
+// or a delta scan over just the appended rows. Large ranges split into
+// row-range partials merged in range order: zone-aligned morsels on the
+// shared scheduler when one is installed, a private goroutine pool
+// otherwise. Either way the decomposition is fixed up front and partials
+// merge in range order, so results do not depend on scheduling.
+func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, rangeLo, rangeHi int, pc passConfig) (*CubeResult, error) {
 	r, err := newCubeResultWithCols(tables, dims, cols)
 	if err != nil {
 		return nil, err
@@ -829,20 +845,49 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 	size := flatLatticeSize(dims)
 	if size < 0 {
 		// Defensive: the dispatcher already routed oversized lattices away.
-		if stats != nil {
-			stats.ScalarPasses.Add(1)
+		if pc.stats != nil {
+			pc.stats.ScalarPasses.Add(1)
 		}
 		return computeCubeScalarRange(ctx, view, tables, dims, cols, rangeLo, rangeHi)
 	}
-	k, err := newVecKernel(view, dims, r, size, stats, zoneMaps)
+	k, err := newVecKernel(view, dims, r, size, pc.stats, pc.zones)
 	if err != nil {
 		return nil, err
 	}
 
 	n := rangeHi - rangeLo
+	splittable := pc.workers > 1 && n >= kernelParallelMinRows
+
+	if pc.sched != nil && splittable {
+		ranges := morselRanges(k.spans, rangeLo, rangeHi, pc.workers)
+		if len(ranges) > 1 {
+			partials := make([]*vecPartial, len(ranges))
+			err := pc.sched.Run(ctx, pc.stats, len(ranges), pc.workers, func(i int) error {
+				pt, err := k.scanRange(ctx, ranges[i].lo, ranges[i].hi)
+				if err != nil {
+					return err
+				}
+				partials[i] = pt
+				return nil
+			})
+			if err != nil {
+				return nil, err
+			}
+			root := partials[0]
+			for _, pt := range partials[1:] {
+				root.merge(pt)
+			}
+			if pc.stats != nil {
+				pc.stats.PartialsMerged.Add(int64(len(partials) - 1))
+			}
+			k.fill(r, root)
+			return r, nil
+		}
+	}
+
 	parts := 1
-	if workers > 1 && n >= kernelParallelMinRows {
-		parts = workers
+	if splittable && pc.sched == nil {
+		parts = pc.workers
 		// Each partial should cover at least two blocks, or the merge
 		// overhead (size-proportional array walks) beats the scan savings.
 		if mx := n / (2 * kernelBlockRows); parts > mx {
@@ -885,8 +930,8 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 		for _, pt := range partials[1:] {
 			root.merge(pt)
 		}
-		if stats != nil {
-			stats.PartialsMerged.Add(int64(parts - 1))
+		if pc.stats != nil {
+			pc.stats.PartialsMerged.Add(int64(parts - 1))
 		}
 	}
 

@@ -30,9 +30,9 @@ func BenchmarkCubeKernel(bm *testing.B) {
 		}
 		run := func(b *testing.B, scalar bool) {
 			e := sqlexec.NewEngine(d)
-			e.SetCaching(false)
-			e.SetScanWorkers(1) // isolate kernel throughput
-			e.SetScalarKernel(scalar)
+			e.Tune(sqlexec.WithCaching(false))
+			e.Tune(sqlexec.WithScanWorkers(1)) // isolate kernel throughput
+			e.Tune(sqlexec.WithScalarKernel(scalar))
 			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
@@ -63,8 +63,8 @@ func BenchmarkCubeKernelParallel(bm *testing.B) {
 		name := map[int]string{1: "workers1", 4: "workers4"}[workers]
 		bm.Run(name, func(b *testing.B) {
 			e := sqlexec.NewEngine(d)
-			e.SetCaching(false)
-			e.SetScanWorkers(workers)
+			e.Tune(sqlexec.WithCaching(false))
+			e.Tune(sqlexec.WithScanWorkers(workers))
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := e.CubeForContext(ctx, tc.Tables, tc.Dims, tc.Reqs); err != nil {

@@ -280,7 +280,7 @@ func TestKernelDifferentialRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: scalar: %v", label, err)
 		}
-		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 1, true)
+		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, passConfig{workers: 1, zones: true})
 		if err != nil {
 			t.Fatalf("%s: vectorized: %v", label, err)
 		}
@@ -312,7 +312,7 @@ func TestKernelDifferentialParallelPartials(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: scalar: %v", label, err)
 		}
-		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, nil, 4, true)
+		got, err := computeCubeVectorized(ctx, view, sc.tables, dims, cols, passConfig{workers: 4, zones: true})
 		if err != nil {
 			t.Fatalf("%s: vectorized: %v", label, err)
 		}
@@ -339,7 +339,7 @@ func TestKernelEmptyView(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	got, err := computeCubeVectorized(context.Background(), view, []string{"e"}, dims, cols, nil, 4, true)
+	got, err := computeCubeVectorized(context.Background(), view, []string{"e"}, dims, cols, passConfig{workers: 4, zones: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -404,7 +404,7 @@ func TestEngineScalarKernelFlag(t *testing.T) {
 	d := stressDB(t, 3000)
 	vecE := NewEngine(d)
 	sclE := NewEngine(d)
-	sclE.SetScalarKernel(true)
+	sclE.Tune(WithScalarKernel(true))
 	if !sclE.ScalarKernel() || vecE.ScalarKernel() {
 		t.Fatal("scalar-kernel flag not plumbed")
 	}
@@ -447,7 +447,7 @@ func TestKernelCancellation(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	_, err = computeCubeVectorized(ctx, view, []string{"t"}, stressDims(), nil, nil, 4, true)
+	_, err = computeCubeVectorized(ctx, view, []string{"t"}, stressDims(), nil, passConfig{workers: 4, zones: true})
 	if err != context.Canceled {
 		t.Errorf("cancelled vectorized pass returned %v, want context.Canceled", err)
 	}

@@ -306,42 +306,77 @@ func (g *aggReader) addFloats(a *accumulator, vals []float64) {
 	a.sum, a.min, a.max = s, mn, mx
 }
 
-// evaluateDirect runs one query with a dedicated vectorized scan over the
-// view: predicates compile to storage-level comparisons, each segment is
-// zone-tested before any data is read, survivors are filtered through a
-// reused selection vector, and the aggregation column is folded in
-// struct-of-arrays order. Results are bit-for-bit identical to a
-// row-at-a-time scan: pruning only skips rows that contribute to neither
-// the numerator nor the denominator, and all accumulation runs in row
-// order.
-func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query) (float64, error) {
-	useZones := e.zoneMaps.Load()
+// directScan is the compiled form of one direct query: predicates resolved
+// to storage-level comparisons, the aggregation column reader, and the
+// zone-aligned segmentation. It is immutable after construction, so
+// morsels of one scan share it across workers.
+type directScan struct {
+	q        Query
+	preds    []predEval
+	agg      aggReader
+	needBase bool
+	spans    []db.ZoneSpan
+}
+
+func newDirectScan(view *db.JoinView, q Query, useZones bool) (*directScan, error) {
 	preds, err := compilePreds(view, q.Preds, useZones)
 	if err != nil {
-		return math.NaN(), err
+		return nil, err
 	}
-	agg := aggReader{star: q.AggCol.IsStar()}
-	if !agg.star {
+	ds := &directScan{q: q, preds: preds}
+	ds.agg.star = q.AggCol.IsStar()
+	if !ds.agg.star {
 		acc, err := view.Accessor(q.AggCol.Table, q.AggCol.Column)
 		if err != nil {
-			return math.NaN(), err
+			return nil, err
 		}
-		agg.acc = acc
-		agg.isStr = acc.Column().Kind == db.KindString
+		ds.agg.acc = acc
+		ds.agg.isStr = acc.Column().Kind == db.KindString
 	}
+	ds.needBase = q.Agg == Percentage || q.Agg == ConditionalProbability
+	if useZones {
+		ds.spans = view.ZoneSpans()
+	}
+	return ds, nil
+}
 
-	main := newAccumulator(q.Agg == CountDistinct)
+// directPartial is the result of scanning one row range of a direct query:
+// the numerator and (ratio aggregates) denominator accumulators plus the
+// pipeline counters of the range.
+type directPartial struct {
+	main, base *accumulator
+
+	scanned, pruned, selReuses, rowsRead int64
+}
+
+// merge folds a later row range's partial into p (p first, preserving
+// scan-order semantics of summation and min/max ties).
+func (p *directPartial) merge(o *directPartial) {
+	p.main = addAccumulators(p.main, o.main)
+	if p.base != nil || o.base != nil {
+		p.base = addAccumulators(p.base, o.base)
+	}
+	p.scanned += o.scanned
+	p.pruned += o.pruned
+	p.selReuses += o.selReuses
+	p.rowsRead += o.rowsRead
+}
+
+// scanRange runs the compiled scan over joined rows [lo, hi) into a fresh
+// partial: each segment is zone-tested before any data is read, survivors
+// are filtered through a reused selection vector, and the aggregation
+// column is folded in row order.
+func (ds *directScan) scanRange(ctx context.Context, lo, hi int) (*directPartial, error) {
+	q, preds, agg, needBase := ds.q, ds.preds, ds.agg, ds.needBase
+	pt := &directPartial{main: newAccumulator(q.Agg == CountDistinct)}
+	main := pt.main
 	var base *accumulator
-	needBase := q.Agg == Percentage || q.Agg == ConditionalProbability
 	if needBase {
 		base = newAccumulator(false)
+		pt.base = base
 	}
 
-	var spans []db.ZoneSpan
-	if useZones {
-		spans = view.ZoneSpans()
-	}
-	segs := segmentsOf(spans, 0, view.NumRows())
+	segs := segmentsOf(ds.spans, lo, hi)
 	selBuf := make([]int32, kernelBlockRows)
 	fBuf := make([]float64, kernelBlockRows)
 	cBuf := make([]int32, kernelBlockRows)
@@ -356,7 +391,7 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 	}
 	for _, sg := range segs {
 		if err := ctx.Err(); err != nil {
-			return math.NaN(), err
+			return nil, err
 		}
 		mainMiss := false
 		for i := range preds {
@@ -422,10 +457,57 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 		}
 	}
 
+	pt.scanned, pt.pruned, pt.selReuses, pt.rowsRead = scanned, pruned, selReuses, rowsRead
+	return pt, nil
+}
+
+// evaluateDirect runs one query with a dedicated vectorized scan over the
+// view. Results are bit-for-bit identical to a row-at-a-time scan: zone
+// pruning only skips rows that contribute to neither the numerator nor the
+// denominator, and all accumulation runs in row order. Large views on an
+// engine with a shared scheduler decompose into zone-aligned morsels whose
+// partial accumulators merge in range order — deterministic for any worker
+// count, bit-for-bit identical to the single-threaded scan for
+// integer-valued data (float sums regroup at morsel boundaries).
+func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query) (float64, error) {
+	ds, err := newDirectScan(view, q, e.zoneMapsFor(ctx))
+	if err != nil {
+		return math.NaN(), err
+	}
+
+	n := view.NumRows()
+	var total *directPartial
+	sched := e.sched.Load()
+	if workers := e.resolveScanWorkers(e.rawScanWorkersFor(ctx)); sched != nil && workers > 1 && n >= kernelParallelMinRows {
+		if ranges := morselRanges(ds.spans, 0, n, workers); len(ranges) > 1 {
+			partials := make([]*directPartial, len(ranges))
+			err := sched.Run(ctx, &e.Stats, len(ranges), workers, func(i int) error {
+				pt, err := ds.scanRange(ctx, ranges[i].lo, ranges[i].hi)
+				if err != nil {
+					return err
+				}
+				partials[i] = pt
+				return nil
+			})
+			if err != nil {
+				return math.NaN(), err
+			}
+			total = partials[0]
+			for _, pt := range partials[1:] {
+				total.merge(pt)
+			}
+		}
+	}
+	if total == nil {
+		if total, err = ds.scanRange(ctx, 0, n); err != nil {
+			return math.NaN(), err
+		}
+	}
+
 	e.Stats.DirectVectorScans.Add(1)
-	e.Stats.BlocksScanned.Add(scanned)
-	e.Stats.BlocksPruned.Add(pruned)
-	e.Stats.SelvecReuses.Add(selReuses)
-	e.Stats.RowsScanned.Add(rowsRead)
-	return main.finalize(q.Agg, agg.star, base), nil
+	e.Stats.BlocksScanned.Add(total.scanned)
+	e.Stats.BlocksPruned.Add(total.pruned)
+	e.Stats.SelvecReuses.Add(total.selReuses)
+	e.Stats.RowsScanned.Add(total.rowsRead)
+	return total.main.finalize(q.Agg, ds.agg.star, total.base), nil
 }

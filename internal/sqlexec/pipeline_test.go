@@ -202,7 +202,7 @@ func TestDirectScanDifferentialRandomized(t *testing.T) {
 		d := bandedDB(t, rng, batches, rowsPerBatch, nullFrac)
 		pruner := NewEngine(d)
 		flat := NewEngine(d)
-		flat.SetZoneMaps(false)
+		flat.Tune(WithZoneMaps(false))
 		view, err := db.BuildJoinView(d, []string{"t"})
 		if err != nil {
 			t.Fatal(err)
@@ -485,7 +485,7 @@ func TestCubeZoneMapPruning(t *testing.T) {
 	}
 
 	flat := NewEngine(d)
-	flat.SetZoneMaps(false)
+	flat.Tune(WithZoneMaps(false))
 	unpruned, err := flat.CubeFor([]string{"t"}, dims, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -496,7 +496,7 @@ func TestCubeZoneMapPruning(t *testing.T) {
 	requireCubesIdentical(t, unpruned, pruned, "pruned vs unpruned cube")
 
 	scalar := NewEngine(d)
-	scalar.SetScalarKernel(true)
+	scalar.Tune(WithScalarKernel(true))
 	want, err := scalar.CubeFor([]string{"t"}, dims, reqs)
 	if err != nil {
 		t.Fatal(err)
@@ -551,7 +551,7 @@ func TestCubeZoneMapPruningRandomized(t *testing.T) {
 		if err != nil {
 			t.Fatalf("%s: scalar: %v", label, err)
 		}
-		got, err := computeCubeVectorized(ctx, view, []string{"t"}, dims, cols, nil, 1, true)
+		got, err := computeCubeVectorized(ctx, view, []string{"t"}, dims, cols, passConfig{workers: 1, zones: true})
 		if err != nil {
 			t.Fatalf("%s: vectorized+zones: %v", label, err)
 		}
