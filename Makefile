@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-guard serve-smoke ci
+.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-guard serve-smoke ci
 
 all: build test
 
@@ -54,6 +54,18 @@ bench-scan:
 bench-parallel:
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.json
 
+# bench-shard measures sharded scatter-gather scaling and writes
+# BENCH_shard.json: one representative cube pass executed by a coordinator
+# over {1,2,4,8} round-robin partitions with single-threaded in-process
+# workers, recording rows/s, the 1->4 speedup, and merge overhead as a
+# fraction of pass time (hard floor: <10% through 4 shards). The run
+# first hard-fails unless 4-shard merged cubes answer the whole case
+# matrix identically to the unsharded engine. Scatter-gather needs cores
+# to win: regenerate the committed seed on a multi-core box (the record's
+# go_max_procs says what the seed machine had).
+bench-shard:
+	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.json
+
 # bench-guard is the bench-regression gate: it re-runs the cube matrix at
 # the committed record's scale and fails when any case's vectorized rows/s
 # falls more than 30% below the committed BENCH_cube.json — measured as
@@ -63,7 +75,11 @@ bench-parallel:
 # The second leg re-runs the parallel matrix and fails when the fresh
 # NPROC scaling efficiency drops below 60% of the committed
 # BENCH_parallel.json seed's (ratio-of-ratios, so absolute machine speed
-# cancels out).
+# cancels out — but not core counts: when the seed's go_max_procs differs
+# from the current machine's, the leg warns and skips instead of
+# comparing, since efficiency at NPROC is meaningless across machine
+# classes and trivially 1.0 on a single-core box. Regenerate the seed on
+# the CI machine class with `make bench-parallel` and commit the result).
 bench-guard:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.guard.json -against BENCH_parallel.json
@@ -78,6 +94,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.smoke.json
+	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.smoke.json -rows 30000
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo

@@ -223,6 +223,22 @@ func WithMaxResident(n int) ServiceOption { return core.WithMaxResident(n) }
 // WithDatabaseConfig overrides the service default Config for one database.
 func WithDatabaseConfig(cfg Config) RegisterOption { return core.WithDatabaseConfig(cfg) }
 
+// WithShards sets the default shard count for every database a Service
+// hosts: k > 1 partitions fact tables at checker build time and answers
+// candidate queries by scatter-gather over per-shard workers, with results
+// identical to unsharded execution.
+func WithShards(k int) ServiceOption { return core.WithShards(k) }
+
+// WithShardKeys sets the default shard-key mapping (fact-table name ->
+// hash-placement column) used when sharding is enabled; tables without an
+// entry are placed round-robin.
+func WithShardKeys(keys map[string]string) ServiceOption { return core.WithShardKeys(keys) }
+
+// WithDatabaseShards overrides the shard topology for one database.
+func WithDatabaseShards(k int, keys map[string]string) RegisterOption {
+	return core.WithDatabaseShards(k, keys)
+}
+
 // WithMode selects the evaluation strategy for one request.
 func WithMode(m EvalMode) CheckOption { return core.WithMode(m) }
 

@@ -27,6 +27,14 @@
 // files as fresh storage blocks (the engine delta-scans them into cached
 // cubes), and -watch POLLINTERVAL polls the files' mtimes and triggers the
 // same refresh automatically when they change.
+//
+// -shards K partitions every hosted database's fact tables into K shards
+// (hash-placed by -shard-keys, round-robin otherwise) and answers candidate
+// queries by scatter-gather over in-process shard workers; refreshes route
+// appended rows into the partitions automatically. The daemon also serves
+// the shard worker protocol (POST /v1/shard/databases/{name}/cube and
+// /scan), so a coordinator on another machine can use this instance's
+// databases as remote shards via consistent-hash placement.
 package main
 
 import (
@@ -61,6 +69,8 @@ func main() {
 	maxResident := flag.Int("max-resident", 8, "max resident database catalogs, LRU-evicted (0 = unlimited)")
 	shutdownGrace := flag.Duration("shutdown-grace", 10*time.Second, "graceful shutdown window after SIGINT/SIGTERM")
 	watch := flag.Duration("watch", 0, "poll interval for -db CSV files; on mtime/size change the database is refreshed (0 = off)")
+	shards := flag.Int("shards", 0, "partition each database's fact tables into K shards and evaluate by scatter-gather (0/1 = unsharded)")
+	shardKeys := flag.String("shard-keys", "", "hash-placement columns for sharding: table=column[,table2=column2...] (unlisted tables are round-robin)")
 	var dbFlags multiFlag
 	flag.Var(&dbFlags, "db", "register a database: name=file.csv[,file2.csv...] (repeatable)")
 	flag.Parse()
@@ -81,10 +91,16 @@ func main() {
 	sched := sqlexec.NewScheduler(*scanWorkers)
 	defer sched.Close()
 
+	keys, err := parseShardKeys(*shardKeys)
+	if err != nil {
+		logger.Fatal(err)
+	}
 	svc := core.NewService(
 		core.WithDefaultConfig(cfg),
 		core.WithMaxResident(*maxResident),
 		core.WithScheduler(sched),
+		core.WithShards(*shards),
+		core.WithShardKeys(keys),
 	)
 	registered := 0
 	watched := make(map[string][]string) // database name -> backing files
@@ -161,6 +177,23 @@ func main() {
 		logger.Fatalf("serve: %v", err)
 	}
 	logger.Printf("bye")
+}
+
+// parseShardKeys parses "table=column[,table2=column2...]" into the
+// shard-key mapping; empty input means round-robin everywhere.
+func parseShardKeys(spec string) (map[string]string, error) {
+	if strings.TrimSpace(spec) == "" {
+		return nil, nil
+	}
+	keys := make(map[string]string)
+	for _, pair := range strings.Split(spec, ",") {
+		table, col, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok || table == "" || col == "" {
+			return nil, fmt.Errorf("bad -shard-keys entry %q (want table=column)", pair)
+		}
+		keys[table] = col
+	}
+	return keys, nil
 }
 
 // multiFlag collects repeated -db flags.

@@ -27,6 +27,7 @@ import (
 
 	"aggchecker/internal/benchdata"
 	"aggchecker/internal/db"
+	"aggchecker/internal/shard"
 	"aggchecker/internal/sqlexec"
 )
 
@@ -86,6 +87,7 @@ func main() {
 	batchRows := flag.Int("batch-rows", 2000, "rows per append batch in -delta mode")
 	scan := flag.Bool("scan", false, "measure direct scans (closure baseline vs vectorized vs zone-pruned) instead of the kernel matrix")
 	parallel := flag.Bool("parallel", false, "measure morsel-scheduler scaling (worker matrix + mixed heavy/light scenario) instead of the kernel matrix")
+	shardMode := flag.Bool("shard", false, "measure sharded scatter-gather scaling (1/2/4/8 shards + merge overhead) instead of the kernel matrix")
 	against := flag.String("against", "", "committed record to guard against: kernel matrix compares per-case vectorized/scalar ratios, -parallel compares NPROC scaling efficiency")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional rows/s regression for -against")
 	flag.Parse()
@@ -103,6 +105,13 @@ func main() {
 			*out = "BENCH_parallel.json"
 		}
 		runParallel(*out, *rows, *against)
+		return
+	}
+	if *shardMode {
+		if *out == "BENCH_cube.json" {
+			*out = "BENCH_shard.json"
+		}
+		runShard(*out, *rows)
 		return
 	}
 
@@ -742,6 +751,21 @@ func guardParallel(path string, fresh *parallelFile) {
 		fmt.Printf("guard parallel: no recorded scaling efficiency, skipping\n")
 		return
 	}
+	// Efficiency is speedup-at-NPROC over NPROC: it only compares across
+	// runs whose NPROC matches. On a different machine class — above all a
+	// single-core box, where speedup is capped at ~1.0 and efficiency at
+	// NPROC=1 is trivially 1.0 — the ratio is meaningless in both
+	// directions (trivial pass or guaranteed false alarm), so the guard
+	// warns and skips instead of comparing. Regenerate the seed on the
+	// hardware class CI runs on: `make bench-parallel` on a multi-core box,
+	// then commit BENCH_parallel.json.
+	if old.GoMaxProcs != fresh.GoMaxProcs {
+		fmt.Printf("guard parallel: SKIPPED - seed measured at go_max_procs=%d, this machine has %d; "+
+			"scaling efficiency does not compare across core counts (regenerate the seed with "+
+			"`make bench-parallel` on the CI machine class)\n",
+			old.GoMaxProcs, fresh.GoMaxProcs)
+		return
+	}
 	floor := old.ScalingEfficiency * parallelGuardFloor
 	if fresh.ScalingEfficiency < floor {
 		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION parallel scaling efficiency %.2f < floor %.2f (seed %.2f at go_max_procs=%d, floor %.0f%%)\n",
@@ -750,6 +774,205 @@ func guardParallel(path string, fresh *parallelFile) {
 	}
 	fmt.Printf("guard parallel: scaling efficiency %.2f >= floor %.2f ok (seed %.2f)\n",
 		fresh.ScalingEfficiency, floor, old.ScalingEfficiency)
+}
+
+// shardFile is the machine-readable record of the sharded scatter-gather
+// workload (make bench-shard): one representative cube pass executed by a
+// coordinator over K single-threaded in-process shard workers, K in
+// {1, 2, 4, 8}. Scatter-gather wins come from running the K partition
+// passes concurrently, so absolute speedup needs cores: on a single-core
+// runner (go_max_procs 1) the fan-out machinery runs but wall-clock speedup
+// is capped at ~1.0, and speedup_1_to_4 records whatever the machine
+// honestly measured (the acceptance floor of 1.5x presumes >= 4 cores,
+// same machine-class caveat as BENCH_parallel.json). merge_fraction — the
+// share of a pass spent merging partials, the coordinator's sequential
+// overhead — is machine-portable and must stay under 0.10.
+type shardFile struct {
+	Schema      string       `json:"schema"`
+	GoVersion   string       `json:"go_version"`
+	GoMaxProcs  int          `json:"go_max_procs"`
+	FactRows    int          `json:"fact_rows"`
+	Case        string       `json:"case"`
+	Entries     []shardEntry `json:"entries"`
+	Speedup1To4 float64      `json:"speedup_1_to_4"`
+}
+
+type shardEntry struct {
+	Shards          int     `json:"shards"`
+	NsPerOp         float64 `json:"ns_per_op"`
+	RowsPerSec      float64 `json:"rows_per_sec"`
+	Speedup         float64 `json:"speedup_over_1_shard"`
+	MergeNsPerOp    float64 `json:"merge_ns_per_op"`
+	MergeFraction   float64 `json:"merge_fraction"`
+	StragglersPerOp float64 `json:"stragglers_per_op"`
+}
+
+// runShard measures coordinator scatter-gather over 1/2/4/8 round-robin
+// partitions of the benchmark fact table. Before timing anything it
+// hard-fails unless the 4-shard merged cube answers every probe query of
+// every case identically to the unsharded engine (Avg over the non-integral
+// y column is compared with a relative tolerance, since per-shard subtotals
+// legitimately round differently than one sequential sum).
+func runShard(out string, rows int) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -shard: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	d := benchdata.BuildDB(rows)
+	ctx := context.Background()
+
+	buildCoord := func(k int) (*shard.Coordinator, *sqlexec.Stats) {
+		sh, err := db.NewSharder(d, k, db.ShardOptions{})
+		if err != nil {
+			fail("shard k=%d: %v", k, err)
+		}
+		workers := make([]shard.Worker, 0, k)
+		for _, p := range sh.Partitions() {
+			e := sqlexec.NewEngine(p, sqlexec.WithScanWorkers(1))
+			e.Tune(sqlexec.WithCaching(false)) // every partial is a full partition pass
+			workers = append(workers, &shard.LocalWorker{Engine: e})
+		}
+		st := &sqlexec.Stats{}
+		return shard.NewCoordinator(workers, st), st
+	}
+
+	// Correctness gate: 4-shard merged cubes vs the unsharded engine across
+	// the whole case matrix, probing every per-dimension literal slice and
+	// the full-grid cells.
+	probeCoord, _ := buildCoord(4)
+	probeEng := sqlexec.NewEngine(d)
+	probeEng.Tune(sqlexec.WithCaching(false))
+	for _, bc := range benchdata.Cases() {
+		want, err := probeEng.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs)
+		if err != nil {
+			fail("probe %s: unsharded: %v", bc.Name, err)
+		}
+		got, err := probeCoord.Cube(ctx, sqlexec.CubeRequest{Tables: bc.Tables, Dims: bc.Dims, Reqs: bc.Reqs})
+		if err != nil {
+			fail("probe %s: sharded: %v", bc.Name, err)
+		}
+		for _, q := range probeQueries(bc) {
+			wv, wok := want.Value(q)
+			gv, gok := got.Value(q)
+			if wok != gok {
+				fail("probe %s: %s answerable=%v sharded, %v unsharded", bc.Name, q.Key(), gok, wok)
+			}
+			if wok && !approxEq(wv, gv) {
+				fail("probe %s: %s = %v sharded, %v unsharded", bc.Name, q.Key(), gv, wv)
+			}
+		}
+	}
+	fmt.Printf("correctness: 4-shard merged cubes match unsharded on all %d cases\n", len(benchdata.Cases()))
+
+	// The same representative case as -parallel, so the two records profile
+	// intra-pass vs inter-partition parallelism on one workload.
+	var bc benchdata.Case
+	for _, c := range benchdata.Cases() {
+		if c.Name == "3dim-string-single" {
+			bc = c
+		}
+	}
+	view, err := db.BuildJoinView(d, bc.Tables)
+	if err != nil {
+		fail("%v", err)
+	}
+	viewRows := view.NumRows()
+
+	file := shardFile{
+		Schema:     "aggchecker-shard-scaling-bench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FactRows:   rows,
+		Case:       bc.Name,
+	}
+	creq := sqlexec.CubeRequest{Tables: bc.Tables, Dims: bc.Dims, Reqs: bc.Reqs}
+	var base float64
+	for _, k := range []int{1, 2, 4, 8} {
+		coord, st := buildCoord(k)
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := coord.Cube(ctx, creq); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		rps := float64(viewRows) / (nsPerOp * 1e-9)
+		// Stats accumulate across the benchmark's calibration rounds too, so
+		// normalize by the coordinator's own fan-out count, not res.N.
+		ops := float64(st.ShardFanouts.Load())
+		entry := shardEntry{
+			Shards:          k,
+			NsPerOp:         nsPerOp,
+			RowsPerSec:      rps,
+			MergeNsPerOp:    float64(st.ShardMergeNanos.Load()) / ops,
+			StragglersPerOp: float64(st.ShardStragglers.Load()) / ops,
+		}
+		entry.MergeFraction = entry.MergeNsPerOp / nsPerOp
+		if base == 0 {
+			base = rps
+		}
+		entry.Speedup = rps / base
+		file.Entries = append(file.Entries, entry)
+		fmt.Printf("shards=%-3d %12.0f ns/op %14.0f rows/s   speedup x%.2f   merge %.1f%% of pass   %.2f stragglers/op\n",
+			k, nsPerOp, rps, entry.Speedup, 100*entry.MergeFraction, entry.StragglersPerOp)
+		if k == 4 {
+			file.Speedup1To4 = entry.Speedup
+		}
+		// The <10% merge-overhead gate covers the 1->4 scaling claim; the
+		// k=8 row is recorded for trend review only (at smoke scale its
+		// partitions are small enough that constant per-cell merge work
+		// legitimately crosses the line).
+		if k <= 4 && entry.MergeFraction > 0.10 {
+			fail("shards=%d: merge consumed %.1f%% of the pass (floor: <10%%)", k, 100*entry.MergeFraction)
+		}
+	}
+	fmt.Printf("speedup 1->4 shards: x%.2f (go_max_procs=%d)\n", file.Speedup1To4, file.GoMaxProcs)
+	writeJSON(out, &file)
+}
+
+// probeQueries enumerates verification queries for a cube case: for every
+// aggregation request, the unrestricted query, every single-literal slice,
+// and the full-grid cells (one literal from every dimension).
+func probeQueries(bc benchdata.Case) []sqlexec.Query {
+	var out []sqlexec.Query
+	for _, req := range bc.Reqs {
+		q := sqlexec.Query{Agg: req.Fn, AggCol: req.Col}
+		out = append(out, q)
+		for _, dim := range bc.Dims {
+			for _, lit := range dim.Literals {
+				s := q
+				s.Preds = []sqlexec.Predicate{{Col: dim.Col, Value: lit}}
+				out = append(out, s)
+			}
+		}
+		grid := []sqlexec.Query{q}
+		for _, dim := range bc.Dims {
+			var next []sqlexec.Query
+			for _, g := range grid {
+				for _, lit := range dim.Literals {
+					s := g
+					s.Preds = append(append([]sqlexec.Predicate(nil), g.Preds...), sqlexec.Predicate{Col: dim.Col, Value: lit})
+					next = append(next, s)
+				}
+			}
+			grid = next
+		}
+		out = append(out, grid...)
+	}
+	return out
+}
+
+// approxEq compares an unsharded answer with a merged scatter-gather
+// answer: NaN matches NaN, and floats match within a relative epsilon
+// (partition subtotals of the non-integral y column legitimately round
+// differently than one sequential sum).
+func approxEq(a, b float64) bool {
+	if math.IsNaN(a) && math.IsNaN(b) {
+		return true
+	}
+	scale := math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+	return math.Abs(a-b) <= 1e-9*scale
 }
 
 func writeJSON(out string, v any) {

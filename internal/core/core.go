@@ -17,6 +17,7 @@ import (
 	"aggchecker/internal/fragments"
 	"aggchecker/internal/keywords"
 	"aggchecker/internal/model"
+	"aggchecker/internal/shard"
 	"aggchecker/internal/sqlexec"
 )
 
@@ -76,6 +77,24 @@ type Config struct {
 	// core.WithScheduler at the service layer — the process-wide shared
 	// morsel scheduler. See sqlexec's ExecOption.
 	Exec []sqlexec.ExecOption
+	// Shards > 1 partitions the database's fact tables into that many
+	// independent snapshot-versioned partitions at checker build time and
+	// answers every candidate query by scatter-gather over per-shard
+	// workers (package shard). Results are identical to unsharded
+	// execution; 0 or 1 runs unsharded.
+	Shards int
+	// ShardKeys maps fact-table name to the column rows are hash-placed by
+	// (co-locating equal keys on one shard). Tables without an entry fall
+	// back to round-robin placement; dimension tables are replicated.
+	ShardKeys map[string]string
+	// ShardEndpoints switches shard workers from in-process engines to
+	// remote peers speaking the shard HTTP protocol (aggcheckd's
+	// /v1/shard/databases/{name}/cube and /scan): each partition is placed
+	// on an endpoint by consistent hashing and served under the partition
+	// database's name. Remote workers pin their own partition snapshots per
+	// request, so cross-shard version consistency is per-fan-out rather
+	// than per-check. Empty runs shards in process.
+	ShardEndpoints []string
 }
 
 // DefaultConfig is the paper's main configuration.
@@ -95,17 +114,72 @@ type Checker struct {
 	Catalog *fragments.Catalog
 	Engine  *sqlexec.Engine
 	Config  Config
+
+	// shards and coord are set when Config.Shards > 1: the hash-partitioned
+	// storage and the cached-mode coordinator whose partition engines keep
+	// their cube caches across documents (merged/naive modes build fresh
+	// partition engines per request, mirroring the unsharded strategy
+	// isolation).
+	shards *db.Sharder
+	coord  *shard.Coordinator
 }
 
 // NewChecker builds the fragment catalog and indexes for the database
-// (the per-dataset preprocessing of §4.2).
+// (the per-dataset preprocessing of §4.2). With cfg.Shards > 1 it also
+// partitions the fact tables and stands up the shard coordinator.
 func NewChecker(d *db.Database, cfg Config) *Checker {
-	return &Checker{
+	c := &Checker{
 		DB:      d,
 		Catalog: fragments.BuildCatalog(d, cfg.Fragments),
 		Engine:  sqlexec.NewEngine(d, cfg.Exec...),
 		Config:  cfg,
 	}
+	if cfg.Shards > 1 {
+		if sh, err := db.NewSharder(d, cfg.Shards, db.ShardOptions{Keys: cfg.ShardKeys}); err == nil {
+			c.shards = sh
+			c.coord = shard.NewCoordinator(c.buildShardWorkers(cfg, false), &c.Engine.Stats)
+		}
+	}
+	return c
+}
+
+// buildShardWorkers wraps each partition in a worker: an in-process engine
+// built with the config's Exec options (so partitions share the service's
+// morsel scheduler when one is installed), or — with ShardEndpoints — an
+// HTTP client against the consistent-hash-placed peer serving the
+// partition's database. Remote workers manage their own caching, so
+// noCache only applies in process.
+func (c *Checker) buildShardWorkers(cfg Config, noCache bool) []shard.Worker {
+	workers := make([]shard.Worker, 0, c.shards.NumShards())
+	if len(cfg.ShardEndpoints) > 0 {
+		ring := shard.NewRing(cfg.ShardEndpoints)
+		for i, p := range c.shards.Partitions() {
+			workers = append(workers, &shard.Client{Base: ring.NodeForShard(i), Database: p.Name})
+		}
+		return workers
+	}
+	for _, p := range c.shards.Partitions() {
+		e := sqlexec.NewEngine(p, cfg.Exec...)
+		if noCache {
+			e.Tune(sqlexec.WithCaching(false))
+		}
+		workers = append(workers, &shard.LocalWorker{Engine: e})
+	}
+	return workers
+}
+
+// Sharder exposes the checker's partitioned storage, or nil when the
+// checker runs unsharded.
+func (c *Checker) Sharder() *db.Sharder { return c.shards }
+
+// AbsorbShards routes rows committed to the source database since the last
+// absorption into the partitions (sealing per-shard delta blocks), and
+// reports how many rows moved. It is a no-op returning 0 when unsharded.
+func (c *Checker) AbsorbShards() (int, error) {
+	if c.shards == nil {
+		return 0, nil
+	}
+	return c.shards.Absorb()
 }
 
 // Report is the outcome of checking one document.
@@ -185,8 +259,16 @@ func (c *Checker) check(ctx context.Context, doc *document.Document, set checkSe
 	ev, engine := c.evaluatorFor(set.cfg)
 	// Pin one storage snapshot for the whole request: every cube pass and
 	// direct scan of this check observes a single version, so a Refresh
-	// committing mid-check cannot mix row sets between EM iterations.
+	// committing mid-check cannot mix row sets between EM iterations. A
+	// sharded checker additionally pins every partition snapshot, so shard
+	// workers stay version-consistent across the fan-outs of one check even
+	// while AbsorbShards commits partition deltas concurrently.
 	ctx = sqlexec.WithSnapshot(ctx, engine.DB.Snapshot())
+	if c.shards != nil {
+		for _, p := range c.shards.Partitions() {
+			ctx = sqlexec.WithSnapshot(ctx, p.Snapshot())
+		}
+	}
 	// Per-request execution overrides (WithScanWorkers, WithZoneMaps) ride
 	// the context: the shared engine is never retuned for one request.
 	if len(set.exec) > 0 {
@@ -231,6 +313,9 @@ func diffStats(before, after map[string]int64) map[string]int64 {
 // checker's engine so cube results persist across documents of the same
 // database.
 func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
+	if c.shards != nil {
+		return c.shardEvaluatorFor(cfg)
+	}
 	switch cfg.Mode {
 	case EvalNaive:
 		e := sqlexec.NewEngine(c.DB, cfg.Exec...)
@@ -243,6 +328,34 @@ func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
 		return ev, e
 	default:
 		ev := evaluate.NewCubeEvaluator(c.Engine)
+		ev.Workers = cfg.Workers
+		return ev, c.Engine
+	}
+}
+
+// shardEvaluatorFor is evaluatorFor's sharded counterpart: every strategy
+// fans out to shard workers, with the same cache-isolation rules as
+// unsharded execution — merged and naive modes get fresh front and
+// partition engines so cached state cannot leak between strategy
+// comparisons, cached mode reuses the checker-lifetime coordinator whose
+// partition engines delta-advance their cube caches across documents.
+func (c *Checker) shardEvaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
+	switch cfg.Mode {
+	case EvalNaive:
+		e := sqlexec.NewEngine(c.DB, cfg.Exec...)
+		ev := shard.NewEvaluator(shard.NewCoordinator(c.buildShardWorkers(cfg, false), &e.Stats), e.DefaultTable())
+		ev.Workers = cfg.Workers
+		ev.Naive = true
+		return ev, e
+	case EvalMerged:
+		e := sqlexec.NewEngine(c.DB, cfg.Exec...)
+		e.Tune(sqlexec.WithCaching(false))
+		ev := shard.NewEvaluator(shard.NewCoordinator(c.buildShardWorkers(cfg, true), &e.Stats), e.DefaultTable())
+		ev.Workers = cfg.Workers
+		ev.MergeSmall = false
+		return ev, e
+	default:
+		ev := shard.NewEvaluator(c.coord, c.Engine.DefaultTable())
 		ev.Workers = cfg.Workers
 		return ev, c.Engine
 	}

@@ -51,6 +51,11 @@ type source struct {
 	name string
 	src  db.Source
 	cfg  *Config // per-database override; nil uses the service default
+	// shardsSet applies a per-database shard topology on top of whichever
+	// config (default or per-database) is in effect.
+	shardsSet bool
+	shards    int
+	shardKeys map[string]string
 
 	// building is the in-flight singleflight build, nil when idle.
 	building *buildCall
@@ -97,6 +102,27 @@ type Status struct {
 	// not resident), so watch-mode operators can see how effectively zone
 	// maps prune re-checks per database.
 	Scan *ScanStats `json:"scan,omitempty"`
+	// Shard reports sharded-execution state (nil when the database runs
+	// unsharded or is not resident).
+	Shard *ShardStatus `json:"shard,omitempty"`
+}
+
+// ShardStatus is the sharded-execution slice of a resident checker's state:
+// the partition topology plus the coordinator counters accumulated over the
+// checker's lifetime.
+type ShardStatus struct {
+	// Shards is the partition count K.
+	Shards int `json:"shards"`
+	// Rows holds each partition's visible row total, in shard order.
+	Rows []int `json:"rows,omitempty"`
+	// Fanouts counts scatter-gather passes (cube or scan); Partials the
+	// per-shard partial results collected; Stragglers the workers whose
+	// response lagged far behind a fan-out's median.
+	Fanouts    int64 `json:"fanouts"`
+	Partials   int64 `json:"partials"`
+	Stragglers int64 `json:"stragglers"`
+	// MergeNanos is the cumulative time spent folding partials.
+	MergeNanos int64 `json:"merge_ns"`
 }
 
 // ScanStats is the zone-map/scan-pipeline slice of the engine counters,
@@ -154,6 +180,16 @@ func statusOf(name string, ck *Checker) Status {
 		scan.PruneRate = float64(scan.BlocksPruned) / float64(tot)
 	}
 	st.Scan = scan
+	if sh := ck.Sharder(); sh != nil {
+		st.Shard = &ShardStatus{
+			Shards:     sh.NumShards(),
+			Rows:       sh.Rows(),
+			Fanouts:    s["shard_fanouts"],
+			Partials:   s["shard_partials"],
+			Stragglers: s["shard_stragglers"],
+			MergeNanos: s["shard_merge_ns"],
+		}
+	}
 	return st
 }
 
@@ -183,6 +219,21 @@ func WithScheduler(sched *sqlexec.Scheduler) ServiceOption {
 	return func(s *Service) { s.sched = sched }
 }
 
+// WithShards sets the default shard count for every database the service
+// hosts: k > 1 partitions each database's fact tables at checker build time
+// and answers candidate queries by scatter-gather over per-shard workers.
+// Results are identical to unsharded execution; k ≤ 1 runs unsharded.
+func WithShards(k int) ServiceOption {
+	return func(s *Service) { s.defaultCfg.Shards = k }
+}
+
+// WithShardKeys sets the default shard-key mapping (fact-table name →
+// hash-placement column) used when sharding is enabled. Tables without an
+// entry fall back to round-robin placement.
+func WithShardKeys(keys map[string]string) ServiceOption {
+	return func(s *Service) { s.defaultCfg.ShardKeys = keys }
+}
+
 // NewService creates an empty registry with the paper's default Config.
 func NewService(opts ...ServiceOption) *Service {
 	s := &Service{
@@ -204,6 +255,17 @@ type RegisterOption func(*source)
 // WithDatabaseConfig overrides the service default Config for one database.
 func WithDatabaseConfig(cfg Config) RegisterOption {
 	return func(src *source) { src.cfg = &cfg }
+}
+
+// WithDatabaseShards overrides the shard topology for one database: k > 1
+// partitions its fact tables (hash-placed by keys, round-robin without an
+// entry), k ≤ 1 forces unsharded execution even under a WithShards default.
+func WithDatabaseShards(k int, keys map[string]string) RegisterOption {
+	return func(src *source) {
+		src.shardsSet = true
+		src.shards = k
+		src.shardKeys = keys
+	}
 }
 
 // RegisterSource adds a named database materialized from a db.Source on
@@ -335,6 +397,9 @@ func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, er
 		if src.cfg != nil {
 			cfg = *src.cfg
 		}
+		if src.shardsSet {
+			cfg.Shards, cfg.ShardKeys = src.shards, src.shardKeys
+		}
 		if s.sched != nil {
 			// Append onto a copy: the shared default config's option slice
 			// must not grow a backing-array write from a lazy build.
@@ -464,6 +529,14 @@ func (s *Service) refresh(ctx context.Context, src *source, ck *Checker) (Status
 		return statusOf(src.name, ck), err
 	}
 	if appended > 0 {
+		// Sharded checkers route the freshly committed rows into their
+		// partitions first (each sealing per-shard delta blocks), so the
+		// next check's fan-out sees the refreshed data. An absorb failure
+		// is a state conflict like a refresh failure: evict and rebuild.
+		if _, err := ck.AbsorbShards(); err != nil {
+			s.evictChecker(src, ck)
+			return Status{Name: src.name}, err
+		}
 		// The engine keeps its snapshot-versioned caches (appends are
 		// absorbed by delta scans); only the keyword catalog, which indexes
 		// column values, needs a rebuild so freshly appended literals
@@ -474,6 +547,8 @@ func (s *Service) refresh(ctx context.Context, src *source, ck *Checker) (Status
 			Catalog: fragments.BuildCatalog(ck.DB, ck.Config.Fragments),
 			Engine:  ck.Engine,
 			Config:  ck.Config,
+			shards:  ck.shards,
+			coord:   ck.coord,
 		}
 		s.mu.Lock()
 		if src.checker == ck {

@@ -21,6 +21,7 @@ type JoinView struct {
 	tables  []string
 	rowMaps map[string][]int32 // nil slice = identity (zero-copy fast path)
 	n       int
+	pruned  int // zones skipped whole by join-key zone pruning
 }
 
 // BuildJoinView joins the given tables over the database's latest snapshot.
@@ -121,25 +122,105 @@ func (v *JoinView) apply(step JoinStep) error {
 	}
 	newMaps[step.Add] = nil
 	newN := 0
-	for r := 0; r < v.n; r++ {
-		k, ok := joinKey(hc, haveMap[r])
-		if !ok {
-			continue // NULL join key: inner join drops the row
-		}
-		matches := idx[k]
-		for _, m := range matches {
-			for t, rm := range v.rowMaps {
-				newMaps[t] = append(newMaps[t], rm[r])
+	join := func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			k, ok := joinKey(hc, haveMap[r])
+			if !ok {
+				continue // NULL join key: inner join drops the row
 			}
-			newMaps[step.Add] = append(newMaps[step.Add], m)
-			newN++
+			matches := idx[k]
+			for _, m := range matches {
+				for t, rm := range v.rowMaps {
+					newMaps[t] = append(newMaps[t], rm[r])
+				}
+				newMaps[step.Add] = append(newMaps[step.Add], m)
+				newN++
+			}
 		}
+	}
+	// Join-key zone pruning: on the first step the have side is still in
+	// storage order, so the join column's zone maps align with view rows and
+	// a zone refuting every add-side key holds only NULL or dangling foreign
+	// keys — rows the inner join drops anyway. Skip those zones whole.
+	if keep := danglingKeyZones(hc, idx, len(v.tables) == 1 && haveTable == v.tables[0]); keep != nil {
+		covered := 0
+		for zi, z := range hc.zones {
+			if keep[zi] {
+				join(z.Start, z.End)
+			} else {
+				v.pruned++
+			}
+			covered = z.End
+		}
+		join(covered, v.n) // rows past the last zone (none today; belt and braces)
+	} else {
+		join(0, v.n)
 	}
 	v.rowMaps = newMaps
 	v.n = newN
 	v.tables = append(v.tables, step.Add)
 	return nil
 }
+
+// maxPruneKeys caps the add-side key count for which build-time zone
+// pruning is attempted: beyond it the per-zone refutation test would cost
+// more than the row scan it saves (dimension tables the FK graph points at
+// are orders of magnitude smaller).
+const maxPruneKeys = 4096
+
+// danglingKeyZones returns, when pruning applies, one keep flag per zone of
+// the have-side join column: false means no add-side key can occur in the
+// zone. Returns nil (scan everything) when the have side is not in storage
+// order, the column has no zones, or the key set is too large.
+func danglingKeyZones(hc *ColView, idx map[string][]int32, identity bool) []bool {
+	if !identity || len(hc.zones) == 0 || len(idx) > maxPruneKeys {
+		return nil
+	}
+	var codes []int32
+	var floats []float64
+	switch hc.Kind {
+	case KindString:
+		for k := range idx {
+			if c := hc.CodeOf(k); c >= 0 {
+				codes = append(codes, c)
+			}
+		}
+	case KindFloat:
+		for k := range idx {
+			if f, err := strconv.ParseFloat(k, 64); err == nil {
+				floats = append(floats, f)
+			}
+		}
+	default:
+		return nil
+	}
+	keep := make([]bool, len(hc.zones))
+	for zi := range hc.zones {
+		z := &hc.zones[zi]
+		if z.AllNull() {
+			continue
+		}
+		for _, c := range codes {
+			if z.MayContainCode(c) {
+				keep[zi] = true
+				break
+			}
+		}
+		if !keep[zi] {
+			for _, f := range floats {
+				if z.MayContainFloat(f) {
+					keep[zi] = true
+					break
+				}
+			}
+		}
+	}
+	return keep
+}
+
+// PrunedZones reports how many whole zones join-key pruning skipped while
+// materializing the view (0 for single-table views).
+func (v *JoinView) PrunedZones() int { return v.pruned }
 
 // NumRows returns the joined row count.
 func (v *JoinView) NumRows() int { return v.n }

@@ -1,0 +1,251 @@
+package db
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements horizontal partitioning of a database's fact tables.
+// A Sharder owns K independent partition Databases that together hold every
+// row of a source database: fact tables are split row-wise across the
+// partitions (hash placement on a configurable shard-key column, round-robin
+// otherwise), while dimension tables — any table on the PK side of a foreign
+// key — are replicated to every partition so N:1 join scopes stay local to a
+// shard. Each partition is a full snapshot-versioned Database of its own: it
+// seals its own blocks, builds its own zone maps, and publishes its own
+// versions, so appends absorbed from the source delta-advance per shard
+// exactly like single-node incremental maintenance.
+
+// ShardOptions configures row placement.
+type ShardOptions struct {
+	// Keys maps a table name to the column whose value hashes to the
+	// owning partition. Tables without an entry — or whose named column
+	// does not exist — use round-robin placement; rows whose key value is
+	// NULL also fall back to round-robin. Hash placement is by value, so
+	// every row with the same key lands on the same partition across all
+	// absorb batches.
+	Keys map[string]string
+}
+
+// Sharder splits one source database into K partition databases and keeps
+// them in sync as the source commits new rows. All partitions share the
+// source's schema (tables, primary keys, foreign keys); none of them alias
+// the source's column storage — rows are re-appended, so each partition
+// seals independent blocks and zone maps.
+type Sharder struct {
+	src   *Database
+	parts []*Database
+	keys  map[string]string
+
+	mu         sync.Mutex
+	replicated map[string]bool // PK-side tables copied to every partition
+	consumed   map[string]int  // source rows already routed, per table
+	rr         map[string]int  // round-robin cursor, per table
+}
+
+// NewSharder partitions d into k databases and routes every currently
+// committed row. The source keeps working as the mutable head: append and
+// commit to d as usual, then call Absorb to route the new rows into the
+// partitions (each partition commits one block per touched table).
+func NewSharder(d *Database, k int, opts ShardOptions) (*Sharder, error) {
+	if k <= 0 {
+		return nil, fmt.Errorf("db: shard count must be positive, got %d", k)
+	}
+	s := &Sharder{
+		src:        d,
+		keys:       make(map[string]string, len(opts.Keys)),
+		replicated: make(map[string]bool),
+		consumed:   make(map[string]int),
+		rr:         make(map[string]int),
+	}
+	for t, c := range opts.Keys {
+		s.keys[t] = c
+	}
+	for i := 0; i < k; i++ {
+		s.parts = append(s.parts, NewDatabase(fmt.Sprintf("%s/shard%d", d.Name, i)))
+	}
+	if _, err := s.Absorb(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// NumShards returns the partition count K.
+func (s *Sharder) NumShards() int { return len(s.parts) }
+
+// Partitions returns the K partition databases in shard order. The slice
+// must not be modified.
+func (s *Sharder) Partitions() []*Database { return s.parts }
+
+// Replicated reports whether the table is copied whole to every partition
+// (dimension tables on the PK side of a foreign key) rather than split.
+func (s *Sharder) Replicated(table string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.replicated[table]
+}
+
+// Rows returns the visible row count of each partition, in shard order.
+func (s *Sharder) Rows() []int {
+	out := make([]int, len(s.parts))
+	for i, p := range s.parts {
+		out[i] = p.Snapshot().TotalRows()
+	}
+	return out
+}
+
+// Absorb routes every source row committed since the last call into the
+// partitions and commits them (one sealed block per touched table per
+// partition, so per-shard snapshots delta-advance). It returns the number
+// of source rows routed. Replicated tables count once regardless of K.
+func (s *Sharder) Absorb() (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap := s.src.Snapshot()
+	if err := s.syncSchemaLocked(snap); err != nil {
+		return 0, err
+	}
+	moved := 0
+	for _, tv := range snap.Tables() {
+		lo, hi := s.consumed[tv.Name], tv.NumRows()
+		if hi <= lo {
+			continue
+		}
+		if err := s.routeLocked(tv, lo, hi); err != nil {
+			return moved, err
+		}
+		moved += hi - lo
+		s.consumed[tv.Name] = hi
+	}
+	for _, p := range s.parts {
+		if _, err := p.Commit(); err != nil {
+			return moved, err
+		}
+	}
+	return moved, nil
+}
+
+// syncSchemaLocked mirrors tables and foreign keys the source gained since
+// construction into every partition. A table that is the PK target of any
+// foreign key is classified replicated. Callers hold s.mu.
+func (s *Sharder) syncSchemaLocked(snap *Snapshot) error {
+	for _, fk := range snap.ForeignKeys() {
+		s.replicated[fk.ToTable] = true
+	}
+	for _, tv := range snap.Tables() {
+		if s.parts[0].Table(tv.Name) != nil {
+			continue
+		}
+		for _, p := range s.parts {
+			cols := make([]*Column, 0, len(tv.Columns()))
+			for _, cv := range tv.Columns() {
+				var c *Column
+				if cv.Kind == KindString {
+					c = NewStringColumn(cv.Name)
+				} else {
+					c = NewFloatColumn(cv.Name)
+				}
+				c.Description = cv.Description
+				cols = append(cols, c)
+			}
+			t, err := NewTable(tv.Name, cols...)
+			if err != nil {
+				return err
+			}
+			t.PrimaryKey = tv.PrimaryKey
+			if err := p.AddTable(t); err != nil {
+				return err
+			}
+		}
+	}
+	have := make(map[ForeignKey]bool, len(s.parts[0].ForeignKeys()))
+	for _, fk := range s.parts[0].ForeignKeys() {
+		have[fk] = true
+	}
+	for _, fk := range snap.ForeignKeys() {
+		if have[fk] {
+			continue
+		}
+		for _, p := range s.parts {
+			if err := p.AddForeignKey(fk); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// routeLocked stages source rows [lo, hi) of one table into the partitions.
+// Callers hold s.mu; the staged rows are committed by Absorb.
+func (s *Sharder) routeLocked(tv *TableView, lo, hi int) error {
+	cols := tv.Columns()
+	var keyCol *ColView
+	if name := s.keys[tv.Name]; name != "" && !s.replicated[tv.Name] {
+		keyCol = tv.Column(name)
+	}
+	k := len(s.parts)
+	buckets := make([][][]any, k)
+	for r := lo; r < hi; r++ {
+		row := make([]any, len(cols))
+		for j, cv := range cols {
+			if cv.Kind == KindFloat {
+				if v := cv.Float(r); !math.IsNaN(v) {
+					row[j] = v
+				}
+			} else if code := cv.Code(r); code >= 0 {
+				row[j] = cv.Dictionary()[code]
+			}
+		}
+		if s.replicated[tv.Name] {
+			for i := range buckets {
+				buckets[i] = append(buckets[i], row)
+			}
+			continue
+		}
+		target := -1
+		if keyCol != nil && !keyCol.IsNull(r) {
+			target = int(shardHash(keyCol, r) % uint64(k))
+		}
+		if target < 0 {
+			target = s.rr[tv.Name] % k
+			s.rr[tv.Name]++
+		}
+		buckets[target] = append(buckets[target], row)
+	}
+	for i, rows := range buckets {
+		if len(rows) == 0 {
+			continue
+		}
+		if err := s.parts[i].Append(tv.Name, rows...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// shardHash hashes the key value at row r by value (FNV-1a over the string
+// bytes, or over the IEEE-754 bits of a numeric), so placement is stable
+// across absorb batches and independent of dictionary code assignment.
+func shardHash(cv *ColView, r int) uint64 {
+	h := uint64(fnvOffset64)
+	if cv.Kind == KindString {
+		v := cv.Dictionary()[cv.Code(r)]
+		for i := 0; i < len(v); i++ {
+			h ^= uint64(v[i])
+			h *= fnvPrime64
+		}
+		return h
+	}
+	bits := math.Float64bits(cv.Float(r))
+	for i := 0; i < 8; i++ {
+		h ^= bits >> (8 * i) & 0xff
+		h *= fnvPrime64
+	}
+	return h
+}

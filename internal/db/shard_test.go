@@ -1,0 +1,183 @@
+package db
+
+import (
+	"fmt"
+	"testing"
+)
+
+// shardTestDB builds a fact table with a string shard key plus a dimension
+// table referenced by an N:1 foreign key.
+func shardTestDB(t *testing.T, factRows int) *Database {
+	t.Helper()
+	users := []string{"ann", "bob", "cat", "dan", "eve"}
+	key := NewStringColumn("user")
+	val := NewFloatColumn("v")
+	fkc := NewStringColumn("g")
+	for i := 0; i < factRows; i++ {
+		key.AppendString(users[i%len(users)])
+		val.AppendFloat(float64(i))
+		fkc.AppendString(fmt.Sprintf("g%d", i%3))
+	}
+	gk := NewStringColumn("g")
+	gl := NewStringColumn("label")
+	for i := 0; i < 3; i++ {
+		gk.AppendString(fmt.Sprintf("g%d", i))
+		gl.AppendString(fmt.Sprintf("label%d", i))
+	}
+	d := NewDatabase("sharded")
+	d.MustAddTable(MustNewTable("fact", key, val, fkc))
+	dims := MustNewTable("dims", gk, gl)
+	dims.PrimaryKey = "g"
+	d.MustAddTable(dims)
+	d.MustAddForeignKey(ForeignKey{FromTable: "fact", FromColumn: "g", ToTable: "dims", ToColumn: "g"})
+	return d
+}
+
+func TestSharderPartitionsAndReplication(t *testing.T) {
+	d := shardTestDB(t, 100)
+	s, err := NewSharder(d, 4, ShardOptions{Keys: map[string]string{"fact": "user"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumShards() != 4 || len(s.Partitions()) != 4 {
+		t.Fatalf("shards = %d, want 4", s.NumShards())
+	}
+	if !s.Replicated("dims") || s.Replicated("fact") {
+		t.Fatal("dims must be replicated, fact partitioned")
+	}
+	total := 0
+	for i, p := range s.Partitions() {
+		snap := p.Snapshot()
+		if got := snap.NumRows("dims"); got != 3 {
+			t.Fatalf("shard %d dims rows = %d, want replicated 3", i, got)
+		}
+		if snap.Table("fact").PrimaryKey != "" || snap.Table("dims").PrimaryKey != "g" {
+			t.Fatalf("shard %d lost primary keys", i)
+		}
+		if _, err := snap.JoinPath([]string{"fact", "dims"}); err != nil {
+			t.Fatalf("shard %d join path: %v", i, err)
+		}
+		// Hash placement on the key column: each user's rows are all on
+		// one shard, so every shard-local user has its full row set.
+		key := snap.Table("fact").Column("user")
+		vals := map[string]int{}
+		for r := 0; r < key.Len(); r++ {
+			vals[key.StringAt(r)]++
+		}
+		for u, n := range vals {
+			if n != 20 {
+				t.Fatalf("shard %d holds %d rows of user %s, want all 20 or none", i, n, u)
+			}
+		}
+		total += snap.NumRows("fact")
+	}
+	if total != 100 {
+		t.Fatalf("partitioned fact rows sum to %d, want 100", total)
+	}
+}
+
+func TestSharderRoundRobinFallback(t *testing.T) {
+	d := shardTestDB(t, 90)
+	// No key configured: round-robin must spread rows exactly evenly.
+	s, err := NewSharder(d, 3, ShardOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range s.Partitions() {
+		if got := p.Snapshot().NumRows("fact"); got != 30 {
+			t.Fatalf("shard %d rows = %d, want 30", i, got)
+		}
+	}
+}
+
+func TestSharderAbsorbDeltas(t *testing.T) {
+	d := shardTestDB(t, 50)
+	s, err := NewSharder(d, 2, ShardOptions{Keys: map[string]string{"fact": "user"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := make([]uint64, 2)
+	for i, p := range s.Partitions() {
+		before[i] = p.Snapshot().Version()
+	}
+	// Appending to the source must not move partitions until Absorb.
+	for i := 0; i < 20; i++ {
+		user := []string{"ann", "eve", ""}[i%3] // every third key NULL
+		if err := d.Append("fact", []any{user, float64(1000 + i), "g1"}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	moved, err := s.Absorb()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if moved != 20 {
+		t.Fatalf("absorbed %d rows, want 20", moved)
+	}
+	total, blocks := 0, 0
+	for i, p := range s.Partitions() {
+		snap := p.Snapshot()
+		total += snap.NumRows("fact")
+		if v := snap.Version(); v <= before[i] {
+			t.Fatalf("shard %d version did not advance (%d -> %d)", i, before[i], v)
+		}
+		// The delta sealed its own block, keeping per-shard incremental
+		// maintenance possible.
+		blocks += len(snap.BlocksSince("fact", snap.NumRows("fact")-20))
+	}
+	if total != 70 {
+		t.Fatalf("fact rows after absorb = %d, want 70", total)
+	}
+	if blocks == 0 {
+		t.Fatal("absorb sealed no delta blocks")
+	}
+	// Idempotent: nothing new to route.
+	if moved, err := s.Absorb(); err != nil || moved != 0 {
+		t.Fatalf("second absorb = %d, %v, want 0 rows", moved, err)
+	}
+}
+
+func TestSharderHashStableAcrossBatches(t *testing.T) {
+	d := shardTestDB(t, 40)
+	s, err := NewSharder(d, 3, ShardOptions{Keys: map[string]string{"fact": "user"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	owner := func(user string) int {
+		hit := -1
+		for i, p := range s.Partitions() {
+			key := p.Snapshot().Table("fact").Column("user")
+			for r := 0; r < key.Len(); r++ {
+				if key.StringAt(r) == user {
+					if hit >= 0 && hit != i {
+						t.Fatalf("user %s on shards %d and %d", user, hit, i)
+					}
+					hit = i
+				}
+			}
+		}
+		return hit
+	}
+	first := owner("cat")
+	if err := d.Append("fact", []any{"cat", 9.0, "g0"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Absorb(); err != nil {
+		t.Fatal(err)
+	}
+	if got := owner("cat"); got != first {
+		t.Fatalf("user cat moved from shard %d to %d across batches", first, got)
+	}
+}
+
+func TestSharderRejectsBadShardCount(t *testing.T) {
+	if _, err := NewSharder(shardTestDB(t, 10), 0, ShardOptions{}); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+}

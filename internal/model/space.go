@@ -57,14 +57,28 @@ type poolLit struct {
 	score  float64
 }
 
+// sumScores adds a score map's values in sorted-key order. Plain map
+// iteration would sum floats in a run-dependent order and leak ULP-level
+// nondeterminism into every normalized weight downstream — which breaks
+// the bit-for-bit sharded-vs-unsharded report differential.
+func sumScores(m map[int]float64) float64 {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += m[k]
+	}
+	return total
+}
+
 // BuildPool aggregates retrieved predicate fragments across all claims.
 func BuildPool(cat *fragments.Catalog, allScores []keywords.Scores, cfg Config) *LiteralPool {
 	acc := make(map[int]float64) // fragID -> summed normalized score
 	for _, s := range allScores {
-		total := 0.0
-		for _, v := range s.Preds {
-			total += v
-		}
+		total := sumScores(s.Preds)
 		if total == 0 {
 			continue
 		}
@@ -134,10 +148,7 @@ func BuildSpace(cat *fragments.Catalog, claim *document.Claim, scores keywords.S
 // normalizeScores turns raw IR scores into a distribution over retrieved
 // fragments (zero for everything else).
 func normalizeScores(raw map[int]float64) map[int]float64 {
-	total := 0.0
-	for _, v := range raw {
-		total += v
-	}
+	total := sumScores(raw)
 	if total == 0 {
 		return map[int]float64{}
 	}
@@ -302,10 +313,7 @@ func (s *Space) buildScope(scores keywords.Scores, priors *Priors, pool *Literal
 	}
 	var ranks []colRank
 	for j := range cat.PredColumns {
-		w := cfg.Smoothing
-		for _, sc := range claimLits[j] {
-			w += sc
-		}
+		w := cfg.Smoothing + sumScores(claimLits[j])
 		if pool != nil {
 			w += 0.25 * pool.ColumnScore(j)
 		}

@@ -1,0 +1,233 @@
+package shard
+
+import (
+	"context"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"aggchecker/internal/sqlexec"
+)
+
+// Evaluator answers candidate-query batches by scatter-gather over the
+// coordinator's shard workers. It mirrors Engine.EvaluateBatch — cross-claim
+// deduplication, merged cube planning, a bounded worker pool, direct-scan
+// fallback — but every cube pass and scan is a shard fan-out instead of one
+// local pass. It satisfies model.Evaluator structurally and keeps the
+// document-wide literal pool of the unsharded CubeEvaluator so cube
+// signatures stay stable across claims and EM iterations (every partition
+// engine then caches and delta-advances the same cube set independently).
+type Evaluator struct {
+	Coord *Coordinator
+	// Table is the planner's default table for queries without predicates.
+	Table string
+	// Workers bounds the pool running cube fan-outs and direct scans; ≤ 0
+	// uses GOMAXPROCS.
+	Workers int
+	// Naive skips planning and answers every query with a fanned-out scan
+	// (the sharded counterpart of NaiveEvaluator, for Table 6 comparisons).
+	Naive bool
+	// MergeSmall mirrors the cost model toggle of the unsharded planner:
+	// with caching partitions a small query group still pays for a cube
+	// pass; without, it falls back to direct scans.
+	MergeSmall bool
+
+	mu   sync.Mutex
+	pool map[string]map[string]bool // ColumnRef.String() -> literal set
+}
+
+// NewEvaluator returns a merging sharded evaluator over the coordinator.
+func NewEvaluator(coord *Coordinator, defaultTable string) *Evaluator {
+	return &Evaluator{
+		Coord:      coord,
+		Table:      defaultTable,
+		MergeSmall: true,
+		pool:       make(map[string]map[string]bool),
+	}
+}
+
+// SetPool installs the document-wide literal pool (column reference string
+// → literals), replacing any accumulated literals for those columns.
+func (ev *Evaluator) SetPool(pool map[string][]string) {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	for col, lits := range pool {
+		set := make(map[string]bool, len(lits))
+		for _, l := range lits {
+			set[l] = true
+		}
+		ev.pool[col] = set
+	}
+}
+
+// snapshotPool folds the batch's literals into the accumulated pool and
+// returns a sorted snapshot restricted to the batch's predicate columns.
+func (ev *Evaluator) snapshotPool(queries []sqlexec.Query) map[string][]string {
+	ev.mu.Lock()
+	defer ev.mu.Unlock()
+	if ev.pool == nil {
+		ev.pool = make(map[string]map[string]bool)
+	}
+	cols := make(map[string]bool)
+	for _, q := range queries {
+		for _, p := range q.Preds {
+			col := p.Col.String()
+			cols[col] = true
+			set := ev.pool[col]
+			if set == nil {
+				set = make(map[string]bool)
+				ev.pool[col] = set
+			}
+			set[p.Value] = true
+		}
+	}
+	out := make(map[string][]string, len(cols))
+	for col := range cols {
+		set := ev.pool[col]
+		lits := make([]string, 0, len(set))
+		for l := range set {
+			lits = append(lits, l)
+		}
+		sort.Strings(lits)
+		out[col] = lits
+	}
+	return out
+}
+
+// EvaluateBatch answers every query of the batch positionally, NaN marking
+// undefined results. Cancellation is honored between fan-outs and inside
+// every shard worker's scan; slots skipped after cancellation stay NaN.
+func (ev *Evaluator) EvaluateBatch(ctx context.Context, queries []sqlexec.Query) []float64 {
+	out := make([]float64, len(queries))
+	if len(queries) == 0 {
+		return out
+	}
+	stats := ev.Coord.Stats()
+	stats.BatchQueries.Add(int64(len(queries)))
+
+	// Cross-claim deduplication by canonical query key.
+	uniq := make([]sqlexec.Query, 0, len(queries))
+	uniqIdx := make(map[string]int, len(queries))
+	slot := make([]int, len(queries))
+	for i, q := range queries {
+		k := q.Key()
+		j, ok := uniqIdx[k]
+		if !ok {
+			j = len(uniq)
+			uniqIdx[k] = j
+			uniq = append(uniq, q)
+		}
+		slot[i] = j
+	}
+
+	res := make([]float64, len(uniq))
+	for i := range res {
+		res[i] = math.NaN()
+	}
+
+	direct := func(i int) {
+		v, err := ev.Coord.Evaluate(ctx, uniq[i])
+		if err != nil {
+			v = math.NaN()
+		}
+		res[i] = v
+	}
+
+	var cubes []*sqlexec.CubePlan
+	var directIdx []int
+	if ev.Naive {
+		directIdx = make([]int, len(uniq))
+		for i := range uniq {
+			directIdx[i] = i
+		}
+	} else {
+		plan := sqlexec.PlanCubes(uniq, ev.Table, ev.snapshotPool(uniq), ev.MergeSmall)
+		cubes, directIdx = plan.Cubes, plan.Direct
+		stats.PlannedCubes.Add(int64(len(cubes)))
+	}
+
+	runCubePlan := func(p *sqlexec.CubePlan) {
+		cube, err := ev.Coord.Cube(ctx, sqlexec.CubeRequest{Tables: p.Tables, Dims: p.Dims, Reqs: p.Reqs})
+		if err != nil {
+			if ctx.Err() != nil {
+				return // slots stay NaN
+			}
+			for _, i := range p.QueryIdx {
+				direct(i)
+			}
+			return
+		}
+		for _, i := range p.QueryIdx {
+			if v, ok := cube.Value(uniq[i]); ok {
+				stats.CubeAnswers.Add(1)
+				res[i] = v
+			} else {
+				direct(i)
+			}
+		}
+	}
+
+	workers := ev.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	tasks := len(cubes) + len(directIdx)
+	if workers > tasks {
+		workers = tasks
+	}
+	if workers <= 1 {
+		for _, p := range cubes {
+			if ctx.Err() != nil {
+				break
+			}
+			runCubePlan(p)
+		}
+		for _, i := range directIdx {
+			if ctx.Err() != nil {
+				break
+			}
+			direct(i)
+		}
+	} else {
+		// Each task writes disjoint slots of res, so no lock is needed.
+		type task struct {
+			cube   *sqlexec.CubePlan
+			direct int
+		}
+		ch := make(chan task)
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for t := range ch {
+					if t.cube != nil {
+						runCubePlan(t.cube)
+					} else {
+						direct(t.direct)
+					}
+				}
+			}()
+		}
+		for _, p := range cubes {
+			if ctx.Err() != nil {
+				break
+			}
+			ch <- task{cube: p}
+		}
+		for _, i := range directIdx {
+			if ctx.Err() != nil {
+				break
+			}
+			ch <- task{direct: i}
+		}
+		close(ch)
+		wg.Wait()
+	}
+
+	for i := range out {
+		out[i] = res[slot[i]]
+	}
+	return out
+}

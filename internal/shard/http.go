@@ -1,0 +1,172 @@
+package shard
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"sort"
+	"strings"
+
+	"aggchecker/internal/sqlexec"
+)
+
+// Client is a Worker that executes shard requests on a remote aggcheckd
+// serving the partition as one of its databases. Requests POST to
+//
+//	{base}/v1/shard/databases/{database}/cube
+//	{base}/v1/shard/databases/{database}/scan
+//
+// with JSON bodies (sqlexec.CubeRequest / sqlexec.ScanRequest) and JSON
+// partials back; the wire forms are canonical (bit-pattern floats, hashed
+// distinct keys), so remote partials merge exactly like local ones.
+type Client struct {
+	// Base is the peer's base URL, e.g. "http://shard3:8080".
+	Base string
+	// Database names the partition database on the peer.
+	Database string
+	// HTTP is the client to use; nil means http.DefaultClient.
+	HTTP *http.Client
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) endpoint(kind string) string {
+	return strings.TrimRight(c.Base, "/") + "/v1/shard/databases/" + url.PathEscape(c.Database) + "/" + kind
+}
+
+// post sends one shard request and decodes the partial.
+func (c *Client) post(ctx context.Context, kind string, in, out any) error {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return fmt.Errorf("shard: encode %s request: %w", kind, err)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, c.endpoint(kind), bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 4<<10))
+		return fmt.Errorf("shard: %s %s: %s: %s", kind, c.endpoint(kind), resp.Status, strings.TrimSpace(string(msg)))
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("shard: decode %s partial: %w", kind, err)
+	}
+	return nil
+}
+
+// Cube implements Worker over HTTP.
+func (c *Client) Cube(ctx context.Context, req sqlexec.CubeRequest) (*sqlexec.CubePartial, error) {
+	var p sqlexec.CubePartial
+	if err := c.post(ctx, "cube", req, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Scan implements Worker over HTTP.
+func (c *Client) Scan(ctx context.Context, req sqlexec.ScanRequest) (*sqlexec.ScanPartial, error) {
+	var p sqlexec.ScanPartial
+	if err := c.post(ctx, "scan", req, &p); err != nil {
+		return nil, err
+	}
+	return &p, nil
+}
+
+// Ring places shards on nodes by consistent hashing: each node projects
+// ringReplicas virtual points onto a hash circle and a shard lands on the
+// first point clockwise of its own hash. Adding or removing one node moves
+// only the shards that hashed next to its points, so a topology change
+// re-homes O(shards/nodes) partitions instead of reshuffling everything.
+type Ring struct {
+	points []ringPoint
+	nodes  []string
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+// ringReplicas is the virtual-node count per physical node; enough points
+// that placement is balanced within a few percent for small clusters.
+const ringReplicas = 97
+
+// NewRing builds a consistent-hash ring over the node identifiers
+// (typically base URLs). Duplicate nodes are folded.
+func NewRing(nodes []string) *Ring {
+	r := &Ring{}
+	seen := make(map[string]bool, len(nodes))
+	for _, n := range nodes {
+		if n == "" || seen[n] {
+			continue
+		}
+		seen[n] = true
+		r.nodes = append(r.nodes, n)
+		for v := 0; v < ringReplicas; v++ {
+			r.points = append(r.points, ringPoint{hash: ringHash(fmt.Sprintf("%s#%d", n, v)), node: n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		return r.points[i].node < r.points[j].node
+	})
+	sort.Strings(r.nodes)
+	return r
+}
+
+// Nodes returns the distinct nodes on the ring, sorted.
+func (r *Ring) Nodes() []string { return append([]string(nil), r.nodes...) }
+
+// Node returns the node owning the key, or "" on an empty ring.
+func (r *Ring) Node(key string) string {
+	if len(r.points) == 0 {
+		return ""
+	}
+	h := ringHash(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].node
+}
+
+// NodeForShard places one shard index on the ring.
+func (r *Ring) NodeForShard(shard int) string {
+	return r.Node(fmt.Sprintf("shard-%d", shard))
+}
+
+// ringHash is FNV-1a 64 with an avalanche finalizer. Plain FNV leaves the
+// high bits of keys sharing a prefix nearly identical ("node#1" vs
+// "node#2"), which collapses every virtual point of a node onto one arc of
+// the circle; the multiply-xorshift finalizer scatters them.
+func ringHash(s string) uint64 {
+	const offset64, prime64 = 14695981039346656037, 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= prime64
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
+	return h
+}

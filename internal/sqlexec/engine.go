@@ -81,6 +81,18 @@ type Stats struct {
 	QueueWaits        atomic.Int64
 	StealCount        atomic.Int64
 
+	// Shard-coordinator counters, updated by the shard coordinator through
+	// the front engine's Stats (the engine itself never touches them).
+	// ShardFanouts counts batches fanned out to shard workers; ShardPartials
+	// the per-shard partials merged back; ShardMergeNanos the wall time
+	// spent merging partials (the scatter-gather overhead the bench bounds);
+	// ShardStragglers the workers whose response lagged far behind the
+	// fan-out's median.
+	ShardFanouts    atomic.Int64
+	ShardPartials   atomic.Int64
+	ShardMergeNanos atomic.Int64
+	ShardStragglers atomic.Int64
+
 	// Incremental-maintenance counters. DeltaScans counts cached cubes
 	// brought up to a newer snapshot version by scanning only the appended
 	// rows; BlocksDelta the sealed storage blocks those delta scans covered
@@ -120,6 +132,11 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"morsels_dispatched": s.MorselsDispatched.Load(),
 		"queue_waits":        s.QueueWaits.Load(),
 		"steal_count":        s.StealCount.Load(),
+
+		"shard_fanouts":    s.ShardFanouts.Load(),
+		"shard_partials":   s.ShardPartials.Load(),
+		"shard_merge_ns":   s.ShardMergeNanos.Load(),
+		"shard_stragglers": s.ShardStragglers.Load(),
 
 		"delta_scans":   s.DeltaScans.Load(),
 		"blocks_delta":  s.BlocksDelta.Load(),
@@ -332,17 +349,30 @@ type snapCtxKey struct{}
 // single storage version even if commits land mid-request. A snapshot
 // belonging to a different database is ignored (the engine falls back to
 // its own latest snapshot), so pinned contexts are safe to pass across
-// multi-database services.
+// multi-database services. Pins accumulate: a context may carry one
+// snapshot per database — a sharded check pins the front database and
+// every partition — and the newest pin for a given database wins.
 func WithSnapshot(ctx context.Context, snap *db.Snapshot) context.Context {
-	return context.WithValue(ctx, snapCtxKey{}, snap)
+	if snap == nil {
+		return ctx
+	}
+	prev, _ := ctx.Value(snapCtxKey{}).([]*db.Snapshot)
+	pinned := make([]*db.Snapshot, 0, len(prev)+1)
+	pinned = append(pinned, snap)
+	pinned = append(pinned, prev...)
+	return context.WithValue(ctx, snapCtxKey{}, pinned)
 }
 
 // snapshotFor resolves the snapshot a request reads: the context-pinned
-// one when it belongs to this engine's database, the latest published one
+// one when one belongs to this engine's database, the latest published one
 // otherwise.
 func (e *Engine) snapshotFor(ctx context.Context) *db.Snapshot {
-	if snap, ok := ctx.Value(snapCtxKey{}).(*db.Snapshot); ok && snap != nil && snap.Of(e.DB) {
-		return snap
+	if pinned, ok := ctx.Value(snapCtxKey{}).([]*db.Snapshot); ok {
+		for _, snap := range pinned {
+			if snap.Of(e.DB) {
+				return snap
+			}
+		}
 	}
 	return e.DB.Snapshot()
 }
@@ -387,6 +417,11 @@ func (e *Engine) viewAt(snap *db.Snapshot, tables []string) (*db.JoinView, error
 	}
 	ent.once.Do(func() {
 		ent.view, ent.err = db.BuildSnapshotView(snap, tables)
+		if ent.err == nil {
+			// Join-key zone pruning at view build counts toward the same
+			// pruning budget scan-time zone maps report.
+			e.Stats.BlocksPruned.Add(int64(ent.view.PrunedZones()))
+		}
 		ent.ready.Store(true)
 	})
 	return ent.view, ent.err

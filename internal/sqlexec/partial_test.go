@@ -1,0 +1,223 @@
+package sqlexec
+
+import (
+	"context"
+	"encoding/json"
+	"math"
+	"testing"
+
+	"aggchecker/internal/db"
+)
+
+// partialTestDB builds a small fact table; when pick is non-nil only rows
+// with pick(i) true are loaded, so shard partitions can be carved from the
+// same logical row set. Dictionary code assignment intentionally differs
+// between partitions (each sees values in its own first-seen order).
+func partialTestDB(t *testing.T, name string, rows int, pick func(int) bool) *db.Database {
+	t.Helper()
+	cat := db.NewStringColumn("cat")
+	val := db.NewFloatColumn("val")
+	tag := db.NewStringColumn("tag")
+	cats := []string{"red", "green", "blue"}
+	for i := 0; i < rows; i++ {
+		if pick != nil && !pick(i) {
+			continue
+		}
+		if i%7 == 3 {
+			cat.AppendString("") // NULL
+		} else {
+			cat.AppendString(cats[i%3])
+		}
+		if i%5 == 2 {
+			val.AppendFloat(math.NaN()) // NULL
+		} else {
+			val.AppendFloat(float64(i % 13))
+		}
+		tag.AppendString([]string{"x", "y", "z", "w"}[i%4])
+	}
+	d := db.NewDatabase(name)
+	d.MustAddTable(db.MustNewTable("fact", cat, val, tag))
+	return d
+}
+
+func partialTestQueries() []Query {
+	fcat := ColumnRef{Table: "fact", Column: "cat"}
+	fval := ColumnRef{Table: "fact", Column: "val"}
+	ftag := ColumnRef{Table: "fact", Column: "tag"}
+	var qs []Query
+	for _, lit := range []string{"red", "green", "blue"} {
+		qs = append(qs,
+			Query{Agg: Count, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: Sum, AggCol: fval, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: Avg, AggCol: fval, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: Min, AggCol: fval, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: Max, AggCol: fval, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: CountDistinct, AggCol: ftag, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: Percentage, Preds: []Predicate{{Col: fcat, Value: lit}}},
+			Query{Agg: ConditionalProbability, Preds: []Predicate{{Col: fcat, Value: lit}}},
+		)
+	}
+	qs = append(qs, Query{Agg: Count}, Query{Agg: CountDistinct, AggCol: ftag})
+	return qs
+}
+
+// TestMergeCubePartialsMatchesUnsharded merges K per-partition cube
+// partials (serialized through JSON, as the HTTP transport would) and
+// checks every answer bit-for-bit against one unsharded pass.
+func TestMergeCubePartialsMatchesUnsharded(t *testing.T) {
+	const rows, k = 2000, 3
+	ctx := context.Background()
+	req := CubeRequest{
+		Tables: []string{"fact"},
+		Dims:   []DimSpec{{Col: ColumnRef{Table: "fact", Column: "cat"}, Literals: []string{"red", "green", "blue"}}},
+		Reqs: []AggRequest{
+			{Fn: Count, Col: ColumnRef{}},
+			{Fn: Sum, Col: ColumnRef{Table: "fact", Column: "val"}},
+			{Fn: CountDistinct, Col: ColumnRef{Table: "fact", Column: "tag"}},
+		},
+	}
+
+	var parts []*CubePartial
+	for s := 0; s < k; s++ {
+		s := s
+		eng := NewEngine(partialTestDB(t, "part", rows, func(i int) bool { return i%k == s }))
+		p, err := eng.CubePartialFor(ctx, req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Round-trip through JSON: the wire form must be lossless,
+		// including the ±Inf min/max of empty accumulators.
+		raw, err := json.Marshal(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back CubePartial
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		parts = append(parts, &back)
+	}
+	merged, err := MergeCubePartials(parts)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	full := NewEngine(partialTestDB(t, "full", rows, nil))
+	want, err := full.CubeForContext(ctx, req.Tables, req.Dims, req.Reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range partialTestQueries() {
+		wv, wok := want.Value(q)
+		gv, gok := merged.Value(q)
+		if wok != gok {
+			t.Fatalf("%s: coverage mismatch (unsharded %v, merged %v)", q.Key(), wok, gok)
+		}
+		if !wok {
+			continue
+		}
+		if math.Float64bits(wv) != math.Float64bits(gv) {
+			t.Errorf("%s: unsharded %v, merged %v", q.Key(), wv, gv)
+		}
+	}
+}
+
+// TestMergeCubePartialsCanonicalDistinct pins the cross-dictionary hazard:
+// two partitions that assign different codes to the same strings must not
+// double-count distinct values.
+func TestMergeCubePartialsCanonicalDistinct(t *testing.T) {
+	build := func(name string, vals ...string) *Engine {
+		c := db.NewStringColumn("v")
+		for _, v := range vals {
+			c.AppendString(v)
+		}
+		d := db.NewDatabase(name)
+		d.MustAddTable(db.MustNewTable("t", c))
+		return NewEngine(d)
+	}
+	// Shard 0 sees b first (code 0), shard 1 sees a first (code 0).
+	e0 := build("s0", "b", "a")
+	e1 := build("s1", "a", "b", "c")
+	req := CubeRequest{
+		Tables: []string{"t"},
+		Reqs:   []AggRequest{{Fn: CountDistinct, Col: ColumnRef{Table: "t", Column: "v"}}},
+	}
+	p0, err := e0.CubePartialFor(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1, err := e1.CubePartialFor(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	merged, err := MergeCubePartials([]*CubePartial{p0, p1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, ok := merged.Value(Query{Agg: CountDistinct, AggCol: ColumnRef{Table: "t", Column: "v"}})
+	if !ok || got != 3 {
+		t.Fatalf("merged distinct = %v (ok=%v), want 3: code-space keys leaked across dictionaries", got, ok)
+	}
+}
+
+// TestScanPartialsMatchDirect folds per-partition scan partials and checks
+// the finalized value bit-for-bit against the unsharded direct scan.
+func TestScanPartialsMatchDirect(t *testing.T) {
+	const rows, k = 1500, 4
+	ctx := context.Background()
+	var engines []*Engine
+	for s := 0; s < k; s++ {
+		s := s
+		engines = append(engines, NewEngine(partialTestDB(t, "part", rows, func(i int) bool { return i%k == s })))
+	}
+	full := NewEngine(partialTestDB(t, "full", rows, nil))
+	for _, q := range partialTestQueries() {
+		var parts []*ScanPartial
+		for _, eng := range engines {
+			p, err := eng.ScanPartialContext(ctx, q)
+			if err != nil {
+				t.Fatal(err)
+			}
+			raw, err := json.Marshal(p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var back ScanPartial
+			if err := json.Unmarshal(raw, &back); err != nil {
+				t.Fatal(err)
+			}
+			parts = append(parts, &back)
+		}
+		got, err := FinalizeScanPartials(q, parts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := full.EvaluateContext(ctx, q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Errorf("%s: direct %v, sharded %v", q.Key(), want, got)
+		}
+	}
+}
+
+func TestMergeCubePartialsRejectsMismatch(t *testing.T) {
+	if _, err := MergeCubePartials(nil); err == nil {
+		t.Fatal("empty merge must error")
+	}
+	e := NewEngine(partialTestDB(t, "d", 50, nil))
+	reqA := CubeRequest{Tables: []string{"fact"}, Dims: []DimSpec{{Col: ColumnRef{Table: "fact", Column: "cat"}, Literals: []string{"red"}}}}
+	reqB := CubeRequest{Tables: []string{"fact"}, Dims: []DimSpec{{Col: ColumnRef{Table: "fact", Column: "tag"}, Literals: []string{"x"}}}}
+	pa, err := e.CubePartialFor(context.Background(), reqA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pb, err := e.CubePartialFor(context.Background(), reqB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MergeCubePartials([]*CubePartial{pa, pb}); err == nil {
+		t.Fatal("mismatched dims must be rejected")
+	}
+}

@@ -474,7 +474,19 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 	if err != nil {
 		return math.NaN(), err
 	}
+	total, err := e.runDirect(ctx, view, ds)
+	if err != nil {
+		return math.NaN(), err
+	}
+	return total.main.finalize(q.Agg, ds.agg.star, total.base), nil
+}
 
+// runDirect executes a compiled direct scan over the whole view — morsel
+// split on the shared scheduler when wide enough, single-threaded otherwise
+// — records the pipeline stats, and returns the merged partial. Shared by
+// evaluateDirect (which finalizes) and ScanPartialContext (which exports
+// the partial to a shard coordinator).
+func (e *Engine) runDirect(ctx context.Context, view *db.JoinView, ds *directScan) (*directPartial, error) {
 	n := view.NumRows()
 	var total *directPartial
 	sched := e.sched.Load()
@@ -490,7 +502,7 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 				return nil
 			})
 			if err != nil {
-				return math.NaN(), err
+				return nil, err
 			}
 			total = partials[0]
 			for _, pt := range partials[1:] {
@@ -499,8 +511,9 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 		}
 	}
 	if total == nil {
+		var err error
 		if total, err = ds.scanRange(ctx, 0, n); err != nil {
-			return math.NaN(), err
+			return nil, err
 		}
 	}
 
@@ -509,5 +522,5 @@ func (e *Engine) evaluateDirect(ctx context.Context, view *db.JoinView, q Query)
 	e.Stats.BlocksPruned.Add(total.pruned)
 	e.Stats.SelvecReuses.Add(total.selReuses)
 	e.Stats.RowsScanned.Add(total.rowsRead)
-	return total.main.finalize(q.Agg, ds.agg.star, total.base), nil
+	return total, nil
 }
