@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-guard serve-smoke ci
+.PHONY: all build test test-noasm race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-kernel bench-guard serve-smoke ci
 
 all: build test
 
@@ -9,6 +9,13 @@ build:
 
 test:
 	$(GO) test ./...
+
+# test-noasm runs the suite with the assembly kernels compiled out, so the
+# pure-Go dispatch fallback (non-amd64 platforms, `-tags noasm` escape
+# hatch) stays correct. internal/vec's property tests compare every
+# primitive against its reference under whichever binding is live.
+test-noasm:
+	$(GO) test -tags noasm ./...
 
 race:
 	$(GO) test -race ./...
@@ -66,6 +73,16 @@ bench-parallel:
 bench-shard:
 	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.json
 
+# bench-kernel measures the internal/vec micro-kernels (plain-Go reference
+# vs hand-unrolled vs CPU-dispatched per primitive, ns/row and rows/s over
+# one 4096-row block) plus end-to-end cube throughput and the selection-
+# pushdown batch against its pushdown-off baseline, writing
+# BENCH_kernel.json. The run hard-fails unless >= 2 primitives reach 1.5x
+# dispatched-over-reference rows/s (skipped when dispatch resolved to the
+# pure-Go impl) or the two batch plans disagree on any answer.
+bench-kernel:
+	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.json
+
 # bench-guard is the bench-regression gate: it re-runs the cube matrix at
 # the committed record's scale and fails when any case's vectorized rows/s
 # falls more than 30% below the committed BENCH_cube.json — measured as
@@ -80,9 +97,15 @@ bench-shard:
 # comparing, since efficiency at NPROC is meaningless across machine
 # classes and trivially 1.0 on a single-core box. Regenerate the seed on
 # the CI machine class with `make bench-parallel` and commit the result).
+# The third leg re-runs the micro-kernel matrix and fails when any
+# primitive's dispatched-over-reference rows/s ratio drops more than 30%
+# below the committed BENCH_kernel.json seed's (skipped with a warning
+# when the seed and this build resolved different dispatch impls, e.g. an
+# avx2 seed checked under -tags noasm).
 bench-guard:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.guard.json -against BENCH_parallel.json
+	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.guard.json -against BENCH_kernel.json -tolerance 0.30
 
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
@@ -95,6 +118,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchcube -scan -out BENCH_scan.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.smoke.json
 	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.smoke.json -rows 30000
+	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.smoke.json -rows 30000
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo
@@ -103,4 +127,4 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -count=1 -run TestAggcheckdSmoke ./cmd/aggcheckd
 
-ci: fmt vet build race bench-smoke bench-guard bench-delta serve-smoke
+ci: fmt vet build race test-noasm bench-smoke bench-guard bench-delta serve-smoke

@@ -1,0 +1,380 @@
+package main
+
+// benchcube -kernels: the micro-kernel record. Each internal/vec primitive
+// is measured over one kernel block (4096 rows) in its three variants —
+// plain-Go reference, hand-unrolled, and whatever the CPU dispatcher bound
+// (AVX2 assembly where detected, the unrolled form otherwise) — plus two
+// end-to-end numbers: a representative vectorized cube pass and a
+// selection-pushdown batch against its pushdown-off baseline. The run
+// hard-fails unless at least two primitives reach 1.5x dispatched-over-
+// reference rows/s (skipped with a warning under -tags noasm / non-AVX2
+// hardware, where "dispatched" is just the unrolled Go).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"aggchecker/internal/benchdata"
+	"aggchecker/internal/sqlexec"
+	"aggchecker/internal/vec"
+)
+
+// kernelBlock is the per-op row count: one kernel block, the unit the
+// sqlexec scan loop feeds these primitives.
+const kernelBlock = 4096
+
+// kernelSpeedupFloor and kernelSpeedupMinPrims gate the record: at least
+// MinPrims primitives must reach Floor x rows/s over the plain-Go
+// reference, or the dispatch layer is not paying for itself.
+const (
+	kernelSpeedupFloor    = 1.5
+	kernelSpeedupMinPrims = 2
+)
+
+type kernelEntry struct {
+	Primitive  string  `json:"primitive"`
+	Variant    string  `json:"variant"` // "ref" | "unrolled" | "dispatched"
+	NsPerOp    float64 `json:"ns_per_op"`
+	NsPerRow   float64 `json:"ns_per_row"`
+	RowsPerSec float64 `json:"rows_per_sec"`
+}
+
+type kernelEndToEnd struct {
+	FactRows       int     `json:"fact_rows"`
+	Case           string  `json:"case"`
+	CubeRowsPerSec float64 `json:"cube_rows_per_sec"`
+	// The pushdown batch: queries sharing one selective equality predicate
+	// over a 4-column predicate union — too wide for one unfiltered cube,
+	// so without pushdown they fall to per-query scans.
+	BatchQueries        int     `json:"pushdown_batch_queries"`
+	PushdownBatchNs     float64 `json:"pushdown_batch_ns"`
+	NoPushdownBatchNs   float64 `json:"no_pushdown_batch_ns"`
+	PushdownSpeedup     float64 `json:"pushdown_speedup"`
+	PushdownCubes       int64   `json:"pushdown_cubes_per_batch"`
+	PushdownRowsSkipped int64   `json:"pushdown_rows_skipped_per_batch"`
+}
+
+type kernelFile struct {
+	Schema     string        `json:"schema"`
+	GoVersion  string        `json:"go_version"`
+	GoMaxProcs int           `json:"go_max_procs"`
+	Impl       string        `json:"impl"` // vec.Impl(): "avx2" | "go"
+	BlockRows  int           `json:"block_rows"`
+	Primitives []kernelEntry `json:"primitives"`
+	// SpeedupDispatchedOverRef maps primitive name to dispatched rows/s
+	// divided by reference rows/s — the machine-portable ratio the bench
+	// guard compares (same-impl runs only).
+	SpeedupDispatchedOverRef map[string]float64 `json:"speedups_dispatched_over_ref"`
+	EndToEnd                 kernelEndToEnd     `json:"end_to_end"`
+}
+
+// Sinks defeat dead-code elimination of pure-result primitives.
+var (
+	kernelSinkInt int
+	kernelSinkF64 float64
+)
+
+// runKernels measures the primitive matrix and the end-to-end numbers and
+// writes the BENCH_kernel.json record.
+func runKernels(out string, rows int, against string, tol float64) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -kernels: "+format+"\n", args...)
+		os.Exit(1)
+	}
+
+	// One block of data shaped like the scan loop's: small-domain values so
+	// equality compares hit ~1/8 of rows, dictionary codes with NULLs
+	// (negative), a selection vector compacted from a real mask.
+	rng := rand.New(rand.NewSource(7))
+	n := kernelBlock
+	fvals := make([]float64, n)
+	codes := make([]int32, n)
+	for i := 0; i < n; i++ {
+		fvals[i] = float64(rng.Intn(8))
+		codes[i] = int32(rng.Intn(9)) - 1
+	}
+	mask := make([]uint64, vec.MaskWords(n))
+	mask2 := make([]uint64, vec.MaskWords(n))
+	vec.CmpEqF64Unrolled(fvals, 3, mask)
+	vec.CmpEqI32Unrolled(codes, 3, mask2)
+	sel := make([]int32, n)
+	selN := vec.SelFromMaskUnrolled(mask, n, sel)
+	gidx := sel[:selN]
+	gdst := make([]float64, n)
+	ldst := make([]int32, n)
+	lut := make([]int32, 8)
+	offs := make([]int32, n)
+	for i := range lut {
+		lut[i] = int32(rng.Intn(64))
+	}
+	for i := range offs {
+		offs[i] = int32(rng.Intn(64))
+	}
+	nonNull := make([]int64, 64)
+	sums := make([]float64, 64)
+	minv := make([]float64, 64)
+	maxv := make([]float64, 64)
+
+	type prim struct {
+		name string
+		rows int // rows consumed per op (selN for gather)
+		fns  []struct {
+			variant string
+			fn      func()
+		}
+	}
+	mk := func(name string, rows int, ref, unrolled, dispatched func()) prim {
+		return prim{name: name, rows: rows, fns: []struct {
+			variant string
+			fn      func()
+		}{{"ref", ref}, {"unrolled", unrolled}, {"dispatched", dispatched}}}
+	}
+	prims := []prim{
+		mk("cmp_eq_f64", n,
+			func() { vec.CmpEqF64Ref(fvals, 3, mask) },
+			func() { vec.CmpEqF64Unrolled(fvals, 3, mask) },
+			func() { vec.CmpEqF64(fvals, 3, mask) }),
+		mk("cmp_eq_i32", n,
+			func() { vec.CmpEqI32Ref(codes, 3, mask2) },
+			func() { vec.CmpEqI32Unrolled(codes, 3, mask2) },
+			func() { vec.CmpEqI32(codes, 3, mask2) }),
+		mk("sel_from_mask", n,
+			func() { kernelSinkInt = vec.SelFromMaskRef(mask, n, sel) },
+			func() { kernelSinkInt = vec.SelFromMaskUnrolled(mask, n, sel) },
+			func() { kernelSinkInt = vec.SelFromMask(mask, n, sel) }),
+		mk("gather_f64", selN,
+			func() { vec.GatherF64Ref(gdst[:selN], fvals, gidx) },
+			func() { vec.GatherF64Unrolled(gdst[:selN], fvals, gidx) },
+			func() { vec.GatherF64(gdst[:selN], fvals, gidx) }),
+		mk("lookup_codes", n,
+			func() { vec.LookupCodesRef(ldst, codes, lut, -1) },
+			func() { vec.LookupCodesUnrolled(ldst, codes, lut, -1) },
+			func() { vec.LookupCodes(ldst, codes, lut, -1) }),
+		mk("and_popcount", n,
+			func() { kernelSinkInt = vec.AndPopcountRef(mask, mask2) },
+			func() { kernelSinkInt = vec.AndPopcountUnrolled(mask, mask2) },
+			func() { kernelSinkInt = vec.AndPopcount(mask, mask2) }),
+		mk("min_max_f64", n,
+			func() { kernelSinkF64, _ = vec.MinMaxF64Ref(fvals) },
+			func() { kernelSinkF64, _ = vec.MinMaxF64Unrolled(fvals) },
+			func() { kernelSinkF64, _ = vec.MinMaxF64(fvals) }),
+		mk("count_nonneg_i32", n,
+			func() { kernelSinkInt = vec.CountNonNegI32Ref(codes) },
+			func() { kernelSinkInt = vec.CountNonNegI32Unrolled(codes) },
+			func() { kernelSinkInt = vec.CountNonNegI32(codes) }),
+		mk("accumulate_f64", n,
+			func() { vec.AccumulateF64Ref(offs, fvals, nonNull, sums, minv, maxv) },
+			func() { vec.AccumulateF64Unrolled(offs, fvals, nonNull, sums, minv, maxv) },
+			func() { vec.AccumulateF64(offs, fvals, nonNull, sums, minv, maxv) }),
+	}
+
+	file := kernelFile{
+		Schema:                   "aggchecker-micro-kernel-bench/v1",
+		GoVersion:                runtime.Version(),
+		GoMaxProcs:               runtime.GOMAXPROCS(0),
+		Impl:                     vec.Impl(),
+		BlockRows:                kernelBlock,
+		SpeedupDispatchedOverRef: map[string]float64{},
+	}
+
+	for _, p := range prims {
+		perVariant := map[string]float64{}
+		for _, v := range p.fns {
+			fn := v.fn
+			res := testing.Benchmark(func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+			})
+			nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+			rps := float64(p.rows) / (nsPerOp * 1e-9)
+			perVariant[v.variant] = rps
+			file.Primitives = append(file.Primitives, kernelEntry{
+				Primitive:  p.name,
+				Variant:    v.variant,
+				NsPerOp:    nsPerOp,
+				NsPerRow:   nsPerOp / float64(p.rows),
+				RowsPerSec: rps,
+			})
+			fmt.Printf("%-18s %-11s %9.1f ns/op %8.4f ns/row %14.0f rows/s\n",
+				p.name, v.variant, nsPerOp, nsPerOp/float64(p.rows), rps)
+		}
+		sp := perVariant["dispatched"] / perVariant["ref"]
+		file.SpeedupDispatchedOverRef[p.name] = sp
+		fmt.Printf("%-18s dispatched/ref x%.2f (%s)\n", p.name, sp, file.Impl)
+	}
+
+	fast := 0
+	for _, sp := range file.SpeedupDispatchedOverRef {
+		if sp >= kernelSpeedupFloor {
+			fast++
+		}
+	}
+	if fast < kernelSpeedupMinPrims {
+		if file.Impl == "go" {
+			fmt.Printf("note: only %d primitives reached x%.1f over reference — pure-O dispatch (impl=go), gate skipped\n",
+				fast, kernelSpeedupFloor)
+		} else {
+			fail("only %d primitives reached x%.1f rows/s over the plain-Go reference (need >= %d)",
+				fast, kernelSpeedupFloor, kernelSpeedupMinPrims)
+		}
+	} else {
+		fmt.Printf("gate: %d primitives >= x%.1f over reference ok\n", fast, kernelSpeedupFloor)
+	}
+
+	file.EndToEnd = runKernelEndToEnd(rows, fail)
+	writeJSON(out, &file)
+	if against != "" {
+		guardKernels(against, &file, tol)
+	}
+}
+
+// runKernelEndToEnd measures a representative vectorized cube pass and the
+// selection-pushdown batch against its pushdown-off baseline, checking the
+// two plans agree on every answer before timing them.
+func runKernelEndToEnd(rows int, fail func(string, ...any)) kernelEndToEnd {
+	ctx := context.Background()
+	d := benchdata.BuildDB(rows)
+	e2e := kernelEndToEnd{FactRows: rows, Case: "3dim-string-single"}
+
+	// Representative cube pass (same case as -parallel/-shard records).
+	for _, bc := range benchdata.Cases() {
+		if bc.Name != e2e.Case {
+			continue
+		}
+		e := sqlexec.NewEngine(d, sqlexec.WithCaching(false), sqlexec.WithScanWorkers(1))
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := e.CubeForContext(ctx, bc.Tables, bc.Dims, bc.Reqs); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+		e2e.CubeRowsPerSec = float64(rows) / (nsPerOp * 1e-9)
+		fmt.Printf("end-to-end %-18s %14.0f rows/s (vectorized cube pass)\n", bc.Name, e2e.CubeRowsPerSec)
+	}
+
+	// The pushdown batch: every query carries fact.a='p' (~1/4 of rows)
+	// plus residual predicates over b, c, d1 — a 4-column union, so the
+	// planner without pushdown answers each query with its own scan.
+	col := func(c string) sqlexec.ColumnRef { return sqlexec.ColumnRef{Table: "fact", Column: c} }
+	filter := sqlexec.Predicate{Col: col("a"), Value: "p"}
+	bvals := []string{"u", "v", "w"}
+	cvals := []string{"c0", "c1", "c2", "c3", "c4", "c5"}
+	dvals := []string{"0", "1", "2", "3", "4", "5"}
+	fns := []sqlexec.AggFunc{sqlexec.Count, sqlexec.Sum, sqlexec.Avg}
+	var batch []sqlexec.Query
+	for i := 0; i < 36; i++ {
+		q := sqlexec.Query{
+			Agg: fns[i%len(fns)],
+			Preds: []sqlexec.Predicate{
+				filter,
+				{Col: col("b"), Value: bvals[i%len(bvals)]},
+				{Col: col("c"), Value: cvals[i%len(cvals)]},
+				{Col: col("d1"), Value: dvals[(i/3)%len(dvals)]},
+			},
+		}
+		if q.Agg != sqlexec.Count {
+			q.AggCol = col("x")
+		}
+		batch = append(batch, q)
+	}
+	e2e.BatchQueries = len(batch)
+
+	newEng := func(pushdown bool) *sqlexec.Engine {
+		return sqlexec.NewEngine(d,
+			sqlexec.WithCaching(false), // every batch re-plans and re-scans
+			sqlexec.WithScanWorkers(1),
+			sqlexec.WithSelectionPushdown(pushdown))
+	}
+	eOn, eOff := newEng(true), newEng(false)
+	opts := sqlexec.BatchOptions{Workers: 1}
+
+	// Correctness gate before timing: both plans answer identically.
+	on := eOn.EvaluateBatch(ctx, batch, opts)
+	off := eOff.EvaluateBatch(ctx, batch, opts)
+	for i := range batch {
+		if !approxEq(on[i], off[i]) {
+			fail("pushdown answer mismatch on %s: %v with, %v without", batch[i].Key(), on[i], off[i])
+		}
+	}
+	e2e.PushdownCubes = eOn.Stats.PushdownCubes.Load()
+	e2e.PushdownRowsSkipped = eOn.Stats.PushdownRowsSkipped.Load()
+	if e2e.PushdownCubes == 0 {
+		fail("pushdown batch planned no filtered passes")
+	}
+	if eOff.Stats.PushdownCubes.Load() != 0 {
+		fail("baseline engine planned filtered passes")
+	}
+
+	timeBatch := func(e *sqlexec.Engine) float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				e.EvaluateBatch(ctx, batch, opts)
+			}
+		})
+		return float64(res.T.Nanoseconds()) / float64(res.N)
+	}
+	start := time.Now()
+	e2e.PushdownBatchNs = timeBatch(eOn)
+	e2e.NoPushdownBatchNs = timeBatch(eOff)
+	e2e.PushdownSpeedup = e2e.NoPushdownBatchNs / e2e.PushdownBatchNs
+	fmt.Printf("end-to-end pushdown batch (%d queries): %12.0f ns with, %12.0f ns without, speedup x%.2f (measured in %s)\n",
+		len(batch), e2e.PushdownBatchNs, e2e.NoPushdownBatchNs, e2e.PushdownSpeedup, time.Since(start).Round(time.Millisecond))
+	return e2e
+}
+
+// guardKernels is the -kernels regression gate: per primitive, the fresh
+// dispatched-over-reference rows/s ratio must reach (1-tol) of the
+// committed record's. The ratio is machine-portable within one dispatch
+// level; when the record and this machine resolved different impls (an
+// avx2 seed checked on a noasm build, or vice versa) the ratios are not
+// comparable and the guard warns and skips.
+func guardKernels(path string, fresh *kernelFile, tol float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old kernelFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if old.Impl != fresh.Impl {
+		fmt.Printf("guard kernels: SKIPPED - seed measured impl=%s, this build resolved impl=%s; "+
+			"dispatched/ref ratios do not compare across dispatch levels (regenerate with `make bench-kernel`)\n",
+			old.Impl, fresh.Impl)
+		return
+	}
+	failed := false
+	for name, freshSp := range fresh.SpeedupDispatchedOverRef {
+		recorded, ok := old.SpeedupDispatchedOverRef[name]
+		if !ok || recorded <= 0 {
+			continue // new primitive, no baseline yet
+		}
+		// Near-1.0 ratios (primitives where dispatch adds nothing, like the
+		// strict-order accumulate) jitter both ways; only guard real wins.
+		if recorded < kernelSpeedupFloor {
+			continue
+		}
+		floor := recorded * (1 - tol)
+		if freshSp < floor {
+			failed = true
+			fmt.Fprintf(os.Stderr, "benchcube: REGRESSION %s: dispatched/ref x%.2f < floor x%.2f (record x%.2f, tolerance %.0f%%)\n",
+				name, freshSp, floor, recorded, 100*tol)
+		} else {
+			fmt.Printf("guard %-18s dispatched/ref x%.2f >= floor x%.2f ok\n", name, freshSp, floor)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"math"
 	"strconv"
+
+	"aggchecker/internal/vec"
 )
 
 // JoinView is a materialized equi-join of one or more tables along PK-FK
@@ -334,10 +336,7 @@ func (a ColumnAccessor) FloatBlock(start, n int, buf []float64) (vals []float64,
 		return a.col.floats[start : start+n], true
 	}
 	buf = buf[:n]
-	f := a.col.floats
-	for i, r := range a.rowMap[start : start+n] {
-		buf[i] = f[r]
-	}
+	vec.GatherF64(buf, a.col.floats, a.rowMap[start:start+n])
 	return buf, false
 }
 
@@ -361,9 +360,6 @@ func (a ColumnAccessor) CodeBlock(start, n int, buf []int32) (vals []int32, dire
 		return a.col.codes[start : start+n], true
 	}
 	buf = buf[:n]
-	cs := a.col.codes
-	for i, r := range a.rowMap[start : start+n] {
-		buf[i] = cs[r]
-	}
+	vec.GatherI32(buf, a.col.codes, a.rowMap[start:start+n])
 	return buf, false
 }

@@ -1,6 +1,10 @@
 package db
 
-import "math"
+import (
+	"math"
+
+	"aggchecker/internal/vec"
+)
 
 // This file implements per-block zone maps: small immutable summaries of
 // fixed-size row runs inside each sealed storage block, computed once at
@@ -104,17 +108,15 @@ func zoneSpansFor(blocks []Block, from int, prev []ZoneSpan) []ZoneSpan {
 func floatZones(vals []float64, spans []ZoneSpan, first int, prev []ZoneEntry) []ZoneEntry {
 	zones := prev
 	for _, sp := range spans[first:] {
-		z := ZoneEntry{Start: sp.Start, End: sp.End, Min: math.Inf(1), Max: math.Inf(-1)}
-		for _, v := range vals[sp.Start:sp.End] {
-			if math.IsNaN(v) {
+		z := ZoneEntry{Start: sp.Start, End: sp.End}
+		run := vals[sp.Start:sp.End]
+		// Min/Max via the dispatched NaN-skipping fold (±0 sign latitude is
+		// harmless here: MayContainFloat's range test treats ±0 as equal),
+		// then one branch-free pass for the null count.
+		z.Min, z.Max = vec.MinMaxF64(run)
+		for _, v := range run {
+			if v != v {
 				z.NullCount++
-				continue
-			}
-			if v < z.Min {
-				z.Min = v
-			}
-			if v > z.Max {
-				z.Max = v
 			}
 		}
 		zones = append(zones, z)
@@ -131,18 +133,21 @@ func codeZones(codes []int32, dictLen int, spans []ZoneSpan, first int, prev []Z
 	words := (dictLen + 63) / 64
 	for _, sp := range spans[first:] {
 		z := ZoneEntry{Start: sp.Start, End: sp.End, Min: math.Inf(1), Max: math.Inf(-1)}
+		run := codes[sp.Start:sp.End]
 		if buildDomain {
 			z.domain = make([]uint64, words)
 			z.hasDomain = true
-		}
-		for _, c := range codes[sp.Start:sp.End] {
-			if c < 0 {
-				z.NullCount++
-				continue
-			}
-			if z.hasDomain {
+			for _, c := range run {
+				if c < 0 {
+					z.NullCount++
+					continue
+				}
 				z.domain[c>>6] |= 1 << (uint(c) & 63)
 			}
+		} else {
+			// Without a domain bitset the loop only counts NULLs; the
+			// dispatched sign-bit popcount does that 8 codes at a time.
+			z.NullCount = len(run) - vec.CountNonNegI32(run)
 		}
 		zones = append(zones, z)
 	}

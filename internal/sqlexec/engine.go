@@ -71,6 +71,14 @@ type Stats struct {
 	DirectVectorScans atomic.Int64
 	SelvecReuses      atomic.Int64
 
+	// Selection-pushdown counters. PushdownCubes counts cube passes run
+	// under a shared filter predicate pushed down by the planner;
+	// PushdownRowsSkipped the rows those passes never coded or accumulated
+	// because the filter's selection vector rejected them (including whole
+	// segments the filter's zone maps refuted).
+	PushdownCubes       atomic.Int64
+	PushdownRowsSkipped atomic.Int64
+
 	// Morsel-scheduler counters. MorselsDispatched counts morsels executed
 	// for this engine's jobs on the shared scheduler (owner and helpers
 	// alike); StealCount the subset executed by shared-pool helper workers
@@ -128,6 +136,9 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"blocks_pruned":       s.BlocksPruned.Load(),
 		"direct_vector_scans": s.DirectVectorScans.Load(),
 		"selvec_reuses":       s.SelvecReuses.Load(),
+
+		"pushdown_cubes":        s.PushdownCubes.Load(),
+		"pushdown_rows_skipped": s.PushdownRowsSkipped.Load(),
 
 		"morsels_dispatched": s.MorselsDispatched.Load(),
 		"queue_waits":        s.QueueWaits.Load(),
@@ -241,6 +252,11 @@ type Engine struct {
 	// scalarKernel forces cube passes onto the legacy row-at-a-time
 	// interpreter; the vectorized columnar kernel is the default.
 	scalarKernel atomic.Bool
+	// pushdown enables selection-vector pushdown: the batch planner may
+	// merge queries sharing a predicate into one filtered cube pass whose
+	// kernel compacts each segment through the shared predicate's selection
+	// vector before accumulating (on by default).
+	pushdown atomic.Bool
 	// zoneMaps enables zone-map pruning in the scan pipeline (on by
 	// default); SetZoneMaps(false) is the operational escape hatch and the
 	// benchmark baseline toggle.
@@ -274,9 +290,14 @@ func NewEngine(d *db.Database, opts ...ExecOption) *Engine {
 	}
 	e.caching.Store(true)
 	e.zoneMaps.Store(true)
+	e.pushdown.Store(true)
 	e.Tune(opts...)
 	return e
 }
+
+// PushdownEnabled reports whether the batch planner may merge
+// predicate-sharing queries into filtered cube passes.
+func (e *Engine) PushdownEnabled() bool { return e.pushdown.Load() }
 
 // SetZoneMaps toggles zone-map pruning in the shared scan pipeline.
 //
@@ -494,6 +515,19 @@ func (e *Engine) CubeFor(tables []string, dims []DimSpec, reqs []AggRequest) (*C
 // (recorded in Stats.CubeDedups). Per-signature work is serialized by the
 // cube entry's own lock, so distinct cubes never contend.
 func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []DimSpec, reqs []AggRequest) (*CubeResult, error) {
+	return e.cubeForContext(ctx, tables, dims, reqs, nil)
+}
+
+// FilteredCubeForContext is CubeForContext for a selection-pushdown pass:
+// every cell accumulates only rows matching filter, and the result answers
+// only queries carrying the filter in their conjunction (CubeResult.Value
+// strips it). Filtered cubes share the cache machinery — signature keyed by
+// the filter too, column extension, delta advance — with ordinary cubes.
+func (e *Engine) FilteredCubeForContext(ctx context.Context, tables []string, dims []DimSpec, reqs []AggRequest, filter *Predicate) (*CubeResult, error) {
+	return e.cubeForContext(ctx, tables, dims, reqs, filter)
+}
+
+func (e *Engine) cubeForContext(ctx context.Context, tables []string, dims []DimSpec, reqs []AggRequest, filter *Predicate) (*CubeResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -504,10 +538,10 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 		if err != nil {
 			return nil, err
 		}
-		return e.runCube(ctx, view, tables, dims, cols)
+		return e.runCube(ctx, view, tables, dims, cols, filter)
 	}
 
-	sig := cubeSignature(tables, dims)
+	sig := cubeSignature(tables, dims, filter)
 	sh := &e.cubes[shardOf(sig)]
 	e.lock(&sh.mu)
 	ent, ok := sh.entries[sig]
@@ -541,7 +575,7 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 
 	st := ent.state.Load()
 	if st == nil {
-		fresh, err := e.freshState(ctx, snap, tables, dims, cols)
+		fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -551,7 +585,7 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 	}
 
 	if st.version != snap.Version() {
-		return e.advanceState(ctx, ent, st, snap, tables, dims, cols)
+		return e.advanceState(ctx, ent, st, snap, tables, dims, cols, filter)
 	}
 
 	// Re-check coverage under the lock; extend with the missing columns if
@@ -565,7 +599,7 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 	// Literal sets may differ between the cached cube and the request;
 	// recompute only when the cached dims cannot encode the request.
 	if !sameDims(st.res.Dims, dims) {
-		fresh, err := e.freshState(ctx, snap, tables, dims, cols)
+		fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -577,7 +611,7 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 	if err != nil {
 		return nil, err
 	}
-	extra, err := e.runCube(ctx, view, tables, st.res.Dims, missing)
+	extra, err := e.runCube(ctx, view, tables, st.res.Dims, missing, filter)
 	if err != nil {
 		return nil, err
 	}
@@ -589,12 +623,12 @@ func (e *Engine) CubeForContext(ctx context.Context, tables []string, dims []Dim
 
 // freshState runs a full cube pass at one snapshot and wraps it with the
 // coverage metadata the delta path needs.
-func (e *Engine) freshState(ctx context.Context, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol) (*cubeState, error) {
+func (e *Engine) freshState(ctx context.Context, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol, filter *Predicate) (*cubeState, error) {
 	view, err := e.viewAt(snap, tables)
 	if err != nil {
 		return nil, err
 	}
-	res, err := e.runCube(ctx, view, tables, dims, cols)
+	res, err := e.runCube(ctx, view, tables, dims, cols, filter)
 	if err != nil {
 		return nil, err
 	}
@@ -610,7 +644,7 @@ func (e *Engine) freshState(ctx context.Context, snap *db.Snapshot, tables []str
 // version: republish when the appends missed its scope, delta-scan the
 // appended blocks when possible, and fall back to a counted full rebuild
 // otherwise. Callers hold ent.mu.
-func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState, snap *db.Snapshot, tables []string, dims []DimSpec, cols []trackedCol, filter *Predicate) (*CubeResult, error) {
 	if snap.Version() < st.version {
 		// A reader pinned to an older snapshot than the published cube
 		// (its request started before a commit another goroutine already
@@ -627,7 +661,7 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 		if err != nil {
 			return nil, err
 		}
-		res, err := e.runCube(ctx, view, tables, dims, cols)
+		res, err := e.runCube(ctx, view, tables, dims, cols, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -654,7 +688,7 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 		// since the cached version — with the cached cube's own dims and
 		// tracked columns, then merge the partial into the published
 		// result copy-on-write.
-		delta, err := e.runCubeDelta(ctx, view, tables, st.res.Dims, st.res.trackedCols(), st.rows, newRows)
+		delta, err := e.runCubeDelta(ctx, view, tables, st.res.Dims, st.res.trackedCols(), st.rows, newRows, filter)
 		if err != nil {
 			return nil, err
 		}
@@ -670,7 +704,7 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 	// advance cannot be expressed as an append-only delta.
 	ent.computing.Store(true)
 	e.Stats.FullRebuilds.Add(1)
-	fresh, err := e.freshState(ctx, snap, tables, dims, cols)
+	fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
 	if err != nil {
 		return nil, err
 	}
@@ -682,12 +716,12 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 // runCubeDelta scans joined rows [lo, hi) into a partial CubeResult using
 // the same kernel dispatch as a full pass. Delta ranges are small (the
 // appended blocks), so the scan is single-threaded.
-func (e *Engine) runCubeDelta(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, lo, hi int) (*CubeResult, error) {
+func (e *Engine) runCubeDelta(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, lo, hi int, filter *Predicate) (*CubeResult, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	e.Stats.RowsScanned.Add(int64(hi - lo))
-	pc := passConfig{stats: &e.Stats, workers: 1, scalar: e.scalarKernel.Load(), zones: e.zoneMapsFor(ctx)}
+	pc := passConfig{stats: &e.Stats, workers: 1, scalar: e.scalarKernel.Load(), zones: e.zoneMapsFor(ctx), filter: filter}
 	return computeCubeRange(ctx, view, tables, dims, cols, lo, hi, pc)
 }
 
@@ -705,7 +739,7 @@ func missingCols(r *CubeResult, cols []trackedCol) []trackedCol {
 	return missing
 }
 
-func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol) (*CubeResult, error) {
+func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string, dims []DimSpec, cols []trackedCol, filter *Predicate) (*CubeResult, error) {
 	if e.testHookBeforeCubePass != nil {
 		e.testHookBeforeCubePass()
 	}
@@ -714,12 +748,16 @@ func (e *Engine) runCube(ctx context.Context, view *db.JoinView, tables []string
 	}
 	e.Stats.CubePasses.Add(1)
 	e.Stats.RowsScanned.Add(int64(view.NumRows()))
+	if filter != nil {
+		e.Stats.PushdownCubes.Add(1)
+	}
 	pc := passConfig{
 		stats:   &e.Stats,
 		workers: e.resolveScanWorkers(e.rawScanWorkersFor(ctx)),
 		scalar:  e.scalarKernel.Load(),
 		zones:   e.zoneMapsFor(ctx),
 		sched:   e.sched.Load(),
+		filter:  filter,
 	}
 	return computeCube(ctx, view, tables, dims, cols, pc)
 }

@@ -45,6 +45,7 @@ func BenchmarkEngineConcurrentBatches(b *testing.B) {
 	}
 	e := NewEngine(d)
 	batch := benchBatch(400, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	b.RunParallel(func(pb *testing.PB) {
 		for pb.Next() {
@@ -68,6 +69,7 @@ func BenchmarkEngineSerialBatches(b *testing.B) {
 	}
 	e := NewEngine(d)
 	batch := benchBatch(400, 3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		e.EvaluateBatch(context.Background(), batch, BatchOptions{Pool: pool, Workers: 1})

@@ -6,8 +6,10 @@ import (
 	"math/bits"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"aggchecker/internal/db"
+	"aggchecker/internal/vec"
 )
 
 // This file implements the vectorized columnar execution kernel for cube
@@ -83,6 +85,11 @@ type passConfig struct {
 	scalar  bool
 	zones   bool
 	sched   *Scheduler
+	// filter is the shared predicate of a selection-pushdown pass (nil for
+	// ordinary passes): the kernel compacts every segment through the
+	// filter's selection vector before coding or accumulating anything, and
+	// the resulting CubeResult answers only queries that carry the filter.
+	filter *Predicate
 }
 
 // computeCube dispatches one cube pass: the vectorized kernel by default,
@@ -96,7 +103,7 @@ func computeCube(ctx context.Context, view *db.JoinView, tables []string, dims [
 		if pc.stats != nil {
 			pc.stats.ScalarPasses.Add(1)
 		}
-		return computeCubeScalar(ctx, view, tables, dims, cols)
+		return computeCubeScalarRange(ctx, view, tables, dims, cols, 0, view.NumRows(), pc.filter)
 	}
 	return computeCubeVectorized(ctx, view, tables, dims, cols, pc)
 }
@@ -114,7 +121,7 @@ func computeCubeRange(ctx context.Context, view *db.JoinView, tables []string, d
 		if pc.stats != nil {
 			pc.stats.ScalarPasses.Add(1)
 		}
-		return computeCubeScalarRange(ctx, view, tables, dims, cols, lo, hi)
+		return computeCubeScalarRange(ctx, view, tables, dims, cols, lo, hi, pc.filter)
 	}
 	return computeCubeVectorizedRange(ctx, view, tables, dims, cols, lo, hi, pc)
 }
@@ -206,13 +213,26 @@ type vecKernel struct {
 	// cBase[mask]+maskOtherOff[mask] is the constant cell index of a fully
 	// zone-pruned segment (every row codes to "other" on every dimension).
 	maskOtherOff []int32
-	stats        *Stats
+	// filter is the compiled shared predicate of a selection-pushdown pass
+	// (nil otherwise): segments compact through its selection vector before
+	// any coding or accumulation, in ascending row order, so the surviving
+	// rows accumulate in exactly the order the scalar filtered oracle
+	// processes them.
+	filter *predEval
+	stats  *Stats
 }
 
-func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, stats *Stats, zoneMaps bool) (*vecKernel, error) {
+func newVecKernel(view *db.JoinView, dims []DimSpec, r *CubeResult, size int, stats *Stats, zoneMaps bool, filter *Predicate) (*vecKernel, error) {
 	k := &vecKernel{view: view, size: size, stats: stats}
 	if zoneMaps {
 		k.spans = view.ZoneSpans()
+	}
+	if filter != nil {
+		pes, err := compilePreds(view, []Predicate{*filter}, zoneMaps)
+		if err != nil {
+			return nil, err
+		}
+		k.filter = &pes[0]
 	}
 
 	stride := int32(1)
@@ -309,6 +329,10 @@ type vecPartial struct {
 	// depend on which column it tracks.
 	rows []int64
 	cols []vecColAcc // parallel to vecKernel.cols; index 0 (star) empty
+	// baseRows counts every row of the range, including rows a pushdown
+	// filter rejected — the Percentage denominator of a filtered cube
+	// (always 0 on unfiltered passes).
+	baseRows int64
 }
 
 type vecColAcc struct {
@@ -318,20 +342,75 @@ type vecColAcc struct {
 	sets            []map[uint64]struct{} // per-cell value sets (numeric distinct)
 }
 
+// latticePool recycles the size-proportional flat accumulator arrays of
+// vecPartials between cube passes of the same lattice size. Only the dense
+// int64/float64 arrays are pooled: the per-cell bitset and set stores are
+// adopted by merge() and fill() and must never be reused.
+type latticePool struct {
+	ints   sync.Pool // *[]int64
+	floats sync.Pool // *[]float64
+}
+
+// latticePools maps lattice size -> *latticePool. Lattice sizes are bounded
+// (maxFlatCells) and few in practice — one per distinct dimension shape.
+var latticePools sync.Map
+
+// latticePoolMisses counts fresh dense-array allocations (pool misses) — a
+// test hook asserting that steady-state passes of a given lattice size run
+// through the pool without allocating.
+var latticePoolMisses atomic.Int64
+
+func poolForSize(size int) *latticePool {
+	if v, ok := latticePools.Load(size); ok {
+		return v.(*latticePool)
+	}
+	v, _ := latticePools.LoadOrStore(size, &latticePool{})
+	return v.(*latticePool)
+}
+
+func (p *latticePool) getInts(size int) []int64 {
+	if v := p.ints.Get(); v != nil {
+		s := *v.(*[]int64)
+		for i := range s {
+			s[i] = 0
+		}
+		return s
+	}
+	latticePoolMisses.Add(1)
+	return make([]int64, size)
+}
+
+func (p *latticePool) getFloats(size int, fill float64) []float64 {
+	if v := p.floats.Get(); v != nil {
+		s := *v.(*[]float64)
+		for i := range s {
+			s[i] = fill
+		}
+		return s
+	}
+	latticePoolMisses.Add(1)
+	s := make([]float64, size)
+	if fill != 0 {
+		for i := range s {
+			s[i] = fill
+		}
+	}
+	return s
+}
+
+func (p *latticePool) putInts(s []int64)     { p.ints.Put(&s) }
+func (p *latticePool) putFloats(s []float64) { p.floats.Put(&s) }
+
 func (k *vecKernel) newPartial() *vecPartial {
-	pt := &vecPartial{rows: make([]int64, k.size), cols: make([]vecColAcc, len(k.cols))}
+	lp := poolForSize(k.size)
+	pt := &vecPartial{rows: lp.getInts(k.size), cols: make([]vecColAcc, len(k.cols))}
 	for i := 1; i < len(k.cols); i++ {
 		vc := &k.cols[i]
-		ca := vecColAcc{nonNull: make([]int64, k.size)}
+		ca := vecColAcc{nonNull: lp.getInts(k.size)}
 		if !vc.isStr {
-			ca.sum = make([]float64, k.size)
-			ca.minv = make([]float64, k.size)
-			ca.maxv = make([]float64, k.size)
-			pinf, ninf := math.Inf(1), math.Inf(-1)
-			for j := range ca.minv {
-				ca.minv[j] = pinf
-				ca.maxv[j] = ninf
-			}
+			ca.sum = lp.getFloats(k.size, 0)
+			ca.minv = lp.getFloats(k.size, math.Inf(1))
+			ca.maxv = lp.getFloats(k.size, math.Inf(-1))
 		}
 		if vc.needDistinct {
 			if vc.isStr {
@@ -343,6 +422,26 @@ func (k *vecKernel) newPartial() *vecPartial {
 		pt.cols[i] = ca
 	}
 	return pt
+}
+
+// releasePartial returns a partial's dense arrays to the lattice pool. Call
+// only once the partial is dead: after it merged into an earlier-range
+// partial, or after fill() exported the root to the sparse cell store. The
+// bits/sets stores are not returned — merge and fill adopt their inner
+// objects into longer-lived owners.
+func (k *vecKernel) releasePartial(pt *vecPartial) {
+	lp := poolForSize(k.size)
+	lp.putInts(pt.rows)
+	for i := 1; i < len(pt.cols); i++ {
+		ca := &pt.cols[i]
+		lp.putInts(ca.nonNull)
+		if ca.sum != nil {
+			lp.putFloats(ca.sum)
+			lp.putFloats(ca.minv)
+			lp.putFloats(ca.maxv)
+		}
+	}
+	pt.rows, pt.cols = nil, nil
 }
 
 // scanRange accumulates joined rows [lo, hi) into a fresh partial,
@@ -370,13 +469,39 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			fScratch = make([]float64, kernelBlockRows)
 		}
 	}
+	// Pushdown state: the filter's compare mask and selection vector, plus
+	// compaction destinations for dimension blocks (tracked columns compact
+	// into their colF/colC buffers below). fsel/fn name the segment's
+	// surviving rows; fsel == nil means every row survives (no filter).
+	var maskBuf []uint64
+	var selBuf []int32
+	var fCompact []float64
+	var cCompact []int32
+	var fsel []int32
+	if k.filter != nil {
+		maskBuf = make([]uint64, vec.MaskWords(kernelBlockRows))
+		selBuf = make([]int32, kernelBlockRows)
+		if k.filter.isStr && cScratch == nil {
+			cScratch = make([]int32, kernelBlockRows)
+		} else if !k.filter.isStr && fScratch == nil {
+			fScratch = make([]float64, kernelBlockRows)
+		}
+		for i := range k.dims {
+			if k.dims[i].isStr {
+				cCompact = make([]int32, kernelBlockRows)
+			} else {
+				fCompact = make([]float64, kernelBlockRows)
+			}
+		}
+	}
 	// Gather buffers only for columns off the zero-copy path; the block
 	// values must stay live across all subset masks, so they cannot share
-	// one scratch buffer.
+	// one scratch buffer. A pushdown pass needs them for every column:
+	// zero-copy blocks compact through the selection vector into them.
 	colF := make([][]float64, len(k.cols))
 	colC := make([][]int32, len(k.cols))
 	for i := 1; i < len(k.cols); i++ {
-		if k.cols[i].direct {
+		if k.cols[i].direct && k.filter == nil {
 			continue
 		}
 		if k.cols[i].isStr {
@@ -388,7 +513,7 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 	blockF := make([][]float64, len(k.cols))
 	blockC := make([][]int32, len(k.cols))
 
-	var blocks, pruned, directReads, gatherReads int64
+	var blocks, pruned, skipped, directReads, gatherReads int64
 	countRead := func(direct bool) {
 		if direct {
 			directReads++
@@ -398,7 +523,10 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 	}
 	// readCols loads the tracked aggregation column blocks (zero-copy when
 	// direct), skipping columns whose zone is entirely NULL — their rows
-	// count, but no value can contribute.
+	// count, but no value can contribute. Under a pushdown filter each block
+	// then compacts through fsel, preserving ascending row order (gathers
+	// with ascending in-bounds indexes are overlap-safe, so a non-direct
+	// block may compact within its own gather buffer).
 	readCols := func(start, bn, zi int) {
 		for i := 1; i < len(k.cols); i++ {
 			vc := &k.cols[i]
@@ -409,8 +537,16 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			countRead(vc.direct)
 			if vc.isStr {
 				blockC[i], _ = vc.acc.CodeBlock(start, bn, colC[i])
+				if fsel != nil {
+					vec.GatherI32(colC[i][:len(fsel)], blockC[i], fsel)
+					blockC[i] = colC[i][:len(fsel)]
+				}
 			} else {
 				blockF[i], _ = vc.acc.FloatBlock(start, bn, colF[i])
+				if fsel != nil {
+					vec.GatherF64(colF[i][:len(fsel)], blockF[i], fsel)
+					blockF[i] = colF[i][:len(fsel)]
+				}
 			}
 		}
 	}
@@ -421,6 +557,37 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			return nil, err
 		}
 		start, bn, zi := sg.start, sg.n, sg.zone
+
+		// Selection pushdown: compact the segment through the shared
+		// predicate before anything else is read. Every row — selected or
+		// not — still counts into baseRows (the Percentage denominator of
+		// the filtered cube covers the whole view).
+		en := bn
+		fsel = nil
+		if k.filter != nil {
+			pt.baseRows += int64(bn)
+			if k.filter.zoneMisses(zi) {
+				pruned++
+				skipped += int64(bn)
+				continue
+			}
+			mask := maskBuf[:vec.MaskWords(bn)]
+			countRead(k.filter.acc.Direct())
+			if k.filter.isStr {
+				codes, _ := k.filter.acc.CodeBlock(start, bn, cScratch)
+				vec.CmpEqI32(codes, k.filter.code, mask)
+			} else {
+				vals, _ := k.filter.acc.FloatBlock(start, bn, fScratch)
+				vec.CmpEqF64(vals, k.filter.val, mask)
+			}
+			en = vec.SelFromMask(mask, bn, selBuf)
+			skipped += int64(bn - en)
+			if en == 0 {
+				pruned++
+				continue
+			}
+			fsel = selBuf[:en]
+		}
 
 		allMiss := nd > 0
 		for i := range k.dims {
@@ -437,7 +604,7 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			readCols(start, bn, zi)
 			for mask := range k.cBase {
 				ix := k.cBase[mask] + k.maskOtherOff[mask]
-				pt.rows[ix] += int64(bn)
+				pt.rows[ix] += int64(en)
 				for i := 1; i < len(k.cols); i++ {
 					k.accumulateConst(pt, i, ix, zi, blockF[i], blockC[i])
 				}
@@ -448,10 +615,12 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 
 		// Code dimension columns into pre-multiplied offset vectors. A
 		// dimension whose zone misses every literal codes to a constant
-		// "other" without touching its column.
+		// "other" without touching its column. Under a pushdown filter the
+		// block first compacts through the selection vector, so only
+		// surviving rows are coded.
 		for i := range k.dims {
 			d := &k.dims[i]
-			offs := dimOffs[i][:bn]
+			offs := dimOffs[i][:en]
 			if dimMiss[i] {
 				oo := d.otherOff
 				for r := range offs {
@@ -462,17 +631,19 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 			countRead(d.direct)
 			if d.isStr {
 				codes, _ := d.acc.CodeBlock(start, bn, cScratch)
-				lut := d.dictToOff
-				oo := d.otherOff
-				for r, c := range codes {
-					if c >= 0 {
-						offs[r] = lut[c]
-					} else {
-						offs[r] = oo
-					}
+				if fsel != nil {
+					vec.GatherI32(cCompact[:en], codes, fsel)
+					codes = cCompact[:en]
 				}
+				// Dictionary code -> pre-multiplied lattice offset through
+				// the flat LUT; NULL codes to "other".
+				vec.LookupCodes(offs, codes, d.dictToOff, d.otherOff)
 			} else {
 				vals, _ := d.acc.FloatBlock(start, bn, fScratch)
+				if fsel != nil {
+					vec.GatherF64(fCompact[:en], vals, fsel)
+					vals = fCompact[:en]
+				}
 				lvals, loffs := d.litVals, d.litOffs
 				oo := d.otherOff
 				nl := len(lvals)
@@ -504,7 +675,7 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 
 		// Accumulate each subset mask of the lattice.
 		for mask := range k.cBase {
-			idx := idxBuf[:bn]
+			idx := idxBuf[:en]
 			c0 := k.cBase[mask]
 			switch md := k.maskDims[mask]; len(md) {
 			case 0:
@@ -512,17 +683,17 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 					idx[r] = c0
 				}
 			case 1:
-				o0 := dimOffs[md[0]][:bn]
+				o0 := dimOffs[md[0]][:en]
 				for r := range idx {
 					idx[r] = c0 + o0[r]
 				}
 			case 2:
-				o0, o1 := dimOffs[md[0]][:bn], dimOffs[md[1]][:bn]
+				o0, o1 := dimOffs[md[0]][:en], dimOffs[md[1]][:en]
 				for r := range idx {
 					idx[r] = c0 + o0[r] + o1[r]
 				}
 			default: // maxCubeDims == 3
-				o0, o1, o2 := dimOffs[md[0]][:bn], dimOffs[md[1]][:bn], dimOffs[md[2]][:bn]
+				o0, o1, o2 := dimOffs[md[0]][:en], dimOffs[md[1]][:en], dimOffs[md[2]][:en]
 				for r := range idx {
 					idx[r] = c0 + o0[r] + o1[r] + o2[r]
 				}
@@ -542,6 +713,9 @@ func (k *vecKernel) scanRange(ctx context.Context, lo, hi int) (*vecPartial, err
 		k.stats.BlocksPruned.Add(pruned)
 		k.stats.DirectBlockReads.Add(directReads)
 		k.stats.GatherBlockReads.Add(gatherReads)
+		if skipped > 0 {
+			k.stats.PushdownRowsSkipped.Add(skipped)
+		}
 	}
 	return pt, nil
 }
@@ -595,18 +769,10 @@ func (k *vecKernel) accumulate(pt *vecPartial, i int, idx []int32, zi int, vals 
 	}
 	nonNull, sum, minv, maxv := ca.nonNull, ca.sum, ca.minv, ca.maxv
 	if vc.segNoNulls(zi) && !vc.needDistinct {
-		// NULL-free fast path: pure struct-of-arrays batch loop.
-		for r, v := range vals {
-			ix := idx[r]
-			nonNull[ix]++
-			sum[ix] += v
-			if v < minv[ix] {
-				minv[ix] = v
-			}
-			if v > maxv[ix] {
-				maxv[ix] = v
-			}
-		}
+		// NULL-free fast path: pure struct-of-arrays batch loop, via the
+		// dispatched scatter-accumulate primitive (strict row order — float
+		// sums must stay bit-for-bit equal to the scalar interpreter).
+		vec.AccumulateF64(idx, vals, nonNull, sum, minv, maxv)
 		return
 	}
 	for r, v := range vals {
@@ -647,12 +813,8 @@ func (k *vecKernel) accumulateConst(pt *vecPartial, i int, ix int32, zi int, val
 		}
 		nn := int64(0)
 		if !vc.needDistinct {
-			for _, c := range codes {
-				if c >= 0 {
-					nn++
-				}
-			}
-			ca.nonNull[ix] += nn
+			// Pure non-NULL count: the dispatched sign-bit popcount.
+			ca.nonNull[ix] += int64(vec.CountNonNegI32(codes))
 			return
 		}
 		bs := ca.bits[ix]
@@ -705,6 +867,7 @@ func (k *vecKernel) accumulateConst(pt *vecPartial, i int, ix int32, zi int, val
 // merge folds another partial into pt (pt covers the earlier row range, so
 // sums merge in deterministic range order).
 func (pt *vecPartial) merge(o *vecPartial) {
+	pt.baseRows += o.baseRows
 	for i, v := range o.rows {
 		pt.rows[i] += v
 	}
@@ -848,12 +1011,13 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 		if pc.stats != nil {
 			pc.stats.ScalarPasses.Add(1)
 		}
-		return computeCubeScalarRange(ctx, view, tables, dims, cols, rangeLo, rangeHi)
+		return computeCubeScalarRange(ctx, view, tables, dims, cols, rangeLo, rangeHi, pc.filter)
 	}
-	k, err := newVecKernel(view, dims, r, size, pc.stats, pc.zones)
+	k, err := newVecKernel(view, dims, r, size, pc.stats, pc.zones, pc.filter)
 	if err != nil {
 		return nil, err
 	}
+	r.filter = pc.filter
 
 	n := rangeHi - rangeLo
 	splittable := pc.workers > 1 && n >= kernelParallelMinRows
@@ -876,11 +1040,14 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 			root := partials[0]
 			for _, pt := range partials[1:] {
 				root.merge(pt)
+				k.releasePartial(pt)
 			}
 			if pc.stats != nil {
 				pc.stats.PartialsMerged.Add(int64(len(partials) - 1))
 			}
 			k.fill(r, root)
+			r.baseRows = root.baseRows
+			k.releasePartial(root)
 			return r, nil
 		}
 	}
@@ -929,6 +1096,7 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 		root = partials[0]
 		for _, pt := range partials[1:] {
 			root.merge(pt)
+			k.releasePartial(pt)
 		}
 		if pc.stats != nil {
 			pc.stats.PartialsMerged.Add(int64(parts - 1))
@@ -936,5 +1104,7 @@ func computeCubeVectorizedRange(ctx context.Context, view *db.JoinView, tables [
 	}
 
 	k.fill(r, root)
+	r.baseRows = root.baseRows
+	k.releasePartial(root)
 	return r, nil
 }

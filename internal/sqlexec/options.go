@@ -20,6 +20,7 @@ type execOptions struct {
 	zoneMaps     *bool
 	scalarKernel *bool
 	caching      *bool
+	pushdown     *bool
 	scheduler    *Scheduler
 	schedulerSet bool
 }
@@ -62,6 +63,16 @@ func WithCaching(on bool) ExecOption {
 	return func(o *execOptions) { o.caching = &on }
 }
 
+// WithSelectionPushdown toggles selection-vector pushdown in the batch
+// planner (on by default): queries sharing an equality predicate may merge
+// into one filtered cube pass whose kernel compacts each scan segment
+// through the shared predicate's selection vector before accumulating.
+// Results are bit-for-bit identical either way — turning it off is the
+// operational escape hatch and the benchmark baseline toggle.
+func WithSelectionPushdown(on bool) ExecOption {
+	return func(o *execOptions) { o.pushdown = &on }
+}
+
 // WithScheduler installs a shared morsel scheduler: the engine's cube
 // passes and large direct scans then decompose into zone-aligned morsels
 // dispatched on the scheduler's pool — shared fairly with every other
@@ -88,6 +99,9 @@ func (e *Engine) Tune(opts ...ExecOption) {
 	}
 	if o.scalarKernel != nil {
 		e.scalarKernel.Store(*o.scalarKernel)
+	}
+	if o.pushdown != nil {
+		e.pushdown.Store(*o.pushdown)
 	}
 	if o.schedulerSet {
 		e.sched.Store(o.scheduler)

@@ -243,13 +243,13 @@ func MergeCubePartials(parts []*CubePartial) (*CubeResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	sig := cubeSignature(first.Tables, first.Dims)
+	sig := cubeSignature(first.Tables, first.Dims, nil)
 	for pi, p := range parts {
 		if p == nil {
 			return nil, fmt.Errorf("sqlexec: nil cube partial at shard %d", pi)
 		}
 		if pi > 0 {
-			if cubeSignature(p.Tables, p.Dims) != sig || !sameDims(first.Dims, p.Dims) || !samePartialCols(first.Cols, p.Cols) {
+			if cubeSignature(p.Tables, p.Dims, nil) != sig || !sameDims(first.Dims, p.Dims) || !samePartialCols(first.Cols, p.Cols) {
 				return nil, fmt.Errorf("sqlexec: cube partial %d does not match shard 0 (scope, dims, or columns differ)", pi)
 			}
 		}

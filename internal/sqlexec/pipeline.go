@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"aggchecker/internal/db"
+	"aggchecker/internal/vec"
 )
 
 // This file implements the shared block-oriented scan pipeline: the
@@ -143,29 +144,24 @@ func (pe *predEval) zoneMisses(zi int) bool {
 
 // selectFull fills sel with the in-segment row offsets matching the
 // predicate. sel must have capacity for n entries; fBuf/cBuf are gather
-// scratch (unused on the zero-copy path).
+// scratch (unused on the zero-copy path). The compare runs through the
+// dispatched vec kernels — a bitmask compare plus mask-to-index
+// compaction, both branch-free — and produces the same ascending indexes
+// as the retired scalar loop (vec compares are Go == semantics: NaN never
+// matches, ±0 match each other).
 func (pe *predEval) selectFull(start, n int, sel []int32, fBuf []float64, cBuf []int32) []int32 {
-	k := 0
+	// Segments never exceed kernelBlockRows (compile-time assertion against
+	// db.ZoneRows above), so the mask fits a fixed stack buffer.
+	var maskArr [kernelBlockRows / 64]uint64
+	mask := maskArr[:vec.MaskWords(n)]
 	if pe.isStr {
 		codes, _ := pe.acc.CodeBlock(start, n, cBuf)
-		want := pe.code
-		for r, c := range codes {
-			if c == want {
-				sel[k] = int32(r)
-				k++
-			}
-		}
+		vec.CmpEqI32(codes, pe.code, mask)
 	} else {
 		vals, _ := pe.acc.FloatBlock(start, n, fBuf)
-		want := pe.val
-		for r, v := range vals {
-			if v == want {
-				sel[k] = int32(r)
-				k++
-			}
-		}
+		vec.CmpEqF64(vals, pe.val, mask)
 	}
-	return sel[:k]
+	return sel[:vec.SelFromMask(mask, n, sel)]
 }
 
 // refine compacts sel in place, keeping only rows the predicate also

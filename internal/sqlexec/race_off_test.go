@@ -1,0 +1,9 @@
+//go:build !race
+
+package sqlexec
+
+// raceEnabled mirrors the race build tag; the lattice-pool reuse
+// assertion skips under the race detector, whose sync.Pool
+// instrumentation deliberately drops puts at random to widen interleaving
+// coverage — steady-state zero-miss cannot hold there by design.
+const raceEnabled = false

@@ -1,0 +1,140 @@
+//go:build amd64 && !noasm
+
+package vec
+
+// Hand-rolled CPU feature detection (cpuid_amd64.s). The stdlib keeps
+// internal/cpu to itself and this module carries no dependencies, so we
+// probe the two leaves we need directly.
+func cpuid(leaf, sub uint32) (eax, ebx, ecx, edx uint32)
+func xgetbv() (eax, edx uint32)
+
+// AVX2 kernels (vec_amd64.s). Each processes only whole vector groups;
+// the Go wrappers below handle tails and empty inputs.
+func cmpEqF64Asm(vals *float64, want float64, mask *uint64, words int)
+func cmpEqI32Asm(codes *int32, want int32, mask *uint64, words int)
+func countNegI32Asm(codes *int32, octs int) int64
+func andPopcountAsm(a, b *uint64, words int) int64
+func minMaxF64Asm(vals *float64, quads int, out *[8]float64)
+
+var asmLevel = "go"
+
+// hasAVX2 reports AVX2 plus POPCNT, with AVX enabled and the OS saving
+// xmm/ymm state (OSXSAVE + XCR0 bits 1..2) — the full set the assembly
+// kernels rely on.
+func hasAVX2() bool {
+	maxID, _, _, _ := cpuid(0, 0)
+	if maxID < 7 {
+		return false
+	}
+	_, _, c, _ := cpuid(1, 0)
+	const (
+		popcnt  = 1 << 23
+		osxsave = 1 << 27
+		avx     = 1 << 28
+	)
+	if c&popcnt == 0 || c&osxsave == 0 || c&avx == 0 {
+		return false
+	}
+	if lo, _ := xgetbv(); lo&6 != 6 {
+		return false
+	}
+	_, b, _, _ := cpuid(7, 0)
+	return b&(1<<5) != 0
+}
+
+func init() {
+	if !hasAVX2() {
+		return
+	}
+	asmLevel = "avx2"
+	CmpEqF64 = cmpEqF64AVX2
+	CmpEqI32 = cmpEqI32AVX2
+	CountNonNegI32 = countNonNegI32AVX2
+	AndPopcount = andPopcountAVX2
+	MinMaxF64 = minMaxF64AVX2
+}
+
+func cmpEqF64AVX2(vals []float64, want float64, mask []uint64) {
+	n := len(vals)
+	words := n >> 6
+	if words > 0 {
+		cmpEqF64Asm(&vals[0], want, &mask[0], words)
+	}
+	if t := n & 63; t != 0 {
+		var m uint64
+		for i, v := range vals[words<<6:] {
+			if v == want {
+				m |= 1 << uint(i)
+			}
+		}
+		mask[words] = m
+	}
+}
+
+func cmpEqI32AVX2(codes []int32, want int32, mask []uint64) {
+	n := len(codes)
+	words := n >> 6
+	if words > 0 {
+		cmpEqI32Asm(&codes[0], want, &mask[0], words)
+	}
+	if t := n & 63; t != 0 {
+		var m uint64
+		for i, c := range codes[words<<6:] {
+			if c == want {
+				m |= 1 << uint(i)
+			}
+		}
+		mask[words] = m
+	}
+}
+
+func countNonNegI32AVX2(codes []int32) int {
+	n := len(codes)
+	octs := n >> 3
+	neg := 0
+	if octs > 0 {
+		neg = int(countNegI32Asm(&codes[0], octs))
+	}
+	for _, c := range codes[octs<<3:] {
+		if c < 0 {
+			neg++
+		}
+	}
+	return n - neg
+}
+
+func andPopcountAVX2(a, b []uint64) int {
+	n := len(a)
+	b = b[:n]
+	if n == 0 {
+		return 0
+	}
+	return int(andPopcountAsm(&a[0], &b[0], n))
+}
+
+func minMaxF64AVX2(vals []float64) (mn, mx float64) {
+	n := len(vals)
+	quads := n >> 2
+	mn, mx = inf, negInf
+	if quads > 0 {
+		out := [8]float64{inf, inf, inf, inf, negInf, negInf, negInf, negInf}
+		minMaxF64Asm(&vals[0], quads, &out)
+		for i := 0; i < 4; i++ {
+			if out[i] < mn {
+				mn = out[i]
+			}
+			if out[4+i] > mx {
+				mx = out[4+i]
+			}
+		}
+	}
+	for _, v := range vals[quads<<2:] {
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	return mn, mx
+}

@@ -1,0 +1,8 @@
+//go:build !amd64 || noasm
+
+package vec
+
+// asmLevel stays "go": no assembly kernels are linked in on non-amd64
+// targets or under the `noasm` build tag, and the dispatched entry
+// points keep their unrolled-Go defaults.
+var asmLevel = "go"

@@ -1,0 +1,405 @@
+package vec
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Lengths straddling every unroll boundary in the package: the 4-wide
+// and 2-wide Go unrolls, the 4/8-lane vector groups, and the 64-row
+// mask words (including multi-word and empty inputs).
+var lengths = []int{0, 1, 2, 3, 4, 5, 7, 8, 9, 15, 16, 17, 31, 33, 63, 64, 65, 66, 127, 128, 129, 191, 192, 193, 255, 256, 257, 300}
+
+func randFloats(rng *rand.Rand, n int) []float64 {
+	specials := []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0.0, math.Copysign(0, -1), 1.5, -1.5}
+	vals := make([]float64, n)
+	for i := range vals {
+		switch rng.Intn(4) {
+		case 0:
+			vals[i] = specials[rng.Intn(len(specials))]
+		case 1:
+			vals[i] = float64(rng.Intn(8)) // dense duplicates so compares hit
+		default:
+			vals[i] = rng.NormFloat64() * 100
+		}
+	}
+	return vals
+}
+
+func randCodes(rng *rand.Rand, n, card int, nullFrac float64) []int32 {
+	codes := make([]int32, n)
+	for i := range codes {
+		if rng.Float64() < nullFrac {
+			codes[i] = -1 - int32(rng.Intn(2)) // NULLs are any negative code
+		} else {
+			codes[i] = int32(rng.Intn(card))
+		}
+	}
+	return codes
+}
+
+func maskEq(t *testing.T, name string, n int, got, want []uint64) {
+	t.Helper()
+	for w := 0; w < MaskWords(n); w++ {
+		if got[w] != want[w] {
+			t.Fatalf("%s: n=%d word %d: got %016x want %016x", name, n, w, got[w], want[w])
+		}
+	}
+}
+
+func TestCmpEqF64Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			vals := randFloats(rng, n)
+			var want float64
+			switch trial % 4 {
+			case 0:
+				want = math.NaN() // must match nothing
+			case 1:
+				want = 0.0 // must match -0 too
+			case 2:
+				want = float64(rng.Intn(8))
+			default:
+				if n > 0 {
+					want = vals[rng.Intn(n)]
+				}
+			}
+			ref := make([]uint64, MaskWords(n)+1)
+			got := make([]uint64, MaskWords(n)+1)
+			CmpEqF64Ref(vals, want, ref)
+			CmpEqF64Unrolled(vals, want, got)
+			maskEq(t, "unrolled", n, got, ref)
+			for i := range got {
+				got[i] = ^uint64(0) // dispatched impl must clear stale bits
+			}
+			CmpEqF64(vals, want, got)
+			maskEq(t, Impl(), n, got, ref)
+		}
+	}
+}
+
+func TestCmpEqI32Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, n := range lengths {
+		for trial := 0; trial < 20; trial++ {
+			codes := randCodes(rng, n, 6, 0.3)
+			want := int32(rng.Intn(8) - 1) // includes -1: matching a NULL code is the caller's bug, but compare semantics stay exact
+			ref := make([]uint64, MaskWords(n)+1)
+			got := make([]uint64, MaskWords(n)+1)
+			CmpEqI32Ref(codes, want, ref)
+			CmpEqI32Unrolled(codes, want, got)
+			maskEq(t, "unrolled", n, got, ref)
+			for i := range got {
+				got[i] = ^uint64(0)
+			}
+			CmpEqI32(codes, want, got)
+			maskEq(t, Impl(), n, got, ref)
+		}
+	}
+}
+
+func TestSelFromMaskVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, n := range lengths {
+		for trial := 0; trial < 12; trial++ {
+			mask := make([]uint64, MaskWords(n)+1)
+			switch trial {
+			case 0: // empty
+			case 1: // full (plus garbage beyond n that must be ignored)
+				for i := range mask {
+					mask[i] = ^uint64(0)
+				}
+			default:
+				for i := range mask {
+					mask[i] = rng.Uint64() & rng.Uint64() & rng.Uint64()
+				}
+			}
+			ref := make([]int32, n)
+			got := make([]int32, n)
+			nr := SelFromMaskRef(mask, n, ref)
+			ng := SelFromMaskUnrolled(mask, n, got)
+			if nr != ng {
+				t.Fatalf("n=%d trial=%d: count mismatch ref=%d unrolled=%d", n, trial, nr, ng)
+			}
+			for i := 0; i < nr; i++ {
+				if ref[i] != got[i] {
+					t.Fatalf("n=%d trial=%d: sel[%d] ref=%d unrolled=%d", n, trial, i, ref[i], got[i])
+				}
+			}
+			nd := SelFromMask(mask, n, got)
+			if nd != nr {
+				t.Fatalf("n=%d trial=%d: dispatched count %d want %d", n, trial, nd, nr)
+			}
+		}
+	}
+}
+
+func TestGatherVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	src := randFloats(rng, 512)
+	srcI := randCodes(rng, 512, 100, 0.2)
+	for _, n := range lengths {
+		idx := make([]int32, n)
+		for i := range idx {
+			idx[i] = int32(rng.Intn(len(src)))
+		}
+		ref := make([]float64, n)
+		got := make([]float64, n)
+		GatherF64Ref(ref, src, idx)
+		GatherF64Unrolled(got, src, idx)
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("GatherF64 n=%d i=%d: %v != %v", n, i, got[i], ref[i])
+			}
+		}
+		GatherF64(got, src, idx)
+		for i := range ref {
+			if math.Float64bits(ref[i]) != math.Float64bits(got[i]) {
+				t.Fatalf("GatherF64 dispatched n=%d i=%d", n, i)
+			}
+		}
+		refI := make([]int32, n)
+		gotI := make([]int32, n)
+		GatherI32Ref(refI, srcI, idx)
+		GatherI32Unrolled(gotI, srcI, idx)
+		for i := range refI {
+			if refI[i] != gotI[i] {
+				t.Fatalf("GatherI32 n=%d i=%d: %d != %d", n, i, gotI[i], refI[i])
+			}
+		}
+		GatherI32(gotI, srcI, idx)
+		for i := range refI {
+			if refI[i] != gotI[i] {
+				t.Fatalf("GatherI32 dispatched n=%d i=%d", n, i)
+			}
+		}
+	}
+}
+
+func TestLookupCodesVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	lut := make([]int32, 40)
+	for i := range lut {
+		lut[i] = int32(rng.Intn(1000))
+	}
+	for _, n := range lengths {
+		for _, nullFrac := range []float64{0, 0.5, 1} { // incl. all-NULL blocks
+			codes := randCodes(rng, n, len(lut), nullFrac)
+			def := int32(rng.Intn(100) - 50)
+			ref := make([]int32, n)
+			got := make([]int32, n)
+			LookupCodesRef(ref, codes, lut, def)
+			LookupCodesUnrolled(got, codes, lut, def)
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("n=%d null=%.1f i=%d: %d != %d", n, nullFrac, i, got[i], ref[i])
+				}
+			}
+			LookupCodes(got, codes, lut, def)
+			for i := range ref {
+				if ref[i] != got[i] {
+					t.Fatalf("dispatched n=%d i=%d", n, i)
+				}
+			}
+		}
+	}
+}
+
+func TestBitmapVariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for _, words := range []int{0, 1, 2, 3, 7, 8, 9, 17, 64} {
+		for trial := 0; trial < 10; trial++ {
+			a := make([]uint64, words)
+			b := make([]uint64, words)
+			for i := range a {
+				a[i] = rng.Uint64()
+				b[i] = rng.Uint64()
+				if trial == 0 {
+					b[i] = 0 // NULL-heavy: empty intersection
+				}
+				if trial == 1 {
+					b[i] = ^uint64(0)
+				}
+			}
+			if got, want := AndPopcountUnrolled(a, b), AndPopcountRef(a, b); got != want {
+				t.Fatalf("AndPopcount unrolled words=%d: %d != %d", words, got, want)
+			}
+			if got, want := AndPopcount(a, b), AndPopcountRef(a, b); got != want {
+				t.Fatalf("AndPopcount %s words=%d: %d != %d", Impl(), words, got, want)
+			}
+			if got, want := PopcountUnrolled(a), PopcountRef(a); got != want {
+				t.Fatalf("Popcount words=%d: %d != %d", words, got, want)
+			}
+			if got, want := Popcount(a), PopcountRef(a); got != want {
+				t.Fatalf("Popcount dispatched words=%d: %d != %d", words, got, want)
+			}
+			ad := append([]uint64(nil), a...)
+			AndWordsRef(ad, b)
+			au := append([]uint64(nil), a...)
+			AndWordsUnrolled(au, b)
+			a2 := append([]uint64(nil), a...)
+			AndWords(a2, b)
+			for i := range ad {
+				if ad[i] != au[i] || ad[i] != a2[i] {
+					t.Fatalf("AndWords words=%d i=%d", words, i)
+				}
+			}
+		}
+	}
+}
+
+func TestMinMaxF64Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	check := func(name string, vals []float64, mn, mx float64) {
+		t.Helper()
+		rmn, rmx := MinMaxF64Ref(vals)
+		// == treats -0 and +0 as equal, which is exactly the documented
+		// latitude MinMaxF64 variants have.
+		if !(mn == rmn || (math.IsNaN(mn) && math.IsNaN(rmn))) || !(mx == rmx || (math.IsNaN(mx) && math.IsNaN(rmx))) {
+			t.Fatalf("%s: n=%d got (%v,%v) want (%v,%v)", name, len(vals), mn, mx, rmn, rmx)
+		}
+	}
+	for _, n := range lengths {
+		for trial := 0; trial < 15; trial++ {
+			var vals []float64
+			switch trial {
+			case 0:
+				vals = make([]float64, n) // all zero
+			case 1:
+				vals = make([]float64, n)
+				for i := range vals {
+					vals[i] = math.NaN() // all NaN → (+Inf, -Inf)
+				}
+			case 2:
+				vals = make([]float64, n)
+				for i := range vals {
+					vals[i] = math.Copysign(0, -1)
+					if i%2 == 0 {
+						vals[i] = 0
+					}
+				}
+			default:
+				vals = randFloats(rng, n)
+			}
+			mn, mx := MinMaxF64Unrolled(vals)
+			check("unrolled", vals, mn, mx)
+			mn, mx = MinMaxF64(vals)
+			check(Impl(), vals, mn, mx)
+		}
+	}
+}
+
+func TestCountNonNegI32Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for _, n := range lengths {
+		for _, nullFrac := range []float64{0, 0.1, 0.9, 1} {
+			codes := randCodes(rng, n, 50, nullFrac)
+			want := CountNonNegI32Ref(codes)
+			if got := CountNonNegI32Unrolled(codes); got != want {
+				t.Fatalf("unrolled n=%d null=%.1f: %d != %d", n, nullFrac, got, want)
+			}
+			if got := CountNonNegI32(codes); got != want {
+				t.Fatalf("%s n=%d null=%.1f: %d != %d", Impl(), n, nullFrac, got, want)
+			}
+		}
+	}
+}
+
+// TestAccumulateF64Variants pins the strict row-order contract: with
+// colliding cells, float sums are only bit-identical if every variant
+// adds rows in exactly the same order.
+func TestAccumulateF64Variants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	const cells = 7 // tiny lattice → heavy collisions
+	for _, n := range lengths {
+		for trial := 0; trial < 10; trial++ {
+			offs := make([]int32, n)
+			for i := range offs {
+				offs[i] = int32(rng.Intn(cells))
+			}
+			vals := make([]float64, n)
+			for i := range vals {
+				// No NaNs: this is the NULL-free fast path by contract.
+				vals[i] = rng.NormFloat64() * float64(rng.Intn(1000))
+			}
+			type state struct {
+				nonNull []int64
+				sum     []float64
+				minv    []float64
+				maxv    []float64
+			}
+			mk := func() *state {
+				s := &state{
+					nonNull: make([]int64, cells),
+					sum:     make([]float64, cells),
+					minv:    make([]float64, cells),
+					maxv:    make([]float64, cells),
+				}
+				for i := 0; i < cells; i++ {
+					s.minv[i] = math.Inf(1)
+					s.maxv[i] = math.Inf(-1)
+				}
+				return s
+			}
+			ref, unr, dis := mk(), mk(), mk()
+			AccumulateF64Ref(offs, vals, ref.nonNull, ref.sum, ref.minv, ref.maxv)
+			AccumulateF64Unrolled(offs, vals, unr.nonNull, unr.sum, unr.minv, unr.maxv)
+			AccumulateF64(offs, vals, dis.nonNull, dis.sum, dis.minv, dis.maxv)
+			for i := 0; i < cells; i++ {
+				for name, s := range map[string]*state{"unrolled": unr, "dispatched": dis} {
+					if s.nonNull[i] != ref.nonNull[i] ||
+						math.Float64bits(s.sum[i]) != math.Float64bits(ref.sum[i]) ||
+						math.Float64bits(s.minv[i]) != math.Float64bits(ref.minv[i]) ||
+						math.Float64bits(s.maxv[i]) != math.Float64bits(ref.maxv[i]) {
+						t.Fatalf("%s n=%d cell %d: (%d,%v,%v,%v) != (%d,%v,%v,%v)", name, n, i,
+							s.nonNull[i], s.sum[i], s.minv[i], s.maxv[i],
+							ref.nonNull[i], ref.sum[i], ref.minv[i], ref.maxv[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestMaskSelRoundTrip composes the compare and compaction primitives the
+// way the pushdown path does: compare → AND → select → gather.
+func TestMaskSelRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, n := range lengths {
+		codes := randCodes(rng, n, 4, 0.2)
+		vals := randFloats(rng, n)
+		mask := make([]uint64, MaskWords(n))
+		m2 := make([]uint64, MaskWords(n))
+		CmpEqI32(codes, 2, mask)
+		CmpEqF64(vals, 0.0, m2)
+		AndWords(mask, m2)
+		sel := make([]int32, n)
+		cnt := SelFromMask(mask, n, sel)
+		// Oracle: plain double-predicate scan.
+		want := 0
+		for i := 0; i < n; i++ {
+			if codes[i] == 2 && vals[i] == 0.0 {
+				if sel[want] != int32(i) {
+					t.Fatalf("n=%d: sel[%d]=%d want %d", n, want, sel[want], i)
+				}
+				want++
+			}
+		}
+		if cnt != want {
+			t.Fatalf("n=%d: count %d want %d", n, cnt, want)
+		}
+		if cnt != AndPopcount(mask, mask) {
+			t.Fatalf("n=%d: AndPopcount disagrees with SelFromMask", n)
+		}
+	}
+}
+
+func TestImplReportsConfiguration(t *testing.T) {
+	switch Impl() {
+	case "avx2", "go":
+	default:
+		t.Fatalf("Impl() = %q, want avx2 or go", Impl())
+	}
+}
