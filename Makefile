@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-noasm race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-kernel bench-guard serve-smoke ci
+.PHONY: all build test test-noasm race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-kernel bench-store bench-guard serve-smoke recovery-smoke ci
 
 all: build test
 
@@ -83,6 +83,17 @@ bench-shard:
 bench-kernel:
 	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.json
 
+# bench-store measures the persistent columnar block store and writes
+# BENCH_store.json: cold-open latency of a manifest restore vs a CSV
+# re-parse of identical data (the restart-time saving), page-level
+# residency of a fully zone-refuted scan over the mmapped columns, and
+# scan throughput across a compaction reseal (blocks and zone granularity
+# before/after). The run hard-fails when the pruned scan faults a single
+# column page in or when zone maps fail to survive the restore, so the CI
+# artifact doubles as a regression gate for the store's read path.
+bench-store:
+	$(GO) run ./cmd/benchcube -store -out BENCH_store.json
+
 # bench-guard is the bench-regression gate: it re-runs the cube matrix at
 # the committed record's scale and fails when any case's vectorized rows/s
 # falls more than 30% below the committed BENCH_cube.json — measured as
@@ -102,10 +113,17 @@ bench-kernel:
 # below the committed BENCH_kernel.json seed's (skipped with a warning
 # when the seed and this build resolved different dispatch impls, e.g. an
 # avx2 seed checked under -tags noasm).
+# The fourth leg re-runs the store workload at the committed seed's scale
+# and fails when the cold-open restore-over-parse speedup drops more than
+# 30% below the committed BENCH_store.json seed's (a same-run ratio, so
+# absolute machine speed cancels out; skipped with a message when the
+# fresh run's fact_rows differ from the seed's, since the speedup scales
+# with data volume).
 bench-guard:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.guard.json -against BENCH_parallel.json
 	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.guard.json -against BENCH_kernel.json -tolerance 0.30
+	$(GO) run ./cmd/benchcube -store -out BENCH_store.guard.json -against BENCH_store.json -tolerance 0.30
 
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
@@ -119,6 +137,7 @@ bench-smoke:
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.smoke.json
 	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.smoke.json -rows 30000
+	$(GO) run ./cmd/benchcube -store -out BENCH_store.smoke.json -rows 30000
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo
@@ -127,4 +146,12 @@ bench-smoke:
 serve-smoke:
 	$(GO) test -count=1 -run TestAggcheckdSmoke ./cmd/aggcheckd
 
-ci: fmt vet build race test-noasm bench-smoke bench-guard bench-delta serve-smoke
+# recovery-smoke exercises crash recovery end to end: build the real
+# aggcheckd binary with -watch and -data-dir, SIGKILL it racing a refresh
+# commit, replace the source CSV with garbage, and restart over the same
+# data directory — the restored daemon must serve bit-for-bit identical
+# reports from the block store at the last durably published version.
+recovery-smoke:
+	$(GO) test -count=1 -run TestAggcheckdCrashRecovery ./cmd/aggcheckd
+
+ci: fmt vet build race test-noasm bench-smoke bench-guard bench-delta serve-smoke recovery-smoke

@@ -1,0 +1,162 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+const crashCSVBase = "player,amount\n" +
+	"Alice,100\nBob,200\nCara,300\nDrew,400\nEvan,500\nFay,600\nGus,700\nHope,800\n"
+
+const crashDoc = "There are 8 players. The average fine is 450 dollars."
+
+// claimsFingerprint POSTs a check and returns the raw JSON of the report's
+// claims array — every deterministic field (verdicts, posteriors, ranked
+// SQL, evaluated results) and none of the volatile ones (timings, engine
+// counters). encoding/json is deterministic, so equal claims encode to
+// identical bytes.
+func claimsFingerprint(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/databases/fines/check", "text/plain", strings.NewReader(crashDoc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+	var rep struct {
+		Claims json.RawMessage `json:"claims"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Claims) == 0 {
+		t.Fatal("report has no claims")
+	}
+	return string(rep.Claims)
+}
+
+func getStatusMap(t *testing.T, base string) map[string]any {
+	t.Helper()
+	resp, err := http.Get(base + "/v1/databases/fines/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestAggcheckdCrashRecovery kills a -watch daemon with SIGKILL right
+// after staging a refresh — sometimes before, sometimes during, sometimes
+// after the commit that publishes it — then restarts over the same data
+// directory with the source CSV replaced by garbage. The restarted daemon
+// must reopen at the last durably published version (2 or 3, never a torn
+// in-between state), serve straight from the store without touching the
+// unparseable source, and report claims bit-for-bit identical to a clean
+// daemon over equivalent data.
+func TestAggcheckdCrashRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exec crash test in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping under -race: exec-based daemon runs are covered unraced")
+	}
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "fines.csv")
+	if err := os.WriteFile(csvPath, []byte(crashCSVBase), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	dataDir := filepath.Join(dir, "blocks")
+
+	cmd1, base, stderr1 := startDaemon(t,
+		"-db", "fines="+csvPath, "-watch", "100ms", "-data-dir", dataDir,
+		"-addr", "127.0.0.1:0", "-timeout", "60s")
+
+	// Make it resident at version 1 (8 rows, durably recorded).
+	if fp := claimsFingerprint(t, base); fp == "" {
+		t.Fatal("empty fingerprint")
+	}
+
+	// Row 9 → watcher refresh → version 2; wait until it is published.
+	appendRow := func(row string) {
+		f, err := os.OpenFile(csvPath, os.O_APPEND|os.O_WRONLY, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.WriteString(row); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+	}
+	appendRow("Iris,900\n")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		st := getStatusMap(t, base)
+		if v, _ := st["version"].(float64); v >= 2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("watcher never published version 2; stderr:\n%s", stderr1.String())
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fp2 := claimsFingerprint(t, base)
+
+	// Row 10, then SIGKILL immediately: the kill races the watcher's
+	// commit, landing before, during, or after the version-3 publish.
+	appendRow("Jude,1000\n")
+	if err := cmd1.Process.Kill(); err != nil {
+		t.Fatal(err)
+	}
+	_, _ = cmd1.Process.Wait()
+
+	// The source "dies" too: garbage where the CSV was. A restart that
+	// tried to re-parse it would fail its first check.
+	if err := os.WriteFile(csvPath, []byte("\x00\xff this is not a csv \x00"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	_, base2, stderr2 := startDaemon(t,
+		"-db", "fines="+csvPath, "-data-dir", dataDir,
+		"-addr", "127.0.0.1:0", "-timeout", "60s")
+	got := claimsFingerprint(t, base2)
+	st := getStatusMap(t, base2)
+	v, _ := st["version"].(float64)
+	if v != 2 && v != 3 {
+		t.Fatalf("restored version = %v, want 2 or 3 (last durable publish); stderr:\n%s", v, stderr2.String())
+	}
+	rows := st["rows"].(map[string]any)["fines"].(float64)
+	if int(rows) != 7+int(v) {
+		t.Fatalf("restored rows = %v at version %v, want %d", rows, v, 7+int(v))
+	}
+	if st["store"] == nil {
+		t.Fatalf("restored status has no store section: %v", st)
+	}
+
+	// Reference fingerprint for the restored version: version 2 was
+	// fingerprinted live; version 3 compares against a clean store-less
+	// daemon over the equivalent 10-row CSV.
+	want := fp2
+	if v == 3 {
+		refCSV := filepath.Join(dir, "ref.csv")
+		if err := os.WriteFile(refCSV, []byte(crashCSVBase+"Iris,900\nJude,1000\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		_, base3, _ := startDaemon(t,
+			"-db", "fines="+refCSV, "-addr", "127.0.0.1:0", "-timeout", "60s")
+		want = claimsFingerprint(t, base3)
+	}
+	if got != want {
+		t.Errorf("restored claims diverge from reference at version %v:\n got %s\nwant %s", v, got, want)
+	}
+}

@@ -28,6 +28,14 @@
 // cubes), and -watch POLLINTERVAL polls the files' mtimes and triggers the
 // same refresh automatically when they change.
 //
+// -data-dir DIR backs every hosted database with a persistent columnar
+// block store under DIR/<name>: bootstrap loads, refreshes, and
+// compactions are recorded durably (data fsynced before the manifest
+// publishes it), and a restarted daemon restores the last published
+// version straight from the store — bit-for-bit identical reports — with
+// no source re-parse. -compact-after N reseals a database's blocks in the
+// background once N accumulate, re-chunking zone maps adaptively.
+//
 // -shards K partitions every hosted database's fact tables into K shards
 // (hash-placed by -shard-keys, round-robin otherwise) and answers candidate
 // queries by scatter-gather over in-process shard workers; refreshes route
@@ -71,6 +79,8 @@ func main() {
 	watch := flag.Duration("watch", 0, "poll interval for -db CSV files; on mtime/size change the database is refreshed (0 = off)")
 	shards := flag.Int("shards", 0, "partition each database's fact tables into K shards and evaluate by scatter-gather (0/1 = unsharded)")
 	shardKeys := flag.String("shard-keys", "", "hash-placement columns for sharding: table=column[,table2=column2...] (unlisted tables are round-robin)")
+	dataDir := flag.String("data-dir", "", "back each hosted database with a persistent columnar block store under DIR/<name>; on restart the last durably published version is restored without re-parsing sources")
+	compactAfter := flag.Int("compact-after", 0, "reseal a persistent database's blocks in the background once it accumulates this many (0 = never compact)")
 	var dbFlags multiFlag
 	flag.Var(&dbFlags, "db", "register a database: name=file.csv[,file2.csv...] (repeatable)")
 	flag.Parse()
@@ -84,6 +94,8 @@ func main() {
 	cfg := core.DefaultConfig()
 	cfg.Mode = evalMode
 	cfg.Workers = *workers
+	cfg.DataDir = *dataDir
+	cfg.CompactAfter = *compactAfter
 
 	// One morsel scheduler for the whole process: every database's cube
 	// passes and direct scans share this pool, so concurrent requests

@@ -89,6 +89,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "measure morsel-scheduler scaling (worker matrix + mixed heavy/light scenario) instead of the kernel matrix")
 	shardMode := flag.Bool("shard", false, "measure sharded scatter-gather scaling (1/2/4/8 shards + merge overhead) instead of the kernel matrix")
 	kernels := flag.Bool("kernels", false, "measure the internal/vec micro-kernels (ref vs unrolled vs CPU-dispatched) plus end-to-end cube and selection-pushdown throughput")
+	storeMode := flag.Bool("store", false, "measure the persistent block store (cold-open restore vs CSV re-parse, pruned-scan page residency, compaction reseal) instead of the kernel matrix")
 	against := flag.String("against", "", "committed record to guard against: kernel matrix compares per-case vectorized/scalar ratios, -parallel compares NPROC scaling efficiency")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional rows/s regression for -against")
 	flag.Parse()
@@ -113,6 +114,13 @@ func main() {
 			*out = "BENCH_shard.json"
 		}
 		runShard(*out, *rows)
+		return
+	}
+	if *storeMode {
+		if *out == "BENCH_cube.json" {
+			*out = "BENCH_store.json"
+		}
+		runStore(*out, *rows, *against, *tolerance)
 		return
 	}
 	if *kernels {

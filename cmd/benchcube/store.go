@@ -1,0 +1,341 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aggchecker/internal/benchdata"
+	"aggchecker/internal/colstore"
+	"aggchecker/internal/db"
+	"aggchecker/internal/sqlexec"
+)
+
+// storeFile is the machine-readable record of the persistent block-store
+// workload (make bench-store): cold-open latency of a store restore vs a
+// CSV re-parse of the same data, page-level residency of a zone-pruned
+// scan over the mmapped columns, and scan throughput before/after the
+// background compactor reseals the block layout. The zero-page-read gate
+// hard-fails inside the run (pruned scans must not fault a single column
+// page in), so the CI artifact doubles as a regression gate for the
+// store's read path.
+type storeFile struct {
+	Schema     string          `json:"schema"`
+	GoVersion  string          `json:"go_version"`
+	GoMaxProcs int             `json:"go_max_procs"`
+	FactRows   int             `json:"fact_rows"`
+	Blocks     int             `json:"blocks_sealed"`
+	ColdOpen   storeColdOpen   `json:"cold_open"`
+	Pruning    storePruning    `json:"pruned_scan"`
+	Compaction storeCompaction `json:"compaction"`
+}
+
+type storeColdOpen struct {
+	// CSVParseNs re-parses the dumped fact+dims CSVs; RestoreNs reopens
+	// the manifest and mmaps the columns. Speedup is the ratio — the
+	// number a restart saves per database.
+	CSVParseNs    float64 `json:"csv_parse_ns"`
+	RestoreNs     float64 `json:"store_restore_ns"`
+	Speedup       float64 `json:"speedup_restore_over_parse"`
+	DataBytes     int64   `json:"data_bytes"`
+	ManifestBytes int64   `json:"manifest_bytes"`
+}
+
+type storePruning struct {
+	// Supported is false where /proc/self/smaps is unavailable; the
+	// resident numbers are -1 there and the zero-page-read gate is skipped.
+	Supported           bool  `json:"resident_tracking_supported"`
+	ResidentAfterOpen   int64 `json:"resident_bytes_after_open"`
+	ResidentAfterPruned int64 `json:"resident_bytes_after_pruned_scan"`
+	ResidentAfterFull   int64 `json:"resident_bytes_after_full_scan"`
+	// PrunedPageBytes is the pages the fully-refuted scan faulted in; the
+	// run fails unless it is exactly 0.
+	PrunedPageBytes int64 `json:"pruned_scan_page_bytes"`
+	BlocksPruned    int64 `json:"blocks_pruned"`
+}
+
+type storeCompaction struct {
+	BlocksBefore         int     `json:"blocks_before"`
+	BlocksAfter          int     `json:"blocks_after"`
+	ZoneRowsBefore       int     `json:"zone_rows_before"`
+	ZoneRowsAfter        int     `json:"zone_rows_after"`
+	ScanRowsPerSecBefore float64 `json:"scan_rows_per_sec_before"`
+	ScanRowsPerSecAfter  float64 `json:"scan_rows_per_sec_after"`
+	Resets               int64   `json:"resets"`
+}
+
+// runStore builds the benchmark database, persists it through the
+// colstore Persister across a series of commits, and measures the three
+// storage claims: restore beats re-parse, pruned scans touch no pages,
+// and compaction's resealed layout keeps scan throughput.
+func runStore(out string, rows int, against string, tol float64) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -store: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	ctx := context.Background()
+	dir, err := os.MkdirTemp("", "benchstore")
+	if err != nil {
+		fail("%v", err)
+	}
+	defer os.RemoveAll(dir)
+	storeDir := filepath.Join(dir, "bench")
+
+	// Build and persist: the seed commit plus a dozen appended blocks, the
+	// shape a -watch daemon leaves behind after a day of refreshes.
+	d := benchdata.BuildDB(rows)
+	st, _, err := colstore.Open(storeDir)
+	if err != nil {
+		fail("open store: %v", err)
+	}
+	if err := d.SetPersister(st); err != nil {
+		fail("set persister: %v", err)
+	}
+	const batches = 12
+	batchRows := rows / batches
+	if batchRows == 0 {
+		batchRows = 1
+	}
+	for b := 0; b < batches; b++ {
+		if err := benchdata.AppendFactRows(d, batchRows, int64(4000+b)); err != nil {
+			fail("append: %v", err)
+		}
+	}
+	totalRows := d.Snapshot().Table("fact").NumRows()
+	blocksSealed := len(d.Snapshot().Table("fact").Blocks())
+	stats := st.Stats()
+	st.Close()
+
+	file := storeFile{
+		Schema:     "aggchecker-store-bench/v1",
+		GoVersion:  runtime.Version(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		FactRows:   rows,
+		Blocks:     blocksSealed,
+	}
+
+	// Cold open: store restore vs CSV re-parse of identical data.
+	csvDir := filepath.Join(dir, "csv")
+	if err := os.MkdirAll(csvDir, 0o755); err != nil {
+		fail("%v", err)
+	}
+	snap := d.Snapshot()
+	csvFiles := make([]string, 0, len(snap.Tables()))
+	for _, tv := range snap.Tables() {
+		path := filepath.Join(csvDir, tv.Name+".csv")
+		if err := dumpCSV(path, tv); err != nil {
+			fail("dump %s: %v", tv.Name, err)
+		}
+		csvFiles = append(csvFiles, path)
+	}
+	parseRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			src := db.NewCSVSource("bench", csvFiles...)
+			if _, err := src.Open(ctx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	restoreRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			s2, pdb, err := colstore.Open(storeDir)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if pdb == nil {
+				b.Fatal("store did not restore")
+			}
+			if _, err := db.RestoreDatabase(pdb); err != nil {
+				b.Fatal(err)
+			}
+			s2.Close()
+		}
+	})
+	file.ColdOpen = storeColdOpen{
+		CSVParseNs:    float64(parseRes.T.Nanoseconds()) / float64(parseRes.N),
+		RestoreNs:     float64(restoreRes.T.Nanoseconds()) / float64(restoreRes.N),
+		DataBytes:     stats.DataBytes,
+		ManifestBytes: stats.ManifestBytes,
+	}
+	file.ColdOpen.Speedup = file.ColdOpen.CSVParseNs / file.ColdOpen.RestoreNs
+	fmt.Printf("cold open: csv parse %12.0f ns   store restore %12.0f ns   speedup x%.1f (%d blocks, %d rows)\n",
+		file.ColdOpen.CSVParseNs, file.ColdOpen.RestoreNs, file.ColdOpen.Speedup, blocksSealed, totalRows)
+
+	// Pruned-scan residency over a fresh mmapped restore: a fully
+	// zone-refuted scan must fault zero column pages in.
+	st2, pdb, err := colstore.Open(storeDir)
+	if err != nil {
+		fail("reopen: %v", err)
+	}
+	defer st2.Close()
+	rdb, err := db.RestoreDatabase(pdb)
+	if err != nil {
+		fail("restore: %v", err)
+	}
+	if err := rdb.SetPersister(st2); err != nil {
+		fail("set persister: %v", err)
+	}
+	if got := rdb.Snapshot().Table("fact").NumRows(); got != totalRows {
+		fail("restored %d rows, want %d", got, totalRows)
+	}
+	e := sqlexec.NewEngine(rdb)
+	factCol := func(c string) sqlexec.ColumnRef { return sqlexec.ColumnRef{Table: "fact", Column: c} }
+	prunedQ := sqlexec.Query{Agg: sqlexec.Count, AggCol: sqlexec.ColumnRef{Table: "fact"},
+		Preds: []sqlexec.Predicate{{Col: factCol("t"), Value: "-5"}}}
+	fullQ := sqlexec.Query{Agg: sqlexec.Sum, AggCol: factCol("y")}
+
+	resident0 := st2.Stats().ResidentBytes
+	if _, err := e.Evaluate(prunedQ); err != nil {
+		fail("pruned scan: %v", err)
+	}
+	residentPruned := st2.Stats().ResidentBytes
+	pruned := e.Stats.BlocksPruned.Load()
+	if pruned == 0 {
+		fail("the refuted scan pruned no blocks — zone maps did not survive the restore")
+	}
+	if _, err := e.Evaluate(fullQ); err != nil {
+		fail("full scan: %v", err)
+	}
+	residentFull := st2.Stats().ResidentBytes
+
+	file.Pruning = storePruning{
+		Supported:           resident0 >= 0,
+		ResidentAfterOpen:   resident0,
+		ResidentAfterPruned: residentPruned,
+		ResidentAfterFull:   residentFull,
+		BlocksPruned:        pruned,
+	}
+	if file.Pruning.Supported {
+		file.Pruning.PrunedPageBytes = residentPruned - resident0
+		if file.Pruning.PrunedPageBytes != 0 {
+			fail("pruned scan faulted %d bytes of column pages in (want 0: refuted blocks must never be read)",
+				file.Pruning.PrunedPageBytes)
+		}
+		if residentFull <= residentPruned {
+			fail("full scan faulted no pages (%d -> %d): residency tracking is broken", residentPruned, residentFull)
+		}
+		fmt.Printf("pruned scan: %d blocks pruned, 0 pages faulted (full scan faults %d KiB)\n",
+			pruned, (residentFull-residentPruned)/1024)
+	} else {
+		fmt.Printf("pruned scan: %d blocks pruned (page residency not measurable on %s)\n", pruned, runtime.GOOS)
+	}
+
+	// Compaction: reseal the restored database's blocks and compare a
+	// clustered-band scan before and after.
+	scanQ := sqlexec.Query{Agg: sqlexec.Sum, AggCol: factCol("x"),
+		Preds: []sqlexec.Predicate{{Col: factCol("z"), Value: "z3"}}}
+	beforeSnap := rdb.Snapshot()
+	file.Compaction.BlocksBefore = len(beforeSnap.Table("fact").Blocks())
+	file.Compaction.ZoneRowsBefore = beforeSnap.Table("fact").ZoneGranularity()
+	file.Compaction.ScanRowsPerSecBefore = scanRowsPerSec(e, scanQ, totalRows, fail)
+
+	if _, err := rdb.Compact(); err != nil {
+		fail("compact: %v", err)
+	}
+	afterSnap := rdb.Snapshot()
+	file.Compaction.BlocksAfter = len(afterSnap.Table("fact").Blocks())
+	file.Compaction.ZoneRowsAfter = afterSnap.Table("fact").ZoneGranularity()
+	if file.Compaction.BlocksAfter != 1 {
+		fail("compaction left %d blocks, want 1", file.Compaction.BlocksAfter)
+	}
+	e2 := sqlexec.NewEngine(rdb)
+	file.Compaction.ScanRowsPerSecAfter = scanRowsPerSec(e2, scanQ, totalRows, fail)
+	file.Compaction.Resets = st2.Stats().Resets
+	fmt.Printf("compaction: %d blocks -> %d (zone rows %d -> %d), scan %14.0f -> %14.0f rows/s\n",
+		file.Compaction.BlocksBefore, file.Compaction.BlocksAfter,
+		file.Compaction.ZoneRowsBefore, file.Compaction.ZoneRowsAfter,
+		file.Compaction.ScanRowsPerSecBefore, file.Compaction.ScanRowsPerSecAfter)
+
+	writeJSON(out, &file)
+	if against != "" {
+		guardStore(against, &file, tol)
+	}
+}
+
+// scanRowsPerSec benchmarks one direct scan and normalizes by table rows.
+func scanRowsPerSec(e *sqlexec.Engine, q sqlexec.Query, rows int, fail func(string, ...any)) float64 {
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := e.Evaluate(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	nsPerOp := float64(res.T.Nanoseconds()) / float64(res.N)
+	if nsPerOp <= 0 {
+		fail("degenerate scan timing")
+	}
+	return float64(rows) / (nsPerOp * 1e-9)
+}
+
+// dumpCSV writes one table view as a CSV file. Benchmark values carry no
+// commas or quotes, so plain joining round-trips exactly.
+func dumpCSV(path string, tv *db.TableView) error {
+	var sb strings.Builder
+	cols := tv.Columns()
+	for i, c := range cols {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(c.Name)
+	}
+	sb.WriteByte('\n')
+	for row := 0; row < tv.NumRows(); row++ {
+		for i, c := range cols {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if c.IsNull(row) {
+				continue
+			}
+			if c.Kind == db.KindString {
+				sb.WriteString(c.StringAt(row))
+			} else {
+				sb.WriteString(strconv.FormatFloat(c.Float(row), 'g', -1, 64))
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	return os.WriteFile(path, []byte(sb.String()), 0o644)
+}
+
+// guardStore is the -store regression gate: the restore-over-parse
+// speedup is a same-run ratio (machine-portable), but it scales with row
+// count, so the guard only compares records measured at the same
+// fact_rows and skips otherwise (CI's smoke run regenerates at smoke
+// scale; the committed seed is full scale).
+func guardStore(path string, fresh *storeFile, tol float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old storeFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if old.FactRows != fresh.FactRows {
+		fmt.Printf("guard store: SKIPPED - seed measured at fact_rows=%d, this run used %d; "+
+			"cold-open speedup does not compare across scales\n", old.FactRows, fresh.FactRows)
+		return
+	}
+	if old.ColdOpen.Speedup <= 0 {
+		fmt.Printf("guard store: no recorded cold-open speedup, skipping\n")
+		return
+	}
+	floor := old.ColdOpen.Speedup * (1 - tol)
+	if fresh.ColdOpen.Speedup < floor {
+		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION store cold-open speedup x%.1f < floor x%.1f (seed x%.1f, tolerance %.0f%%)\n",
+			fresh.ColdOpen.Speedup, floor, old.ColdOpen.Speedup, 100*tol)
+		os.Exit(1)
+	}
+	fmt.Printf("guard store: cold-open speedup x%.1f >= floor x%.1f ok (seed x%.1f)\n",
+		fresh.ColdOpen.Speedup, floor, old.ColdOpen.Speedup)
+}

@@ -1,0 +1,18 @@
+//go:build !unix
+
+package colstore
+
+import "os"
+
+// openColumnBytes on platforms without mmap reads the column into the
+// heap: correct but eager — every page costs memory at open. Reported
+// false as mapped so Close skips munmap and residency reports unknown.
+func openColumnBytes(f *os.File, size int64) ([]byte, bool, error) {
+	b := make([]byte, size)
+	if _, err := f.ReadAt(b, 0); err != nil {
+		return nil, false, err
+	}
+	return b, false, nil
+}
+
+func unmapBytes(b []byte) {}

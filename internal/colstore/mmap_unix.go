@@ -1,0 +1,26 @@
+//go:build unix
+
+package colstore
+
+import (
+	"os"
+	"syscall"
+)
+
+// openColumnBytes maps a column file's pages read-only and shared: bytes
+// are paged in lazily on first touch, so columns a scan never reads (zone
+// refuted, or simply unused) cost no memory and no I/O. Reported true as
+// mapped so Close knows to munmap.
+func openColumnBytes(f *os.File, size int64) ([]byte, bool, error) {
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, false, err
+	}
+	return b, true, nil
+}
+
+func unmapBytes(b []byte) {
+	if len(b) > 0 {
+		syscall.Munmap(b)
+	}
+}

@@ -1,0 +1,60 @@
+//go:build linux
+
+package colstore
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"unsafe"
+)
+
+// residentBytes sums the Rss of the store's column-page mappings from
+// /proc/self/smaps. Rss counts only pages this process has actually
+// faulted into its page tables — unlike mincore, which reports page-cache
+// residency and would claim everything "read" right after the store wrote
+// it. This is what makes "zone-pruned blocks are never paged in"
+// measurable in-process.
+func residentBytes(maps []mappedBytes) int64 {
+	if len(maps) == 0 {
+		return 0
+	}
+	want := make(map[string]bool, len(maps))
+	for _, m := range maps {
+		if len(m) > 0 {
+			want[fmt.Sprintf("%x", uintptr(unsafe.Pointer(&m[0])))] = true
+		}
+	}
+	f, err := os.Open("/proc/self/smaps")
+	if err != nil {
+		return -1
+	}
+	defer f.Close()
+	var total int64
+	inWanted := false
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if dash := strings.IndexByte(line, '-'); dash > 0 && !strings.Contains(line[:dash], ":") {
+			// VMA header line: "start-end perms offset dev inode path".
+			inWanted = want[line[:dash]]
+			continue
+		}
+		if inWanted && strings.HasPrefix(line, "Rss:") {
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					total += kb * 1024
+				}
+			}
+			inWanted = false
+		}
+	}
+	if sc.Err() != nil {
+		return -1
+	}
+	return total
+}

@@ -1,0 +1,6 @@
+//go:build !linux
+
+package colstore
+
+// residentBytes is unknowable without /proc/self/smaps.
+func residentBytes(maps []mappedBytes) int64 { return -1 }

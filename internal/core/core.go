@@ -9,8 +9,10 @@ import (
 	"context"
 	"fmt"
 	"strings"
+	"sync/atomic"
 	"time"
 
+	"aggchecker/internal/colstore"
 	"aggchecker/internal/db"
 	"aggchecker/internal/document"
 	"aggchecker/internal/evaluate"
@@ -95,6 +97,16 @@ type Config struct {
 	// request, so cross-shard version consistency is per-fan-out rather
 	// than per-check. Empty runs shards in process.
 	ShardEndpoints []string
+	// DataDir, when non-empty, backs each service-hosted database with a
+	// persistent columnar block store under DataDir/<name>: every Commit is
+	// made durable, and a restart reopens the store at the last published
+	// version without touching the source files. Empty runs memory-only.
+	DataDir string
+	// CompactAfter > 0 triggers a background compaction when a refresh
+	// leaves any table with at least that many sealed blocks: blocks are
+	// resealed into one per table with adaptively re-chunked zone maps and
+	// republished under a new structural epoch. 0 never compacts.
+	CompactAfter int
 }
 
 // DefaultConfig is the paper's main configuration.
@@ -122,6 +134,12 @@ type Checker struct {
 	// isolation).
 	shards *db.Sharder
 	coord  *shard.Coordinator
+
+	// store is the persistent block store behind DB when Config.DataDir is
+	// set (service-built checkers only); compacting serializes background
+	// compactions.
+	store      *colstore.Store
+	compacting atomic.Bool
 }
 
 // NewChecker builds the fragment catalog and indexes for the database
@@ -171,6 +189,46 @@ func (c *Checker) buildShardWorkers(cfg Config, noCache bool) []shard.Worker {
 // Sharder exposes the checker's partitioned storage, or nil when the
 // checker runs unsharded.
 func (c *Checker) Sharder() *db.Sharder { return c.shards }
+
+// Store exposes the checker's persistent block store, or nil when the
+// checker runs memory-only.
+func (c *Checker) Store() *colstore.Store { return c.store }
+
+// Compact reseals the database's small sealed blocks into one block per
+// table with adaptively re-chunked zone maps, republishing under a new
+// structural epoch. In-flight checks keep their pinned snapshots; the next
+// check pays one counted full cube rebuild (Stats.EpochRebuilds) against
+// the resealed layout. With a store attached the reseal is recorded
+// durably before Compact returns.
+func (c *Checker) Compact() error {
+	_, err := c.DB.Compact()
+	return err
+}
+
+// maybeCompactAsync starts a background compaction if any table has
+// reached the sealed-block threshold and no compaction is already running.
+func (c *Checker) maybeCompactAsync(after int) {
+	if after <= 0 || c.DB.MaxBlocks() < after {
+		return
+	}
+	if !c.compacting.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer c.compacting.Store(false)
+		// A failed compaction surfaces through Database.PersistError on the
+		// next commit; there is no caller to report to here.
+		_ = c.Compact()
+	}()
+}
+
+// detachStore releases the store's file handles while keeping its column
+// mappings valid for snapshot readers still draining. Called on eviction.
+func (c *Checker) detachStore() {
+	if c.store != nil {
+		c.store.Detach()
+	}
+}
 
 // AbsorbShards routes rows committed to the source database since the last
 // absorption into the partitions (sealing per-shard delta blocks), and

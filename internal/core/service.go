@@ -5,12 +5,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
+	"path/filepath"
 	"sort"
 	"sync"
 
+	"aggchecker/internal/colstore"
 	"aggchecker/internal/db"
 	"aggchecker/internal/document"
-	"aggchecker/internal/fragments"
 	"aggchecker/internal/sqlexec"
 )
 
@@ -105,6 +107,34 @@ type Status struct {
 	// Shard reports sharded-execution state (nil when the database runs
 	// unsharded or is not resident).
 	Shard *ShardStatus `json:"shard,omitempty"`
+	// Store reports the persistent block store backing the database (nil
+	// when memory-only or not resident).
+	Store *StoreStatus `json:"store,omitempty"`
+}
+
+// StoreStatus is the persistent-storage slice of a resident checker's
+// state: the durable version lineage plus byte-level accounting of what is
+// on disk, mapped, and actually paged in.
+type StoreStatus struct {
+	// Dir is the store's root directory.
+	Dir string `json:"dir"`
+	// Version and Epoch are the last durably published snapshot lineage.
+	Version uint64 `json:"version"`
+	Epoch   uint64 `json:"epoch"`
+	// Publishes and Resets count delta and wholesale manifest records
+	// written by this process (a reset covers bootstrap and compaction).
+	Publishes int64 `json:"publishes"`
+	Resets    int64 `json:"resets"`
+	// DataBytes is the durable column + dictionary payload; ManifestBytes
+	// the metadata journal.
+	DataBytes     int64 `json:"data_bytes"`
+	ManifestBytes int64 `json:"manifest_bytes"`
+	// MappedBytes is how much column data is memory-mapped;
+	// ResidentBytes how much of that has actually been paged in by reads
+	// (-1 when the platform cannot tell). The gap is what zone pruning
+	// never touched.
+	MappedBytes   int64 `json:"mapped_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
 }
 
 // ShardStatus is the sharded-execution slice of a resident checker's state:
@@ -188,6 +218,20 @@ func statusOf(name string, ck *Checker) Status {
 			Partials:   s["shard_partials"],
 			Stragglers: s["shard_stragglers"],
 			MergeNanos: s["shard_merge_ns"],
+		}
+	}
+	if store := ck.Store(); store != nil {
+		ss := store.Stats()
+		st.Store = &StoreStatus{
+			Dir:           ss.Dir,
+			Version:       ss.Version,
+			Epoch:         ss.Epoch,
+			Publishes:     ss.Publishes,
+			Resets:        ss.Resets,
+			DataBytes:     ss.DataBytes,
+			ManifestBytes: ss.ManifestBytes,
+			MappedBytes:   ss.MappedBytes,
+			ResidentBytes: ss.ResidentBytes,
 		}
 	}
 	return st
@@ -391,21 +435,28 @@ func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, er
 
 	// The expensive part — loading data and building the fragment catalog —
 	// runs outside the service lock so other databases stay available.
-	d, err := src.src.Open(ctx)
+	cfg := s.defaultCfg
+	if src.cfg != nil {
+		cfg = *src.cfg
+	}
+	if src.shardsSet {
+		cfg.Shards, cfg.ShardKeys = src.shards, src.shardKeys
+	}
+	if s.sched != nil {
+		// Append onto a copy: the shared default config's option slice
+		// must not grow a backing-array write from a lazy build.
+		cfg.Exec = append(append([]sqlexec.ExecOption{}, cfg.Exec...), sqlexec.WithScheduler(s.sched))
+	}
+	var d *db.Database
+	var store *colstore.Store
+	if cfg.DataDir != "" {
+		d, store, err = openPersistent(ctx, src.name, src.src, cfg.DataDir)
+	} else {
+		d, err = src.src.Open(ctx)
+	}
 	if err == nil {
-		cfg := s.defaultCfg
-		if src.cfg != nil {
-			cfg = *src.cfg
-		}
-		if src.shardsSet {
-			cfg.Shards, cfg.ShardKeys = src.shards, src.shardKeys
-		}
-		if s.sched != nil {
-			// Append onto a copy: the shared default config's option slice
-			// must not grow a backing-array write from a lazy build.
-			cfg.Exec = append(append([]sqlexec.ExecOption{}, cfg.Exec...), sqlexec.WithScheduler(s.sched))
-		}
 		ck = NewChecker(d, cfg)
+		ck.store = store
 	}
 
 	s.mu.Lock()
@@ -419,6 +470,54 @@ func (s *Service) checkerOnce(ctx context.Context, name string) (ck *Checker, er
 	call.checker, call.err = ck, err
 	close(call.done)
 	return ck, err, false
+}
+
+// openPersistent materializes a database backed by a block store under
+// dataDir/<name>. A reopenable store restores the last durably published
+// snapshot without calling the source at all — cold restarts serve
+// identical reports with zero source re-parsing. An empty (or
+// unrecoverable) store bootstraps from the source and records everything;
+// a corrupt store directory is moved aside to <dir>.bad rather than
+// blocking the database.
+func openPersistent(ctx context.Context, name string, dsrc db.Source, dataDir string) (*db.Database, *colstore.Store, error) {
+	dir := filepath.Join(dataDir, name)
+	st, pdb, err := colstore.Open(dir)
+	if err != nil {
+		if renameErr := os.Rename(dir, dir+".bad"); renameErr != nil {
+			return nil, nil, fmt.Errorf("aggchecker: open store %s: %w", dir, err)
+		}
+		if st, pdb, err = colstore.Open(dir); err != nil {
+			return nil, nil, fmt.Errorf("aggchecker: open store %s: %w", dir, err)
+		}
+	}
+	if pdb != nil {
+		d, rerr := db.RestoreDatabase(pdb)
+		if rerr == nil {
+			if perr := d.SetPersister(st); perr != nil {
+				st.Close()
+				return nil, nil, perr
+			}
+			return d, st, nil
+		}
+		// Restored metadata the database rejects: quarantine and bootstrap.
+		st.Close()
+		if renameErr := os.Rename(dir, dir+".bad"); renameErr != nil {
+			return nil, nil, rerr
+		}
+		if st, _, err = colstore.Open(dir); err != nil {
+			return nil, nil, fmt.Errorf("aggchecker: open store %s: %w", dir, err)
+		}
+	}
+	d, err := dsrc.Open(ctx)
+	if err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	if err := d.SetPersister(st); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return d, st, nil
 }
 
 // touchLocked moves a resident source to the LRU front (inserting it when
@@ -443,6 +542,9 @@ func (s *Service) evictLocked() {
 		victim := e.Value.(*source)
 		s.lru.Remove(e)
 		victim.elem = nil
+		if victim.checker != nil {
+			victim.checker.detachStore()
+		}
 		victim.checker = nil
 	}
 }
@@ -539,16 +641,19 @@ func (s *Service) refresh(ctx context.Context, src *source, ck *Checker) (Status
 		}
 		// The engine keeps its snapshot-versioned caches (appends are
 		// absorbed by delta scans); only the keyword catalog, which indexes
-		// column values, needs a rebuild so freshly appended literals
-		// match. The swapped checker shares DB and Engine, so readers
-		// mid-check on the old struct stay consistent.
+		// column values, needs maintenance so freshly appended literals
+		// match — Extend grafts just the new dictionary and numeric entries
+		// instead of rebuilding from scratch. The swapped checker shares DB
+		// and Engine, so readers mid-check on the old struct stay consistent.
+		cat, _ := ck.Catalog.Extend()
 		fresh := &Checker{
 			DB:      ck.DB,
-			Catalog: fragments.BuildCatalog(ck.DB, ck.Config.Fragments),
+			Catalog: cat,
 			Engine:  ck.Engine,
 			Config:  ck.Config,
 			shards:  ck.shards,
 			coord:   ck.coord,
+			store:   ck.store,
 		}
 		s.mu.Lock()
 		if src.checker == ck {
@@ -556,6 +661,7 @@ func (s *Service) refresh(ctx context.Context, src *source, ck *Checker) (Status
 		}
 		s.mu.Unlock()
 		ck = fresh
+		ck.maybeCompactAsync(ck.Config.CompactAfter)
 	}
 	st := statusOf(src.name, ck)
 	st.Appended = appended
@@ -570,6 +676,7 @@ func (s *Service) evictChecker(src *source, ck *Checker) {
 	if src.checker != ck {
 		return
 	}
+	ck.detachStore()
 	src.checker = nil
 	if src.elem != nil {
 		s.lru.Remove(src.elem)

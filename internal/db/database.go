@@ -41,6 +41,13 @@ type Database struct {
 	version  uint64
 	epoch    uint64
 	blockSeq int
+
+	// persister, when set, receives every published snapshot so sealed
+	// blocks and zone maps reach durable storage. A persist failure detaches
+	// the persister and is remembered in persistErr (surfaced by Commit and
+	// PersistError); the in-memory database keeps working.
+	persister  Persister
+	persistErr error
 }
 
 // stagedRow is one appended row, already normalized to storage values.
@@ -163,8 +170,55 @@ func (d *Database) publishLocked() *Snapshot {
 	d.version++
 	s := buildSnapshotLocked(d, d.lastSnap, d.version, d.epoch)
 	d.lastSnap = s
+	d.persistLocked(s)
 	d.snap.Store(s)
 	return s
+}
+
+// persistLocked hands a freshly built snapshot to the persister. A failure
+// detaches the persister — retrying against a store that just failed a
+// durable write risks interleaving torn records — and is remembered for
+// Commit/PersistError to surface. Callers hold d.mu.
+func (d *Database) persistLocked(s *Snapshot) {
+	if d.persister == nil {
+		return
+	}
+	if err := d.persister.Publish(s); err != nil {
+		d.persistErr = fmt.Errorf("db: persist version %d: %w", s.Version(), err)
+		d.persister = nil
+	}
+}
+
+// SetPersister attaches (or, with nil, detaches) the durable store backing
+// this database. The current state is published and persisted immediately,
+// so a freshly loaded database is durable as soon as the persister is
+// attached; persisters must tolerate a Publish for an already-persisted
+// version (SetPersister after a publication re-offers the same snapshot).
+func (d *Database) SetPersister(p Persister) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.persister = p
+	d.persistErr = nil
+	if p == nil {
+		return nil
+	}
+	s := d.publishLocked()
+	// publishLocked persists only when it built a fresh snapshot; re-offer
+	// the current one in case the state was already published before the
+	// persister was attached.
+	if d.persister != nil {
+		d.persistLocked(s)
+	}
+	return d.persistErr
+}
+
+// PersistError returns the sticky error of a failed persist, or nil. Once a
+// durable write fails the persister is detached: the database keeps serving
+// from memory, and the owner decides whether to rebuild against the store.
+func (d *Database) PersistError() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.persistErr
 }
 
 // Append stages rows for a table; each row lists one value per table column
@@ -246,10 +300,63 @@ func (d *Database) Commit() (*Snapshot, error) {
 	}
 	d.staged = make(map[string][]stagedRow)
 	if !touched {
-		return d.publishLocked(), nil
+		return d.publishLocked(), d.persistErr
 	}
 	d.snap.Store(nil)
-	return d.publishLocked(), nil
+	return d.publishLocked(), d.persistErr
+}
+
+// Compact reseals every multi-block table's metadata into one block
+// covering all committed rows and re-chunks its zone maps under a
+// granularity sampled from the pre-compaction zones (chooseZoneRows). It is
+// a structural change: the epoch bumps and the next snapshot publishes
+// under a fresh version, so engines' delta-tracked cubes take one counted
+// full rebuild while in-flight readers keep their pinned snapshots. Row
+// data never moves — column storage is contiguous — so compaction is pure
+// metadata plus a zone recomputation, and attached persisters record it as
+// a manifest reset without rewriting data pages. Staged rows stay staged.
+func (d *Database) Compact() (*Snapshot, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	prev := d.publishLocked()
+	changed := false
+	for _, t := range d.tables {
+		bs := d.blocks[t.Name]
+		if len(bs) == 0 {
+			continue
+		}
+		zr := t.ZoneGranularity()
+		if tv := prev.byName[t.Name]; tv != nil {
+			zr = chooseZoneRows(tv)
+		}
+		if len(bs) == 1 && zr == t.ZoneGranularity() {
+			continue
+		}
+		d.blocks[t.Name] = []Block{{Seq: d.blockSeq, Start: 0, End: bs[len(bs)-1].End}}
+		d.blockSeq++
+		t.zoneRows = zr
+		changed = true
+	}
+	if !changed {
+		return prev, d.persistErr
+	}
+	d.epoch++
+	d.snap.Store(nil)
+	return d.publishLocked(), d.persistErr
+}
+
+// MaxBlocks returns the largest sealed-block count across tables — the
+// signal compaction policies threshold on.
+func (d *Database) MaxBlocks() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	max := 0
+	for _, bs := range d.blocks {
+		if len(bs) > max {
+			max = len(bs)
+		}
+	}
+	return max
 }
 
 // Tables returns all tables in registration order.

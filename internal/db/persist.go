@@ -1,0 +1,63 @@
+package db
+
+// This file defines the seam between the in-memory snapshot-versioned store
+// and a durable columnar store (package colstore implements one). The
+// database pushes every publication through a Persister; on restart the
+// store hands back a PersistedDB — column data (typically mmap-backed),
+// sealed-block layout, zone maps, and version lineage — and
+// RestoreDatabase rebuilds the database plus a fully formed first snapshot
+// around it without scanning a single data page.
+
+// Persister receives every snapshot a Database publishes, in version order,
+// under the database's mutation lock (implementations must not call back
+// into the database). A publication within the same structural epoch is an
+// append-only delta over the previous one; an epoch change (AddTable,
+// AddForeignKey, Compact) means block layout and zone maps were rebuilt
+// and must be re-recorded wholesale. Publish must be idempotent for a
+// version it has already persisted, and must make the publication durable
+// before returning: once it returns nil, a crash-restarted store reopens at
+// this version or a later one.
+type Persister interface {
+	Publish(s *Snapshot) error
+}
+
+// PersistedDB is the reopened state of a durable store: everything needed
+// to reconstruct a Database and its latest published Snapshot without
+// re-deriving anything from column data. Data slices may alias mmap'd
+// file pages; they are handed to the database as-is (len == cap, so a
+// later append reallocates to the heap instead of writing file pages).
+type PersistedDB struct {
+	Name           string
+	Version, Epoch uint64
+	Tables         []PersistedTable
+	FKs            []ForeignKey
+}
+
+// PersistedTable is one table's reopened state.
+type PersistedTable struct {
+	Name       string
+	PrimaryKey string
+	// ZoneRows is the zone granularity the persisted zones were chunked
+	// with (0 = package default).
+	ZoneRows int
+	Blocks   []Block
+	Cols     []PersistedColumn
+}
+
+// PersistedColumn is one column's reopened state. Exactly one of Floats or
+// Codes is populated, per Kind.
+type PersistedColumn struct {
+	Name        string
+	Description string
+	Kind        Kind
+	Integral    bool
+
+	Floats []float64
+	Codes  []int32
+	Dict   []string
+
+	// NullCount and Zones reproduce the snapshot-side summaries so the
+	// restored snapshot is complete without reading the data slices.
+	NullCount int
+	Zones     []ZoneEntry
+}

@@ -166,11 +166,12 @@ type TableView struct {
 	Name       string
 	PrimaryKey string
 
-	cols   []*ColView
-	byName map[string]*ColView
-	rows   int
-	blocks []Block
-	spans  []ZoneSpan
+	cols     []*ColView
+	byName   map[string]*ColView
+	rows     int
+	blocks   []Block
+	spans    []ZoneSpan
+	zoneRows int
 }
 
 // NumRows returns the row count visible in this snapshot.
@@ -187,10 +188,20 @@ func (t *TableView) Column(name string) *ColView { return t.byName[name] }
 func (t *TableView) Blocks() []Block { return t.blocks }
 
 // ZoneSpans returns the table's zone-map segmentation: consecutive row
-// ranges of at most ZoneRows rows that never cross a sealed block. Every
-// column's Zones() list is positionally aligned with these spans. The
+// ranges of at most ZoneGranularity rows that never cross a sealed block.
+// Every column's Zones() list is positionally aligned with these spans. The
 // returned slice is immutable.
 func (t *TableView) ZoneSpans() []ZoneSpan { return t.spans }
+
+// ZoneGranularity returns the zone chunking (rows per zone) this view was
+// built with — the package default until the compactor reseals the table
+// with an adaptively sampled granularity.
+func (t *TableView) ZoneGranularity() int {
+	if t.zoneRows <= 0 {
+		return ZoneRows
+	}
+	return t.zoneRows
+}
 
 // Snapshot is an immutable, versioned view of a whole database. Snapshots
 // are cheap (per-column slice headers, no data copies) and safe to read
@@ -311,17 +322,20 @@ func buildTableView(t *Table, blocks []Block, prev *TableView) *TableView {
 		rows:       rows,
 		blocks:     append([]Block(nil), blocks...),
 		byName:     make(map[string]*ColView, len(t.Columns)),
+		zoneRows:   t.ZoneGranularity(),
 	}
 	// Zone spans extend the previous snapshot's: sealed blocks are
 	// append-only and commits seal at block boundaries, so the prefix of
-	// spans covering the previously visible rows is still exact.
+	// spans covering the previously visible rows is still exact. (The
+	// granularity can only change at compaction, which bumps the epoch and
+	// rebuilds without a prev view, so extending never mixes granularities.)
 	prevRows := 0
 	var prevSpans []ZoneSpan
 	if prev != nil {
 		prevRows = prev.rows
 		prevSpans = prev.spans
 	}
-	tv.spans = zoneSpansFor(blocks, prevRows, prevSpans)
+	tv.spans = zoneSpansFor(blocks, prevRows, prevSpans, tv.zoneRows)
 	for i, c := range t.Columns {
 		var pc *ColView
 		if prev != nil && i < len(prev.cols) && prev.cols[i].Name == c.Name && prev.cols[i].Kind == c.Kind {

@@ -1,13 +1,44 @@
 package db
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
 	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 )
+
+// sourceFileState fingerprints the consumed prefix of one backing file:
+// its byte length and a hash of those bytes. Refresh verifies both before
+// appending, so a file that shrank, or was rewritten in place to the same
+// or a larger size, surfaces the non-append-only error instead of silently
+// appending garbage rows diffed from a stale offset.
+type sourceFileState struct {
+	size int64
+	sum  [sha256.Size]byte
+}
+
+func fingerprint(data []byte) sourceFileState {
+	return sourceFileState{size: int64(len(data)), sum: sha256.Sum256(data)}
+}
+
+// verifyAppendOnly checks the current file contents against the fingerprint
+// of the previously consumed prefix.
+func (st sourceFileState) verifyAppendOnly(data []byte, source, table string) error {
+	if int64(len(data)) < st.size {
+		return fmt.Errorf("db: %s source: table %s shrank from %d to %d bytes; refresh requires append-only files",
+			source, table, st.size, len(data))
+	}
+	if sha256.Sum256(data[:st.size]) != st.sum {
+		return fmt.Errorf("db: %s source: table %s was rewritten in place; refresh requires append-only files",
+			source, table)
+	}
+	return nil
+}
 
 // Source materializes a database on demand — the pluggable opener side of
 // the storage contract. A Source is registered with a service once and
@@ -53,6 +84,11 @@ type CSVSource struct {
 	Dir string
 	// Options tunes CSV parsing (NULL tokens, delimiter).
 	Options CSVOptions
+
+	// mu guards seen: per-file fingerprints of the consumed prefix, used by
+	// Refresh to detect truncated or rewritten-in-place files.
+	mu   sync.Mutex
+	seen map[string]sourceFileState
 }
 
 // NewCSVSource returns a source over an explicit CSV file list.
@@ -110,6 +146,7 @@ func (s *CSVSource) Open(ctx context.Context) (*Database, error) {
 		return nil, err
 	}
 	d := NewDatabase(s.Name)
+	fresh := make(map[string]sourceFileState, len(files))
 	for _, f := range files {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -126,7 +163,11 @@ func (s *CSVSource) Open(ctx context.Context) (*Database, error) {
 		if err := d.AddTable(tbl); err != nil {
 			return nil, err
 		}
+		fresh[path] = fingerprint(data)
 	}
+	s.mu.Lock()
+	s.seen = fresh
+	s.mu.Unlock()
 	return d, nil
 }
 
@@ -175,6 +216,14 @@ func (s *CSVSource) refreshTable(d *Database, t *Table, path string) (int, error
 	if err != nil {
 		return 0, err
 	}
+	s.mu.Lock()
+	prev, tracked := s.seen[path]
+	s.mu.Unlock()
+	if tracked {
+		if err := prev.verifyAppendOnly(data, "csv "+s.Name, t.Name); err != nil {
+			return 0, err
+		}
+	}
 	if len(data) == 0 {
 		return 0, nil
 	}
@@ -214,12 +263,19 @@ func (s *CSVSource) refreshTable(d *Database, t *Table, path string) (int, error
 		}
 		out = append(out, row)
 	}
-	if len(out) == 0 {
-		return 0, nil
+	if len(out) > 0 {
+		if err := d.Append(t.Name, out...); err != nil {
+			return 0, err
+		}
 	}
-	if err := d.Append(t.Name, out...); err != nil {
-		return 0, err
+	// Only bytes that parsed and staged cleanly become the new consumed
+	// prefix; a failed refresh re-verifies from the old fingerprint.
+	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = make(map[string]sourceFileState)
 	}
+	s.seen[path] = fingerprint(data)
+	s.mu.Unlock()
 	return len(out), nil
 }
 
@@ -228,6 +284,11 @@ func (s *CSVSource) refreshTable(d *Database, t *Table, path string) (int, error
 type JSONLSource struct {
 	Name  string
 	Files []string
+
+	// mu guards seen: per-file fingerprints of the consumed prefix, used by
+	// Refresh to detect truncated or rewritten-in-place files.
+	mu   sync.Mutex
+	seen map[string]sourceFileState
 }
 
 // NewJSONLSource returns a source over an explicit JSONL file list.
@@ -241,18 +302,28 @@ func (s *JSONLSource) Open(ctx context.Context) (*Database, error) {
 		return nil, fmt.Errorf("db: jsonl source %s: no files", s.Name)
 	}
 	d := NewDatabase(s.Name)
+	fresh := make(map[string]sourceFileState, len(s.Files))
 	for _, f := range s.Files {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		tbl, err := LoadJSONLFile(strings.TrimSpace(f), "")
+		path := strings.TrimSpace(f)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		tbl, err := LoadJSONL(bytes.NewReader(data), tableNameFromPath(path))
 		if err != nil {
 			return nil, err
 		}
 		if err := d.AddTable(tbl); err != nil {
 			return nil, err
 		}
+		fresh[path] = fingerprint(data)
 	}
+	s.mu.Lock()
+	s.seen = fresh
+	s.mu.Unlock()
 	return d, nil
 }
 
@@ -290,12 +361,19 @@ func (s *JSONLSource) refreshFile(d *Database, path string) (int, error) {
 	if t == nil {
 		return 0, nil
 	}
-	f, err := os.Open(path)
+	data, err := os.ReadFile(path)
 	if err != nil {
 		return 0, err
 	}
-	objs, _, err := readJSONLObjects(f, name)
-	f.Close()
+	s.mu.Lock()
+	prev, tracked := s.seen[path]
+	s.mu.Unlock()
+	if tracked {
+		if err := prev.verifyAppendOnly(data, "jsonl "+s.Name, name); err != nil {
+			return 0, err
+		}
+	}
+	objs, _, err := readJSONLObjects(bytes.NewReader(data), name)
 	if err != nil {
 		return 0, err
 	}
@@ -330,12 +408,17 @@ func (s *JSONLSource) refreshFile(d *Database, path string) (int, error) {
 		}
 		out = append(out, row)
 	}
-	if len(out) == 0 {
-		return 0, nil
+	if len(out) > 0 {
+		if err := d.Append(name, out...); err != nil {
+			return 0, err
+		}
 	}
-	if err := d.Append(name, out...); err != nil {
-		return 0, err
+	s.mu.Lock()
+	if s.seen == nil {
+		s.seen = make(map[string]sourceFileState)
 	}
+	s.seen[path] = fingerprint(data)
+	s.mu.Unlock()
 	return len(out), nil
 }
 

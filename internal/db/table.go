@@ -12,6 +12,20 @@ type Table struct {
 	PrimaryKey string // name of the PK column, "" if none
 
 	byName map[string]*Column
+
+	// zoneRows is the table's zone-map granularity in rows (0 = the package
+	// default ZoneRows). It changes only when the compactor reseals the
+	// table's blocks, which republishes every zone under a fresh structural
+	// epoch, so all zones of one snapshot share a single granularity.
+	zoneRows int
+}
+
+// ZoneGranularity returns the table's zone-map chunking in rows.
+func (t *Table) ZoneGranularity() int {
+	if t.zoneRows <= 0 {
+		return ZoneRows
+	}
+	return t.zoneRows
 }
 
 // NewTable creates a table from columns. All columns must have equal length.

@@ -2,6 +2,7 @@ package db
 
 import (
 	"math"
+	"math/bits"
 
 	"aggchecker/internal/vec"
 )
@@ -16,10 +17,21 @@ import (
 // block, so append-only commits extend the zone list without touching
 // sealed entries — the property that lets delta scans prune too.
 
-// ZoneRows is the zone-map granularity: the maximum number of rows one
-// zone summarizes. It matches the execution kernel's block size so each
-// kernel block of a zero-copy scan maps to exactly one zone.
+// ZoneRows is the default zone-map granularity: the maximum number of rows
+// one zone summarizes. It matches the execution kernel's block size so each
+// kernel block of a zero-copy scan maps to exactly one zone. Tables keep
+// this granularity until the compactor reseals them, when a sampled prune
+// estimate may pick ZoneRowsFine or ZoneRowsCoarse instead.
 const ZoneRows = 4096
+
+// ZoneRowsFine and ZoneRowsCoarse are the alternative granularities the
+// compactor chooses between: fine zones pay for themselves on clustered
+// columns where most zones refute most literals; coarse zones cut summary
+// overhead on columns whose zones almost never prune.
+const (
+	ZoneRowsFine   = 1024
+	ZoneRowsCoarse = 16384
+)
 
 // maxZoneDomainDict caps the dictionary size for which per-zone domain
 // bitsets are built. Beyond it the bitsets would rival the column storage
@@ -83,17 +95,33 @@ func (z *ZoneEntry) MayContainCode(c int32) bool {
 	return z.domain[w]&(1<<(uint(c)&63)) != 0
 }
 
-// zoneSpansFor chunks the sealed blocks into zone spans, reusing the prev
-// spans covering [0, from) (always a block boundary: commits seal whole
-// blocks).
-func zoneSpansFor(blocks []Block, from int, prev []ZoneSpan) []ZoneSpan {
+// Domain returns the dictionary-code presence bitset of a string-column
+// zone and whether one was built (large dictionaries skip the bitset). The
+// returned slice is immutable. It exists so persistent stores can serialize
+// zones and hand them back through MakeZoneEntry on restore.
+func (z *ZoneEntry) Domain() ([]uint64, bool) { return z.domain, z.hasDomain }
+
+// MakeZoneEntry reconstructs a zone entry from persisted fields. hasDomain
+// distinguishes an empty-but-built bitset (all rows NULL: refutes every
+// code) from an absent one (claims nothing).
+func MakeZoneEntry(start, end, nullCount int, min, max float64, domain []uint64, hasDomain bool) ZoneEntry {
+	return ZoneEntry{Start: start, End: end, NullCount: nullCount, Min: min, Max: max, domain: domain, hasDomain: hasDomain}
+}
+
+// zoneSpansFor chunks the sealed blocks into zone spans of at most zoneRows
+// rows, reusing the prev spans covering [0, from) (always a block boundary:
+// commits seal whole blocks).
+func zoneSpansFor(blocks []Block, from int, prev []ZoneSpan, zoneRows int) []ZoneSpan {
+	if zoneRows <= 0 {
+		zoneRows = ZoneRows
+	}
 	spans := prev
 	for _, b := range blocks {
 		if b.End <= from {
 			continue
 		}
-		for lo := b.Start; lo < b.End; lo += ZoneRows {
-			hi := lo + ZoneRows
+		for lo := b.Start; lo < b.End; lo += zoneRows {
+			hi := lo + zoneRows
 			if hi > b.End {
 				hi = b.End
 			}
@@ -101,6 +129,91 @@ func zoneSpansFor(blocks []Block, from int, prev []ZoneSpan) []ZoneSpan {
 		}
 	}
 	return spans
+}
+
+// chooseZoneRows picks the zone granularity for a table about to be
+// resealed by sampling how refutable its current zones are: the probability
+// that a zone refutes a uniformly drawn equality literal, estimated per
+// column from the existing summaries and maximized over columns (one
+// well-clustered column is enough to make fine zones pay). High estimates
+// choose ZoneRowsFine, middling ones keep the default, near-zero ones fall
+// back to ZoneRowsCoarse.
+func chooseZoneRows(tv *TableView) int {
+	best := 0.0
+	for _, c := range tv.cols {
+		if p := colPruneEstimate(c); p > best {
+			best = p
+		}
+	}
+	switch {
+	case best >= 0.75:
+		return ZoneRowsFine
+	case best >= 0.25:
+		return ZoneRows
+	default:
+		return ZoneRowsCoarse
+	}
+}
+
+// colPruneEstimate estimates the chance one zone of the column refutes a
+// uniformly drawn equality literal: for dictionary columns, one minus the
+// mean fraction of the dictionary present per zone; for numeric columns,
+// one minus the mean fraction of the column's global value range a zone's
+// min/max covers. Zones that are entirely NULL refute everything and score
+// 1. Columns without usable summaries score 0 (never force fine zones).
+func colPruneEstimate(c *ColView) float64 {
+	if len(c.zones) == 0 {
+		return 0
+	}
+	if c.Kind == KindString {
+		dictLen := len(c.dict)
+		if dictLen == 0 {
+			return 0
+		}
+		sum, n := 0.0, 0
+		for i := range c.zones {
+			z := &c.zones[i]
+			if !z.hasDomain {
+				continue
+			}
+			n++
+			if z.AllNull() {
+				sum += 1
+				continue
+			}
+			pop := 0
+			for _, w := range z.domain {
+				pop += bits.OnesCount64(w)
+			}
+			sum += 1 - float64(pop)/float64(dictLen)
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	gmin, gmax := math.Inf(1), math.Inf(-1)
+	for i := range c.zones {
+		z := &c.zones[i]
+		if z.AllNull() {
+			continue
+		}
+		gmin = math.Min(gmin, z.Min)
+		gmax = math.Max(gmax, z.Max)
+	}
+	if !(gmax > gmin) {
+		return 0 // constant, empty, or all-NULL column: range tests never prune
+	}
+	sum := 0.0
+	for i := range c.zones {
+		z := &c.zones[i]
+		if z.AllNull() {
+			sum += 1
+			continue
+		}
+		sum += 1 - (z.Max-z.Min)/(gmax-gmin)
+	}
+	return sum / float64(len(c.zones))
 }
 
 // floatZones summarizes vals over the given spans starting at span index

@@ -242,6 +242,138 @@ func (c *Catalog) buildPredicates() {
 	}
 }
 
+// Extend returns a catalog covering the database's current contents by
+// extending c with predicate fragments for values that appeared since c
+// was built, instead of rebuilding everything: function and column
+// fragments (and their IR indexes) are shared with c, predicate lists are
+// copied copy-on-write, and only the predicate index is rebuilt. String
+// dictionaries are append-only in first-seen order, so a column's new
+// literals are exactly the dictionary suffix past its existing fragments;
+// sorted numeric distinct sets interleave, so those take a set diff. New
+// predicate columns are appended after the existing ones, keeping prior
+// parameters indexed against PredColumns stable. c itself is never
+// mutated.
+//
+// Returns (c, 0) when nothing changed. Returns a freshly built catalog
+// and -1 when the change cannot be expressed incrementally: a schema
+// change, or an integral column crossing NumericPredicateMaxDistinct
+// (a fresh build would drop its fragments entirely).
+func (c *Catalog) Extend() (*Catalog, int) {
+	cols := 0
+	for _, t := range c.DB.Tables() {
+		cols += len(t.Columns)
+	}
+	if len(c.Columns) != 1+cols {
+		return BuildCatalog(c.DB, c.Opts), -1
+	}
+	n := &Catalog{
+		DB:            c.DB,
+		Opts:          c.Opts,
+		Fragments:     c.Fragments,
+		Funcs:         c.Funcs,
+		Columns:       c.Columns,
+		Preds:         c.Preds,
+		FuncIndex:     c.FuncIndex,
+		ColIndex:      c.ColIndex,
+		PredIndex:     c.PredIndex,
+		PredColumns:   c.PredColumns,
+		predsByColumn: c.predsByColumn,
+	}
+	cow := false // clone the shared slices once, on first change
+	added := 0
+	addLits := func(t *db.Table, col *db.Column, ref sqlexec.ColumnRef, lits []string) {
+		if !cow {
+			cow = true
+			n.Fragments = append([]*Fragment(nil), c.Fragments...)
+			n.Preds = append([]*Fragment(nil), c.Preds...)
+			n.PredColumns = append([]sqlexec.ColumnRef(nil), c.PredColumns...)
+			n.predsByColumn = append([][]*Fragment(nil), c.predsByColumn...)
+		}
+		idx := n.PredColumnIndex(ref)
+		if idx < 0 {
+			idx = len(n.PredColumns)
+			n.PredColumns = append(n.PredColumns, ref)
+			n.predsByColumn = append(n.predsByColumn, nil)
+		} else {
+			n.predsByColumn[idx] = append([]*Fragment(nil), n.predsByColumn[idx]...)
+		}
+		for _, lit := range lits {
+			kw := newKeywordSet()
+			n.addLiteralKeywords(kw, lit)
+			n.addIdentifierKeywords(kw, col.Name, n.Opts.ColumnWeight)
+			n.addIdentifierKeywords(kw, t.Name, n.Opts.TableWeight)
+			frag := n.add(&Fragment{Kind: FragPredicate, Col: ref, Value: lit, Keywords: kw.terms()})
+			n.Preds = append(n.Preds, frag)
+			n.predsByColumn[idx] = append(n.predsByColumn[idx], frag)
+			added++
+		}
+	}
+	for _, t := range c.DB.Tables() {
+		for _, col := range t.Columns {
+			ref := sqlexec.ColumnRef{Table: t.Name, Column: col.Name}
+			idx := n.PredColumnIndex(ref)
+			prev := 0
+			if idx >= 0 {
+				prev = len(n.predsByColumn[idx])
+			}
+			switch col.Kind {
+			case db.KindString:
+				lits := col.Dictionary()
+				if m := c.Opts.MaxLiteralsPerColumn; m > 0 && len(lits) > m {
+					lits = lits[:m]
+				}
+				if len(lits) > prev {
+					addLits(t, col, ref, lits[prev:])
+				}
+			case db.KindFloat:
+				if !col.Integral {
+					continue
+				}
+				distinct := col.DistinctFloats()
+				if len(distinct) == 0 {
+					continue
+				}
+				if len(distinct) > c.Opts.NumericPredicateMaxDistinct {
+					if prev > 0 {
+						// The column crossed the distinct threshold: a fresh
+						// build would not form predicates over it at all.
+						return BuildCatalog(c.DB, c.Opts), -1
+					}
+					continue
+				}
+				seen := make(map[string]bool, prev)
+				if idx >= 0 {
+					for _, f := range n.predsByColumn[idx] {
+						seen[f.Value] = true
+					}
+				}
+				var fresh []string
+				for _, v := range distinct {
+					lit := strconv.FormatInt(int64(v), 10)
+					if !seen[lit] {
+						fresh = append(fresh, lit)
+					}
+				}
+				if m := c.Opts.MaxLiteralsPerColumn; m > 0 && prev+len(fresh) > m {
+					if prev >= m {
+						fresh = nil
+					} else {
+						fresh = fresh[:m-prev]
+					}
+				}
+				if len(fresh) > 0 {
+					addLits(t, col, ref, fresh)
+				}
+			}
+		}
+	}
+	if added == 0 {
+		return c, 0
+	}
+	n.PredIndex = buildIndex(n.Preds)
+	return n, added
+}
+
 // addIdentifierKeywords decomposes an identifier and adds each unit (plus
 // synonyms) at the given weight.
 func (c *Catalog) addIdentifierKeywords(kw *keywordSet, ident string, weight float64) {

@@ -204,3 +204,126 @@ func TestFragmentIDsConsistent(t *testing.T) {
 		t.Errorf("fragment partition sizes inconsistent")
 	}
 }
+
+func predKey(f *Fragment) string { return f.Col.String() + "=" + f.Value }
+
+func TestExtendNoChangeReturnsSameCatalog(t *testing.T) {
+	c := BuildCatalog(nflDB(t), DefaultOptions())
+	ext, added := c.Extend()
+	if ext != c || added != 0 {
+		t.Fatalf("Extend with no new values = (%p, %d), want (%p, 0)", ext, added, c)
+	}
+}
+
+func TestExtendMatchesFreshBuild(t *testing.T) {
+	d := nflDB(t)
+	c := BuildCatalog(d, DefaultOptions())
+	nPreds, nFrags := len(c.Preds), len(c.Fragments)
+
+	// New string values, a repeated value, and a new integral year.
+	err := d.Append("nflsuspensions",
+		[]any{"Tom Example", "SEA", "8", "gambling", 2001.0},
+		[]any{"Ann Sample", "CLE", "indef", "doping violation", 2014.0},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	ext, added := c.Extend()
+	if added <= 0 {
+		t.Fatalf("Extend added = %d, want > 0", added)
+	}
+	if ext == c {
+		t.Fatal("Extend must return a new catalog when values were added")
+	}
+	// Copy-on-write: the old catalog is untouched, cheap parts are shared.
+	if len(c.Preds) != nPreds || len(c.Fragments) != nFrags {
+		t.Fatal("Extend mutated the source catalog")
+	}
+	if ext.FuncIndex != c.FuncIndex || ext.ColIndex != c.ColIndex {
+		t.Fatal("Extend must share the function and column indexes")
+	}
+	// Existing predicate columns keep their positions (prior parameters are
+	// indexed against PredColumns).
+	for i, ref := range c.PredColumns {
+		if ext.PredColumns[i] != ref {
+			t.Fatalf("predicate column %d moved: %v -> %v", i, ref, ext.PredColumns[i])
+		}
+	}
+
+	// Membership matches a fresh build exactly.
+	fresh := BuildCatalog(d, DefaultOptions())
+	want := make(map[string]*Fragment, len(fresh.Preds))
+	for _, f := range fresh.Preds {
+		want[predKey(f)] = f
+	}
+	got := make(map[string]*Fragment, len(ext.Preds))
+	for _, f := range ext.Preds {
+		got[predKey(f)] = f
+	}
+	if len(got) != len(want) {
+		t.Fatalf("extended catalog has %d predicates, fresh build has %d", len(got), len(want))
+	}
+	for k, wf := range want {
+		gf, ok := got[k]
+		if !ok {
+			t.Fatalf("extended catalog missing predicate %s", k)
+		}
+		if len(gf.Keywords) != len(wf.Keywords) {
+			t.Fatalf("predicate %s keywords = %d, want %d", k, len(gf.Keywords), len(wf.Keywords))
+		}
+		for i := range wf.Keywords {
+			if gf.Keywords[i] != wf.Keywords[i] {
+				t.Fatalf("predicate %s keyword %d = %+v, want %+v", k, i, gf.Keywords[i], wf.Keywords[i])
+			}
+		}
+	}
+
+	// The rebuilt predicate index serves the new literals.
+	res := ext.PredIndex.Search([]ir.WeightedTerm{{Term: nlp.Stem("doping"), Weight: 1}}, 3)
+	foundNew := false
+	for _, r := range res {
+		if ext.Fragment(r.ID).Value == "doping violation" {
+			foundNew = true
+		}
+	}
+	if !foundNew {
+		t.Fatal("new literal not searchable through the extended predicate index")
+	}
+
+	// Extending again with nothing new is a no-op on the extended catalog.
+	again, n := ext.Extend()
+	if again != ext || n != 0 {
+		t.Fatalf("second Extend = (%p, %d), want (%p, 0)", again, n, ext)
+	}
+}
+
+func TestExtendFallsBackOnThresholdCross(t *testing.T) {
+	d := nflDB(t)
+	opts := DefaultOptions()
+	opts.NumericPredicateMaxDistinct = 5
+	c := BuildCatalog(d, opts)
+	yi := c.PredColumnIndex(sqlexec.ColumnRef{Table: "nflsuspensions", Column: "year"})
+	if yi < 0 {
+		t.Fatal("year should be a predicate column below the threshold")
+	}
+	// Push the year column past the distinct threshold.
+	for i := 0; i < 8; i++ {
+		if err := d.Append("nflsuspensions", []any{"P", "T", "1", "c", float64(2020 + i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := d.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	ext, added := c.Extend()
+	if added != -1 {
+		t.Fatalf("Extend across the distinct threshold added = %d, want -1 (full rebuild)", added)
+	}
+	if ext.PredColumnIndex(sqlexec.ColumnRef{Table: "nflsuspensions", Column: "year"}) >= 0 {
+		t.Fatal("rebuilt catalog must drop the over-threshold numeric column")
+	}
+}

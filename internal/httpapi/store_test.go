@@ -1,0 +1,72 @@
+package httpapi
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"aggchecker/internal/core"
+	"aggchecker/internal/db"
+)
+
+// TestStatusStoreSection pins the wire shape of the persistent-store slice
+// of the status endpoint: a database hosted under a DataDir reports its
+// durable version lineage and byte-level accounting, and the JSON keys the
+// dashboard reads stay stable.
+func TestStatusStoreSection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "fines.csv")
+	if err := os.WriteFile(path, []byte("player,amount\nAlice,100\nBob,200\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig()
+	cfg.DataDir = filepath.Join(dir, "blocks")
+	svc := core.NewService(core.WithDefaultConfig(cfg))
+	if err := svc.RegisterSource("fines", db.NewCSVSource("fines", path)); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(New(svc, Options{}))
+	t.Cleanup(ts.Close)
+
+	resp := postDoc(t, ts.URL+"/v1/databases/fines/check", "There are 2 players.")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("check status = %d", resp.StatusCode)
+	}
+
+	code, st := getStatus(t, ts.URL+"/v1/databases/fines/status")
+	if code != http.StatusOK || !st.Resident {
+		t.Fatalf("status = %d %+v", code, st)
+	}
+	if st.Store == nil {
+		t.Fatal("status carries no store section for a DataDir-backed database")
+	}
+	if st.Store.Version != st.Version || st.Store.DataBytes <= 0 || st.Store.ManifestBytes <= 0 {
+		t.Fatalf("store section = %+v, want durable version %d with bytes", st.Store, st.Version)
+	}
+	if st.Store.Dir != filepath.Join(cfg.DataDir, "fines") {
+		t.Errorf("store dir = %q", st.Store.Dir)
+	}
+
+	// Pin the raw JSON keys: these are read by dashboards, not Go clients.
+	r2, err := http.Get(ts.URL + "/v1/databases/fines/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r2.Body.Close()
+	var raw struct {
+		Store map[string]any `json:"store"`
+	}
+	if err := json.NewDecoder(r2.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"dir", "version", "epoch", "publishes", "resets",
+		"data_bytes", "manifest_bytes", "mapped_bytes", "resident_bytes"} {
+		if _, ok := raw.Store[key]; !ok {
+			t.Errorf("store JSON missing key %q (got %v)", key, raw.Store)
+		}
+	}
+}

@@ -107,9 +107,13 @@ type Stats struct {
 	// (exactly the blocks committed since the cached version); FullRebuilds
 	// the cube passes forced by a snapshot advance the delta path could not
 	// express (joined scopes, changed dimensions, structural changes).
-	DeltaScans   atomic.Int64
-	BlocksDelta  atomic.Int64
-	FullRebuilds atomic.Int64
+	// EpochRebuilds is the subset of FullRebuilds caused by a structural
+	// epoch change (AddTable, AddForeignKey, or a compaction resealing the
+	// block layout) rather than a scope or shape mismatch.
+	DeltaScans    atomic.Int64
+	BlocksDelta   atomic.Int64
+	FullRebuilds  atomic.Int64
+	EpochRebuilds atomic.Int64
 }
 
 // Snapshot returns a plain copy of the counters.
@@ -149,9 +153,10 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"shard_merge_ns":   s.ShardMergeNanos.Load(),
 		"shard_stragglers": s.ShardStragglers.Load(),
 
-		"delta_scans":   s.DeltaScans.Load(),
-		"blocks_delta":  s.BlocksDelta.Load(),
-		"full_rebuilds": s.FullRebuilds.Load(),
+		"delta_scans":    s.DeltaScans.Load(),
+		"blocks_delta":   s.BlocksDelta.Load(),
+		"full_rebuilds":  s.FullRebuilds.Load(),
+		"epoch_rebuilds": s.EpochRebuilds.Load(),
 	}
 }
 
@@ -704,6 +709,9 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 	// advance cannot be expressed as an append-only delta.
 	ent.computing.Store(true)
 	e.Stats.FullRebuilds.Add(1)
+	if st.epoch != snap.Epoch() {
+		e.Stats.EpochRebuilds.Add(1)
+	}
 	fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
 	if err != nil {
 		return nil, err

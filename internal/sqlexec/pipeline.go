@@ -36,8 +36,11 @@ import (
 // ConditionalProbability denominator unless the conditioning predicate
 // itself is refuted.
 
-// Zone spans may never exceed the kernel block size, or segment buffers
-// would overflow (negative array length = compile-time assertion).
+// The default zone granularity matches the kernel block size, so default
+// spans map 1:1 onto segments (negative array length = compile-time
+// assertion). Coarser granularities (a compactor may reseal tables at
+// db.ZoneRowsCoarse) are handled by segmentsOf splitting each oversized
+// span into kernel-block-sized segments that share its zone index.
 var _ [kernelBlockRows - db.ZoneRows]struct{}
 
 // scanSeg is one segment of a scan: a run of joined rows processed as a
@@ -49,10 +52,10 @@ type scanSeg struct {
 }
 
 // segmentsOf splits joined rows [lo, hi) into scan segments: zone-aligned
-// runs (each at most db.ZoneRows rows, never crossing a sealed block) when
-// spans are available, fixed kernelBlockRows chunks otherwise. Partial
-// overlaps are clipped; a clipped segment keeps its zone index, because a
-// zone's summary is conservative for any subset of its rows.
+// runs (each at most kernelBlockRows rows, never crossing a sealed block)
+// when spans are available, fixed kernelBlockRows chunks otherwise. Partial
+// overlaps are clipped; a clipped or split segment keeps its zone index,
+// because a zone's summary is conservative for any subset of its rows.
 func segmentsOf(spans []db.ZoneSpan, lo, hi int) []scanSeg {
 	if hi <= lo {
 		return nil
@@ -78,7 +81,16 @@ func segmentsOf(spans []db.ZoneSpan, lo, hi int) []scanSeg {
 		if e > hi {
 			e = hi
 		}
-		segs = append(segs, scanSeg{start: s, n: e - s, zone: i})
+		// Spans coarser than the kernel block size (compacted tables) split
+		// into kernel-sized segments; each keeps the span's zone index, so
+		// one zone verdict prunes (or admits) all of them consistently.
+		for ; s < e; s += kernelBlockRows {
+			n := e - s
+			if n > kernelBlockRows {
+				n = kernelBlockRows
+			}
+			segs = append(segs, scanSeg{start: s, n: n, zone: i})
+		}
 	}
 	return segs
 }
@@ -150,8 +162,8 @@ func (pe *predEval) zoneMisses(zi int) bool {
 // as the retired scalar loop (vec compares are Go == semantics: NaN never
 // matches, ±0 match each other).
 func (pe *predEval) selectFull(start, n int, sel []int32, fBuf []float64, cBuf []int32) []int32 {
-	// Segments never exceed kernelBlockRows (compile-time assertion against
-	// db.ZoneRows above), so the mask fits a fixed stack buffer.
+	// Segments never exceed kernelBlockRows (segmentsOf splits oversized
+	// spans), so the mask fits a fixed stack buffer.
 	var maskArr [kernelBlockRows / 64]uint64
 	mask := maskArr[:vec.MaskWords(n)]
 	if pe.isStr {
