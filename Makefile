@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test test-noasm race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-kernel bench-store bench-guard serve-smoke recovery-smoke ci
+.PHONY: all build test test-noasm race vet fmt bench bench-smoke bench-cube bench-delta bench-scan bench-parallel bench-shard bench-kernel bench-store bench-audit bench-guard audit-smoke serve-smoke recovery-smoke ci
 
 all: build test
 
@@ -94,6 +94,23 @@ bench-kernel:
 bench-store:
 	$(GO) run ./cmd/benchcube -store -out BENCH_store.json
 
+# bench-audit measures corpus-scale auditing and writes BENCH_audit.json:
+# 50 generated documents over one shared bench-scale dataset, checked
+# isolated (fresh engine per document — the no-sharing baseline) and then
+# through the audit path (shared engine, cross-document planning window,
+# cost-aware cube cache). Records docs/s both ways, the audit-over-isolated
+# speedup, shared-pass and window counters, cache economics (hit rate,
+# saved ns/bytes), and a hit-rate series at {10,25,50} documents. The
+# run hard-fails when any audit verdict differs bit-for-bit from its
+# isolated check, when no cross-document pass was shared, when the 50-doc
+# speedup is below 2x, or when the series hit rate is not monotonically
+# increasing. 300k fact rows keep the workload scan-bound (cube passes,
+# not EM arithmetic, dominate — the regime corpus auditing optimizes);
+# concurrency 50 keeps the whole corpus in flight so the planning window
+# sees every co-traveller.
+bench-audit:
+	$(GO) run ./cmd/benchcube -audit -out BENCH_audit.json -rows 300000 -audit-concurrency 50
+
 # bench-guard is the bench-regression gate: it re-runs the cube matrix at
 # the committed record's scale and fails when any case's vectorized rows/s
 # falls more than 30% below the committed BENCH_cube.json — measured as
@@ -119,11 +136,23 @@ bench-store:
 # absolute machine speed cancels out; skipped with a message when the
 # fresh run's fact_rows differ from the seed's, since the speedup scales
 # with data volume).
+# The fifth leg re-runs the shard matrix and fails when the fresh 1->4
+# shard speedup drops more than 40% below the committed BENCH_shard.json
+# seed's (skipped with an actionable message when the seed's go_max_procs
+# differs from this machine's, or when both are 1 — single-core shard
+# "scaling" measures overhead, not scaling).
+# The sixth leg re-runs the corpus audit at reduced document count and
+# fails when the audit-over-isolated speedup drops more than 30% below the
+# committed BENCH_audit.json seed's (same-run ratio, machine-portable;
+# skipped with a message when the document counts differ). Its bit-for-bit
+# verdict gate and monotone hit-rate gate always apply.
 bench-guard:
 	$(GO) run ./cmd/benchcube -out BENCH_cube.guard.json -against BENCH_cube.json -tolerance 0.30
 	$(GO) run ./cmd/benchcube -parallel -out BENCH_parallel.guard.json -against BENCH_parallel.json
 	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.guard.json -against BENCH_kernel.json -tolerance 0.30
 	$(GO) run ./cmd/benchcube -store -out BENCH_store.guard.json -against BENCH_store.json -tolerance 0.30
+	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.guard.json -against BENCH_shard.json
+	$(GO) run ./cmd/benchcube -audit -out BENCH_audit.guard.json -against BENCH_audit.json -docs 12 -rows 30000 -tolerance 0.30
 
 # bench-smoke compiles and executes every benchmark exactly once so the
 # Table 5/6 regeneration paths cannot silently rot, then records the cube
@@ -138,6 +167,15 @@ bench-smoke:
 	$(GO) run ./cmd/benchcube -shard -out BENCH_shard.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -kernels -out BENCH_kernel.smoke.json -rows 30000
 	$(GO) run ./cmd/benchcube -store -out BENCH_store.smoke.json -rows 30000
+	$(GO) run ./cmd/benchcube -audit -out BENCH_audit.smoke.json -docs 12 -rows 30000
+
+# audit-smoke exercises corpus auditing end to end through the real CLI:
+# build aggcheck, generate a small shared corpus on disk, run
+# `aggcheck -audit dir/`, and check the NDJSON report plus the economics
+# summary (shared passes, cache hit rate) against the per-document exit
+# codes.
+audit-smoke:
+	$(GO) test -count=1 -run TestAggcheckAuditSmoke ./cmd/aggcheck
 
 # serve-smoke exercises the deployable path end to end: build the real
 # aggcheckd binary, start it on a random port with the embedded demo
@@ -154,4 +192,4 @@ serve-smoke:
 recovery-smoke:
 	$(GO) test -count=1 -run TestAggcheckdCrashRecovery ./cmd/aggcheckd
 
-ci: fmt vet build race test-noasm bench-smoke bench-guard bench-delta serve-smoke recovery-smoke
+ci: fmt vet build race test-noasm bench-smoke bench-guard bench-delta audit-smoke serve-smoke recovery-smoke

@@ -154,6 +154,29 @@ type OpenFunc = core.OpenFunc
 // checker's shared Config.
 type CheckOption = core.CheckOption
 
+// AuditDoc is one corpus document submitted to Checker.Audit or
+// Service.Audit.
+type AuditDoc = core.AuditDoc
+
+// DocReport is one document's outcome within a corpus audit.
+type DocReport = core.DocReport
+
+// AuditReport aggregates a corpus audit: per-document reports in input
+// order, corpus totals, and the run's shared-pass and cache economics.
+type AuditReport = core.AuditReport
+
+// AuditOption customizes one Audit call (concurrency, planning window,
+// progress streaming, per-document check options).
+type AuditOption = core.AuditOption
+
+// CacheStats is the cube cache's residency and cost-aware economics
+// snapshot, reported in Status and AuditReport.
+type CacheStats = core.CacheStats
+
+// WindowConfig tunes the cross-document planning window used by Audit:
+// how many claim batches may park awaiting merge and the flush deadline.
+type WindowConfig = sqlexec.WindowConfig
+
 // Scheduler is a process-wide morsel scheduler: one worker pool shared by
 // every cube pass and direct scan submitted through it, with round-robin
 // fairness across concurrent requests. Create with NewScheduler, install
@@ -261,6 +284,27 @@ func WithScanWorkers(n int) CheckOption { return core.WithScanWorkers(n) }
 // identical either way).
 func WithZoneMaps(on bool) CheckOption { return core.WithZoneMaps(on) }
 
+// WithAuditConcurrency bounds how many documents one Audit call checks
+// concurrently (default 8). More in-flight documents widen the shared-pass
+// planning window.
+func WithAuditConcurrency(n int) AuditOption { return core.WithAuditConcurrency(n) }
+
+// WithAuditWindow tunes the cross-document planning window for one Audit
+// call; zero fields keep the defaults.
+func WithAuditWindow(cfg WindowConfig) AuditOption { return core.WithAuditWindow(cfg) }
+
+// WithAuditProgress installs a per-document completion callback, invoked
+// serially in completion order as the audit proceeds.
+func WithAuditProgress(fn func(index int, dr DocReport)) AuditOption {
+	return core.WithAuditProgress(fn)
+}
+
+// WithAuditCheckOptions forwards per-document check options to every
+// member check of one Audit call.
+func WithAuditCheckOptions(opts ...CheckOption) AuditOption {
+	return core.WithAuditCheckOptions(opts...)
+}
+
 // NewScheduler creates a morsel scheduler with the given worker count
 // (≤ 0 uses GOMAXPROCS). The calling goroutine of each scan always
 // participates, so workers=1 spawns no helpers and executes scans exactly
@@ -287,6 +331,12 @@ func ExecCaching(on bool) ExecOption { return sqlexec.WithCaching(on) }
 
 // ExecScheduler attaches a shared morsel scheduler to one engine.
 func ExecScheduler(s *Scheduler) ExecOption { return sqlexec.WithScheduler(s) }
+
+// ExecCubeCacheBudget bounds the cube cache's resident bytes: once
+// exceeded, the cost-aware policy evicts cheap-to-rebuild, rarely-hit
+// entries first (score = build cost x (1+hits) / bytes, ascending).
+// n ≤ 0 disables the bound.
+func ExecCubeCacheBudget(n int64) ExecOption { return sqlexec.WithCubeCacheBudget(n) }
 
 // ParseEvalMode parses "cached", "merged", or "naive" (plus String() forms)
 // into an EvalMode.

@@ -1,0 +1,161 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+
+	"aggchecker"
+)
+
+// auditExts are the document types -audit picks up from the corpus
+// directory, matching what the single-document path accepts.
+var auditExts = map[string]bool{".html": true, ".htm": true, ".txt": true, ".md": true}
+
+// loadCorpusDir reads every recognized document under dir (sorted by name)
+// as one audit corpus.
+func loadCorpusDir(dir string) ([]aggchecker.AuditDoc, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var docs []aggchecker.AuditDoc
+	for _, e := range entries {
+		if e.IsDir() || !auditExts[strings.ToLower(filepath.Ext(e.Name()))] {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			return nil, err
+		}
+		text := string(raw)
+		if strings.TrimSpace(text) == "" {
+			continue
+		}
+		var doc *aggchecker.Document
+		if strings.Contains(text, "<") {
+			doc = aggchecker.ParseHTML(text)
+		} else {
+			doc = aggchecker.ParseText(text)
+		}
+		docs = append(docs, aggchecker.AuditDoc{Name: e.Name(), Doc: doc})
+	}
+	sort.Slice(docs, func(i, j int) bool { return docs[i].Name < docs[j].Name })
+	if len(docs) == 0 {
+		return nil, fmt.Errorf("no documents (*.html, *.htm, *.txt, *.md) in %s", dir)
+	}
+	return docs, nil
+}
+
+// runAudit checks a directory of documents as one corpus: documents are
+// verified concurrently with cross-document shared-pass planning, progress
+// streams in completion order, and the summary reports corpus totals plus
+// the run's shared-pass and cube-cache economics.
+func runAudit(ctx context.Context, checker *aggchecker.Checker, dir string, concurrency, top int, timeout time.Duration, checkOpts []aggchecker.CheckOption) {
+	docs, err := loadCorpusDir(dir)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("auditing %d documents from %s\n\n", len(docs), dir)
+
+	width := 0
+	for _, d := range docs {
+		if len(d.Name) > width {
+			width = len(d.Name)
+		}
+	}
+
+	auditOpts := []aggchecker.AuditOption{
+		aggchecker.WithAuditCheckOptions(checkOpts...),
+		aggchecker.WithAuditProgress(func(_ int, dr aggchecker.DocReport) {
+			if dr.Err != nil {
+				fmt.Printf("  %-*s  ERROR: %v\n", width, dr.Name, dr.Err)
+				return
+			}
+			errs := len(dr.Report.ErroneousClaims())
+			verdict := "ok"
+			if errs > 0 {
+				verdict = fmt.Sprintf("%d erroneous", errs)
+			}
+			fmt.Printf("  %-*s  %3d claims  %-12s %7.1f ms\n",
+				width, dr.Name, len(dr.Report.Claims()), verdict,
+				float64(dr.Report.TotalTime.Microseconds())/1e3)
+		}),
+	}
+	if concurrency > 0 {
+		auditOpts = append(auditOpts, aggchecker.WithAuditConcurrency(concurrency))
+	}
+
+	rep, err := checker.Audit(ctx, docs, auditOpts...)
+	if err != nil {
+		fatalCheck(err, timeout)
+	}
+
+	defTable := checker.Engine.DefaultTable()
+	printed := false
+	for _, dr := range rep.Docs {
+		if dr.Report == nil {
+			continue
+		}
+		errs := dr.Report.ErroneousClaims()
+		if len(errs) == 0 {
+			continue
+		}
+		if !printed {
+			fmt.Printf("\nerroneous claims:\n")
+			printed = true
+		}
+		for _, cr := range errs {
+			fmt.Printf("  %s: %q (claimed %.6g, p=%.2f)\n", dr.Name, cr.Claim.Text(), cr.Claim.Claimed.Value, cr.PCorrect)
+			for i, rq := range cr.Ranked {
+				if i >= top {
+					break
+				}
+				fmt.Printf("      %.2f  %s = %.6g\n", rq.Prob, rq.Query.SQL(defTable), rq.Result)
+			}
+		}
+	}
+
+	secs := rep.TotalTime.Seconds()
+	fmt.Printf("\nsummary:\n")
+	fmt.Printf("  documents:     %d checked, %d failed\n", rep.Checked, rep.Failed)
+	fmt.Printf("  claims:        %d total, %d erroneous\n", rep.Claims, rep.Erroneous)
+	if secs > 0 {
+		fmt.Printf("  time:          %.2fs (%.1f docs/s)\n", secs, float64(rep.Checked)/secs)
+	}
+	fmt.Printf("  shared passes: %d (window flushes: %d over %d batches)\n",
+		rep.SharedPasses(), rep.Stats["window_flushes"], rep.Stats["window_batches"])
+	if c := rep.Cache; c != nil {
+		fmt.Printf("  cube cache:    %.1f%% hit rate, %d entries, %s resident",
+			rep.CacheHitRate()*100, c.Entries, fmtBytes(c.Bytes))
+		if c.Budget > 0 {
+			fmt.Printf(" (budget %s)", fmtBytes(c.Budget))
+		}
+		fmt.Printf("\n                 saved %s build time, %s rebuilt allocations",
+			time.Duration(c.NsSaved).Round(time.Millisecond), fmtBytes(c.BytesSaved))
+		if c.Evictions > 0 {
+			fmt.Printf("; evicted %d entries (%s)", c.Evictions, fmtBytes(c.EvictedBytes))
+		}
+		fmt.Println()
+	}
+	if rep.Failed > 0 {
+		os.Exit(1)
+	}
+}
+
+func fmtBytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1f GiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}

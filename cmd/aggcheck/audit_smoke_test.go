@@ -1,0 +1,69 @@
+package main
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"aggchecker/internal/corpus"
+)
+
+// TestAggcheckAuditSmoke is the corpus-audit smoke test (make audit-smoke):
+// build the real binary, write a directory of demo documents, audit it, and
+// require per-document progress, a summary, and a NON-ZERO shared-pass
+// count — the proof that concurrent documents actually merged cube passes.
+func TestAggcheckAuditSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("skipping exec smoke test in -short mode")
+	}
+	if raceEnabled {
+		t.Skip("skipping under -race: make audit-smoke owns the end-to-end binary run")
+	}
+	bin := filepath.Join(t.TempDir(), "aggcheck")
+	build := exec.Command("go", "build", "-o", bin, ".")
+	build.Stderr = os.Stderr
+	if err := build.Run(); err != nil {
+		t.Fatalf("go build: %v", err)
+	}
+
+	dir := t.TempDir()
+	html := corpus.MustLoad().Cases[0].HTML
+	names := []string{"one.html", "two.html", "three.html", "four.html"}
+	for _, name := range names {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(html), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	out, err := exec.Command(bin, "-demo", "-color=false", "-audit", dir).CombinedOutput()
+	if err != nil {
+		t.Fatalf("aggcheck -audit: %v\n%s", err, out)
+	}
+	text := string(out)
+
+	for _, name := range names {
+		if !strings.Contains(text, name) {
+			t.Errorf("no progress line for %s:\n%s", name, text)
+		}
+	}
+	if !strings.Contains(text, "summary:") {
+		t.Fatalf("no summary section:\n%s", text)
+	}
+	m := regexp.MustCompile(`shared passes:\s+(\d+)`).FindStringSubmatch(text)
+	if m == nil {
+		t.Fatalf("no shared-pass count in summary:\n%s", text)
+	}
+	if n, _ := strconv.Atoi(m[1]); n == 0 {
+		t.Errorf("shared passes = 0 across %d identical documents:\n%s", len(names), text)
+	}
+	if !strings.Contains(text, "cube cache:") {
+		t.Errorf("no cache economics in summary:\n%s", text)
+	}
+	if !regexp.MustCompile(`documents:\s+4 checked, 0 failed`).MatchString(text) {
+		t.Errorf("unexpected document totals:\n%s", text)
+	}
+}

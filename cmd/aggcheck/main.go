@@ -5,12 +5,16 @@
 // Usage:
 //
 //	aggcheck -data sales.csv[,stores.csv...] [-dict dictionary.txt] article.html
+//	aggcheck -data sales.csv -audit articles/
 //	aggcheck -demo
 //
 // Each CSV becomes one table (named after the file). The optional data
 // dictionary maps column names to descriptions ("column: description" lines)
 // and improves keyword matching. -demo runs the embedded NFL example from
-// the paper.
+// the paper. -audit checks every document in a directory as one corpus:
+// documents are verified concurrently with cross-document shared-pass
+// planning, so N documents about the same tables pay roughly one
+// document's worth of scans.
 package main
 
 import (
@@ -44,6 +48,8 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "abort the check after this long (0 = no limit)")
 	query := flag.String("query", "", "evaluate one Simple Aggregate Query instead of checking a document")
 	claimed := flag.Float64("claimed", 0, "with -query: the claimed value to verify (Definition 1 rounding)")
+	audit := flag.String("audit", "", "audit a directory of documents as one corpus (with -data or -demo)")
+	auditConc := flag.Int("audit-concurrency", 0, "documents checked concurrently in -audit mode (0 = default)")
 	flag.Parse()
 
 	evalMode, err := aggchecker.ParseEvalMode(*mode)
@@ -81,11 +87,17 @@ func main() {
 	}
 
 	if *demo {
+		if *audit != "" {
+			tc := corpus.MustLoad().Cases[0]
+			runAudit(ctx, aggchecker.New(tc.DB, cfg), *audit, *auditConc, *top, *timeout, checkOpts)
+			return
+		}
 		runDemo(ctx, cfg, *color, *top, *markup, *timeout, checkOpts)
 		return
 	}
-	if *data == "" || (*query == "" && flag.NArg() != 1) {
+	if *data == "" || (*query == "" && *audit == "" && flag.NArg() != 1) {
 		fmt.Fprintln(os.Stderr, "usage: aggcheck -data file.csv[,file2.csv...] [-dict dict.txt] article.html")
+		fmt.Fprintln(os.Stderr, "       aggcheck -data file.csv -audit articles/")
 		fmt.Fprintln(os.Stderr, "       aggcheck -data file.csv -query \"SELECT Count(*) FROM t WHERE c = 'v'\" [-claimed 42]")
 		os.Exit(2)
 	}
@@ -115,6 +127,10 @@ func main() {
 			fatal(err)
 		}
 		db.ApplyDataDictionary(parsed)
+	}
+	if *audit != "" {
+		runAudit(ctx, aggchecker.New(db, cfg), *audit, *auditConc, *top, *timeout, checkOpts)
+		return
 	}
 
 	raw, err := os.ReadFile(flag.Arg(0))

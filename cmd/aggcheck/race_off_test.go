@@ -1,0 +1,8 @@
+//go:build !race
+
+package main
+
+// raceEnabled mirrors the race build tag; the exec smoke test skips under
+// the race detector so `make race` and `make audit-smoke` don't both pay
+// the end-to-end binary cost (audit-smoke is the single owner).
+const raceEnabled = false

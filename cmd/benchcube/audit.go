@@ -1,0 +1,322 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+	"runtime"
+	"time"
+
+	"aggchecker/internal/core"
+	"aggchecker/internal/corpus"
+	"aggchecker/internal/sqlexec"
+)
+
+// auditFile is the machine-readable record of the corpus-audit workload
+// (make bench-audit): a generated N-document corpus over one shared
+// database checked twice — once in audit mode (cross-document planning
+// window + shared cost-aware cube cache) and once one-document-at-a-time
+// with a cold engine per document — plus, at full scale (>= 50
+// documents), a corpus-size series recording how the cross-document
+// cache-hit rate grows with the corpus. The run hard-fails when any
+// audit verdict differs from its isolated-check verdict, when the
+// recorded hit-rate series is not monotonically increasing, or (at full
+// scale) when audit throughput falls below auditSpeedupFloor times the
+// isolated baseline.
+type auditFile struct {
+	Schema       string `json:"schema"`
+	GoVersion    string `json:"go_version"`
+	GoMaxProcs   int    `json:"go_max_procs"`
+	Domain       string `json:"domain"`
+	FactRows     int    `json:"fact_rows"`
+	Docs         int    `json:"docs"`
+	Claims       int    `json:"claims"`
+	ClaimsPerDoc int    `json:"claims_per_doc"`
+	Concurrency  int    `json:"audit_concurrency"`
+
+	AuditDocsPerSec    float64 `json:"audit_docs_per_sec"`
+	IsolatedDocsPerSec float64 `json:"isolated_docs_per_sec"`
+	// Speedup is audit docs/s over isolated docs/s — a same-run ratio, so
+	// it compares across machines of different absolute speed. The
+	// acceptance floor at >= 50 documents is auditSpeedupFloor.
+	Speedup float64 `json:"speedup_audit_over_isolated"`
+
+	SharedPasses    int64   `json:"shared_passes"`
+	WindowBatches   int64   `json:"window_batches"`
+	WindowFlushes   int64   `json:"window_flushes"`
+	CacheHitRate    float64 `json:"cache_hit_rate"`
+	CacheNsSaved    int64   `json:"cache_ns_saved"`
+	CacheBytesSaved int64   `json:"cache_bytes_saved"`
+
+	// Series records one fresh audit per corpus-size point: the
+	// cross-document cache-hit rate must increase monotonically with the
+	// corpus, the structural claim of the audit design (documents about
+	// the same tables converge on shared cube shapes).
+	Series []auditSeriesEntry `json:"series"`
+}
+
+type auditSeriesEntry struct {
+	Docs         int     `json:"docs"`
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	SharedPasses int64   `json:"shared_passes"`
+	DocsPerSec   float64 `json:"docs_per_sec"`
+}
+
+// auditSpeedupFloor is the full-scale acceptance gate: on a >= 50-document
+// corpus, audit mode must check at least this many times more docs/s than
+// isolated per-document checking. Below 50 documents (smoke scale) the
+// ratio is recorded but not gated — the window has too few co-travellers
+// to amortize reliably.
+const auditSpeedupFloor = 2.0
+
+// auditBenchSeed pins the generated corpus so the committed record and
+// every guard re-run measure the same documents.
+const auditBenchSeed = 424242
+
+const auditClaimsPerDoc = 6
+
+// auditWindow is the benchmark's planning-window tuning: over benchmark-
+// scale tables a cube pass costs hundreds of milliseconds, so the flush
+// deadline is raised well above the 10ms interactive default — patient
+// windows collect every in-flight document's batch before planning, which
+// is where the shared passes come from.
+func auditWindow(concurrency int) sqlexec.WindowConfig {
+	return sqlexec.WindowConfig{FlushDelay: 100 * time.Millisecond, MaxPending: concurrency}
+}
+
+// runAuditBench measures corpus auditing against one-document-at-a-time
+// checking over a deterministically generated shared-database corpus.
+func runAuditBench(out string, nDocs, concurrency, rows int, against string, tol float64) {
+	fail := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "benchcube -audit: "+format+"\n", args...)
+		os.Exit(1)
+	}
+	if nDocs < 2 {
+		fail("-docs %d: need at least 2 documents", nDocs)
+	}
+	ctx := context.Background()
+	const domain = "sports"
+	sc, err := corpus.GenerateSharedCorpusRows(domain, auditBenchSeed, nDocs, auditClaimsPerDoc, 1, rows)
+	if err != nil {
+		fail("generate corpus: %v", err)
+	}
+	docs := make([]core.AuditDoc, len(sc.Docs))
+	claims := 0
+	for i, d := range sc.Docs {
+		docs[i] = core.AuditDoc{Name: d.Name, Doc: d.Doc}
+		claims += len(d.Doc.Claims)
+	}
+	cfg := core.DefaultConfig()
+
+	// Isolated baseline: the catalog (per-database preprocessing, §4.2) is
+	// built once — both modes amortize it — but every document gets a cold
+	// engine, so nothing is reused across documents: no shared passes, no
+	// cross-document cache hits. This is exactly what checking each
+	// document in its own process or request pays.
+	iso := core.NewChecker(sc.DB, cfg)
+	isoReports := make([]*core.Report, len(docs))
+	isoStart := time.Now()
+	for i, d := range docs {
+		iso.Engine = sqlexec.NewEngine(sc.DB)
+		rep, err := iso.Check(ctx, d.Doc)
+		if err != nil {
+			fail("isolated check %s: %v", d.Name, err)
+		}
+		isoReports[i] = rep
+	}
+	isolatedNs := time.Since(isoStart).Nanoseconds()
+
+	// Audit mode: one fresh checker (cold cache at start), all documents
+	// through the cross-document planning window.
+	auditor := core.NewChecker(sc.DB, cfg)
+	auditStart := time.Now()
+	rep, err := auditor.Audit(ctx, docs, core.WithAuditConcurrency(concurrency),
+		core.WithAuditWindow(auditWindow(concurrency)))
+	if err != nil {
+		fail("audit: %v", err)
+	}
+	auditNs := time.Since(auditStart).Nanoseconds()
+	if rep.Checked != len(docs) || rep.Failed != 0 {
+		fail("audit checked %d / failed %d of %d documents", rep.Checked, rep.Failed, len(docs))
+	}
+
+	// Correctness gate: every audit verdict bit-for-bit identical to its
+	// isolated check — same flags, same confidences, same ranked
+	// translations with the same query results.
+	for i, dr := range rep.Docs {
+		if dr.Err != nil {
+			fail("audit %s: %v", dr.Name, dr.Err)
+		}
+		if err := reportsIdentical(isoReports[i], dr.Report); err != nil {
+			fail("VERDICT MISMATCH %s: %v (audit mode must be bit-for-bit identical to isolated checking)", dr.Name, err)
+		}
+	}
+	fmt.Printf("correctness: %d audit verdicts identical to isolated checks (%d claims)\n", len(docs), claims)
+
+	file := auditFile{
+		Schema:             "aggchecker-corpus-audit-bench/v1",
+		GoVersion:          runtime.Version(),
+		GoMaxProcs:         runtime.GOMAXPROCS(0),
+		Domain:             domain,
+		FactRows:           rows,
+		Docs:               nDocs,
+		Claims:             claims,
+		ClaimsPerDoc:       auditClaimsPerDoc,
+		Concurrency:        concurrency,
+		AuditDocsPerSec:    float64(len(docs)) / (float64(auditNs) * 1e-9),
+		IsolatedDocsPerSec: float64(len(docs)) / (float64(isolatedNs) * 1e-9),
+		SharedPasses:       rep.SharedPasses(),
+		WindowBatches:      rep.Stats["window_batches"],
+		WindowFlushes:      rep.Stats["window_flushes"],
+		CacheHitRate:       rep.CacheHitRate(),
+		CacheNsSaved:       rep.Stats["cube_cache_ns_saved"],
+		CacheBytesSaved:    rep.Stats["cube_cache_bytes_saved"],
+	}
+	file.Speedup = file.AuditDocsPerSec / file.IsolatedDocsPerSec
+	fmt.Printf("audit    %6.1f docs/s   %d shared passes, %.0f%% cache hits, saved %.0fms build time\n",
+		file.AuditDocsPerSec, file.SharedPasses, 100*file.CacheHitRate, float64(file.CacheNsSaved)/1e6)
+	fmt.Printf("isolated %6.1f docs/s   (cold engine per document)\n", file.IsolatedDocsPerSec)
+	fmt.Printf("speedup audit over isolated: x%.2f\n", file.Speedup)
+	if file.SharedPasses == 0 {
+		fail("no shared passes across %d concurrent documents over one database", nDocs)
+	}
+	if nDocs >= 50 && file.Speedup < auditSpeedupFloor {
+		fail("speedup x%.2f < floor x%.1f at %d documents", file.Speedup, auditSpeedupFloor, nDocs)
+	}
+
+	// Corpus-size series, recorded at full bench scale only: a fresh
+	// checker per point, so each hit rate is that corpus size's own
+	// cold-start economics. Smoke-scale runs (CI) skip it — below the
+	// first rung the marginal rate over a handful of documents is corpus-
+	// composition noise, not a structural signal.
+	if nDocs >= 50 {
+		for _, n := range seriesPoints(nDocs) {
+			ck := core.NewChecker(sc.DB, cfg)
+			start := time.Now()
+			srep, err := ck.Audit(ctx, docs[:n], core.WithAuditConcurrency(concurrency),
+				core.WithAuditWindow(auditWindow(concurrency)))
+			if err != nil || srep.Failed != 0 {
+				fail("series audit %d docs: failed=%d err=%v", n, srep.Failed, err)
+			}
+			entry := auditSeriesEntry{
+				Docs:         n,
+				CacheHitRate: srep.CacheHitRate(),
+				SharedPasses: srep.SharedPasses(),
+				DocsPerSec:   float64(n) / (float64(time.Since(start).Nanoseconds()) * 1e-9),
+			}
+			file.Series = append(file.Series, entry)
+			fmt.Printf("series docs=%-3d cache hit rate %5.1f%%   %4d shared passes %8.1f docs/s\n",
+				n, 100*entry.CacheHitRate, entry.SharedPasses, entry.DocsPerSec)
+		}
+		for i := 1; i < len(file.Series); i++ {
+			prev, cur := file.Series[i-1], file.Series[i]
+			if cur.CacheHitRate < prev.CacheHitRate {
+				fail("cache hit rate fell with corpus size: %.4f at %d docs, %.4f at %d docs",
+					prev.CacheHitRate, prev.Docs, cur.CacheHitRate, cur.Docs)
+			}
+		}
+		if n := len(file.Series); n > 1 && file.Series[n-1].CacheHitRate <= file.Series[0].CacheHitRate {
+			fail("cache hit rate did not increase across the series: %.4f at %d docs vs %.4f at %d docs",
+				file.Series[0].CacheHitRate, file.Series[0].Docs,
+				file.Series[n-1].CacheHitRate, file.Series[n-1].Docs)
+		}
+	}
+
+	writeJSON(out, &file)
+	if against != "" {
+		guardAudit(against, &file, tol)
+	}
+}
+
+// seriesPoints is the recorded corpus-size ladder {10, 25, 50},
+// truncated to the corpus and extended with the full corpus when it is
+// larger than the last rung. The ladder starts at 10 documents: a
+// cold-start hit rate over fewer lookups than that reflects which claim
+// shapes the first handful of generated articles happened to draw, not
+// how reuse scales with the corpus.
+func seriesPoints(nDocs int) []int {
+	var pts []int
+	for _, n := range []int{10, 25, 50} {
+		if n <= nDocs {
+			pts = append(pts, n)
+		}
+	}
+	if len(pts) == 0 || pts[len(pts)-1] < nDocs {
+		pts = append(pts, nDocs)
+	}
+	return pts
+}
+
+// reportsIdentical requires bit-for-bit identical verdicts (the
+// differential contract the randomized suite in internal/core pins):
+// exact float equality on confidences and query results, NaN matching NaN.
+func reportsIdentical(want, got *core.Report) error {
+	if got == nil {
+		return fmt.Errorf("no report")
+	}
+	if len(want.Claims()) != len(got.Claims()) {
+		return fmt.Errorf("claims = %d, want %d", len(got.Claims()), len(want.Claims()))
+	}
+	for i := range want.Claims() {
+		w, g := want.Claims()[i], got.Claims()[i]
+		if g.Erroneous != w.Erroneous {
+			return fmt.Errorf("claim %d: erroneous = %v, want %v", i, g.Erroneous, w.Erroneous)
+		}
+		if g.PCorrect != w.PCorrect {
+			return fmt.Errorf("claim %d: p = %v, want %v", i, g.PCorrect, w.PCorrect)
+		}
+		if len(g.Ranked) != len(w.Ranked) {
+			return fmt.Errorf("claim %d: ranked = %d, want %d", i, len(g.Ranked), len(w.Ranked))
+		}
+		for j := range w.Ranked {
+			wr, gr := w.Ranked[j], g.Ranked[j]
+			if gr.Query.Key() != wr.Query.Key() {
+				return fmt.Errorf("claim %d rank %d: query %s, want %s", i, j, gr.Query.Key(), wr.Query.Key())
+			}
+			if gr.Prob != wr.Prob || gr.Matches != wr.Matches {
+				return fmt.Errorf("claim %d rank %d: prob/match %v/%v, want %v/%v",
+					i, j, gr.Prob, gr.Matches, wr.Prob, wr.Matches)
+			}
+			if gr.Result != wr.Result && !(math.IsNaN(gr.Result) && math.IsNaN(wr.Result)) {
+				return fmt.Errorf("claim %d rank %d: result %v, want %v", i, j, gr.Result, wr.Result)
+			}
+		}
+	}
+	return nil
+}
+
+// guardAudit is the -audit regression gate: the fresh audit-over-isolated
+// speedup must reach (1-tol) of the committed seed's. Both sides are
+// same-run ratios, so absolute machine speed cancels out; corpus size must
+// match for the window economics to compare.
+func guardAudit(path string, fresh *auditFile, tol float64) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old auditFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if old.Speedup <= 0 {
+		fmt.Printf("guard audit: no recorded speedup, skipping\n")
+		return
+	}
+	if old.Docs != fresh.Docs {
+		fmt.Printf("guard audit: SKIPPED - seed measured %d documents, this run %d; "+
+			"window amortization scales with corpus size (re-run with -docs %d to compare)\n",
+			old.Docs, fresh.Docs, old.Docs)
+		return
+	}
+	floor := old.Speedup * (1 - tol)
+	if fresh.Speedup < floor {
+		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION audit speedup x%.2f < floor x%.2f (seed x%.2f, tolerance %.0f%%)\n",
+			fresh.Speedup, floor, old.Speedup, 100*tol)
+		os.Exit(1)
+	}
+	fmt.Printf("guard audit: speedup x%.2f >= floor x%.2f ok (seed x%.2f)\n", fresh.Speedup, floor, old.Speedup)
+}

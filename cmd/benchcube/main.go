@@ -90,7 +90,10 @@ func main() {
 	shardMode := flag.Bool("shard", false, "measure sharded scatter-gather scaling (1/2/4/8 shards + merge overhead) instead of the kernel matrix")
 	kernels := flag.Bool("kernels", false, "measure the internal/vec micro-kernels (ref vs unrolled vs CPU-dispatched) plus end-to-end cube and selection-pushdown throughput")
 	storeMode := flag.Bool("store", false, "measure the persistent block store (cold-open restore vs CSV re-parse, pruned-scan page residency, compaction reseal) instead of the kernel matrix")
-	against := flag.String("against", "", "committed record to guard against: kernel matrix compares per-case vectorized/scalar ratios, -parallel compares NPROC scaling efficiency")
+	auditMode := flag.Bool("audit", false, "measure corpus auditing (cross-document planning window + shared cube cache) vs one-document-at-a-time checking")
+	docs := flag.Int("docs", 50, "corpus size (documents) in -audit mode")
+	auditConc := flag.Int("audit-concurrency", 8, "documents in flight at once in -audit mode")
+	against := flag.String("against", "", "committed record to guard against: kernel matrix compares per-case vectorized/scalar ratios, -parallel compares NPROC scaling efficiency, -shard the 1->4 shard speedup, -audit the audit-over-isolated docs/s speedup")
 	tolerance := flag.Float64("tolerance", 0.30, "allowed fractional rows/s regression for -against")
 	flag.Parse()
 
@@ -113,7 +116,14 @@ func main() {
 		if *out == "BENCH_cube.json" {
 			*out = "BENCH_shard.json"
 		}
-		runShard(*out, *rows)
+		runShard(*out, *rows, *against)
+		return
+	}
+	if *auditMode {
+		if *out == "BENCH_cube.json" {
+			*out = "BENCH_audit.json"
+		}
+		runAuditBench(*out, *docs, *auditConc, *rows, *against, *tolerance)
 		return
 	}
 	if *storeMode {
@@ -782,6 +792,17 @@ func guardParallel(path string, fresh *parallelFile) {
 			old.GoMaxProcs, fresh.GoMaxProcs)
 		return
 	}
+	// Matching counts of 1 are no better: efficiency at NPROC=1 is speedup
+	// over itself, trivially 1.0 on both sides, so a "pass" here gates
+	// nothing. Skip with the numbers in hand instead of printing a vacuous
+	// comparison.
+	if old.GoMaxProcs == 1 {
+		fmt.Printf("guard parallel: SKIPPED - seed go_max_procs=%d, this machine go_max_procs=%d: "+
+			"scaling efficiency at NPROC=1 is trivially 1.0 and cannot regress; regenerate the seed "+
+			"on a multi-core box (`make bench-parallel`, commit BENCH_parallel.json) to arm this leg\n",
+			old.GoMaxProcs, fresh.GoMaxProcs)
+		return
+	}
 	floor := old.ScalingEfficiency * parallelGuardFloor
 	if fresh.ScalingEfficiency < floor {
 		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION parallel scaling efficiency %.2f < floor %.2f (seed %.2f at go_max_procs=%d, floor %.0f%%)\n",
@@ -829,7 +850,7 @@ type shardEntry struct {
 // every case identically to the unsharded engine (Avg over the non-integral
 // y column is compared with a relative tolerance, since per-shard subtotals
 // legitimately round differently than one sequential sum).
-func runShard(out string, rows int) {
+func runShard(out string, rows int, against string) {
 	fail := func(format string, args ...any) {
 		fmt.Fprintf(os.Stderr, "benchcube -shard: "+format+"\n", args...)
 		os.Exit(1)
@@ -945,6 +966,60 @@ func runShard(out string, rows int) {
 	}
 	fmt.Printf("speedup 1->4 shards: x%.2f (go_max_procs=%d)\n", file.Speedup1To4, file.GoMaxProcs)
 	writeJSON(out, &file)
+	if against != "" {
+		guardShard(against, &file)
+	}
+}
+
+// shardGuardFloor is the -shard regression gate: a fresh run's 1->4 shard
+// speedup must reach at least this fraction of the committed seed's. Like
+// the parallel leg it is a ratio of same-run ratios, portable across
+// machine speeds but not core counts.
+const shardGuardFloor = 0.60
+
+// guardShard compares the fresh 1->4 shard speedup against the committed
+// seed's. Scatter-gather needs cores to win, so the comparison is only
+// armed when the seed and this machine share a multi-core go_max_procs;
+// otherwise it skips with both numbers printed and the regeneration
+// command, never a vacuous pass.
+func guardShard(path string, fresh *shardFile) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: reading record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	var old shardFile
+	if err := json.Unmarshal(data, &old); err != nil {
+		fmt.Fprintf(os.Stderr, "benchcube: parsing record %s: %v\n", path, err)
+		os.Exit(1)
+	}
+	if old.Speedup1To4 <= 0 {
+		fmt.Printf("guard shard: no recorded 1->4 speedup, skipping\n")
+		return
+	}
+	if old.GoMaxProcs != fresh.GoMaxProcs {
+		fmt.Printf("guard shard: SKIPPED - seed measured at go_max_procs=%d, this machine has %d; "+
+			"1->4 shard speedup does not compare across core counts (regenerate the seed with "+
+			"`make bench-shard` on the CI machine class, commit BENCH_shard.json)\n",
+			old.GoMaxProcs, fresh.GoMaxProcs)
+		return
+	}
+	if old.GoMaxProcs == 1 {
+		fmt.Printf("guard shard: SKIPPED - seed go_max_procs=%d, this machine go_max_procs=%d: "+
+			"the 4 partition passes serialize on one core, so the speedup (seed x%.2f, fresh x%.2f) "+
+			"measures overhead, not scaling; regenerate the seed on a multi-core box "+
+			"(`make bench-shard`, commit BENCH_shard.json) to arm this leg\n",
+			old.GoMaxProcs, fresh.GoMaxProcs, old.Speedup1To4, fresh.Speedup1To4)
+		return
+	}
+	floor := old.Speedup1To4 * shardGuardFloor
+	if fresh.Speedup1To4 < floor {
+		fmt.Fprintf(os.Stderr, "benchcube: REGRESSION shard 1->4 speedup x%.2f < floor x%.2f (seed x%.2f at go_max_procs=%d, floor %.0f%%)\n",
+			fresh.Speedup1To4, floor, old.Speedup1To4, old.GoMaxProcs, 100*shardGuardFloor)
+		os.Exit(1)
+	}
+	fmt.Printf("guard shard: 1->4 speedup x%.2f >= floor x%.2f ok (seed x%.2f)\n",
+		fresh.Speedup1To4, floor, old.Speedup1To4)
 }
 
 // probeQueries enumerates verification queries for a cube case: for every

@@ -314,7 +314,7 @@ func (c *Checker) check(ctx context.Context, doc *document.Document, set checkSe
 	start := time.Now()
 	scores := keywords.MatchAll(c.Catalog, doc, set.cfg.Context, set.cfg.Model.TopKHits)
 
-	ev, engine := c.evaluatorFor(set.cfg)
+	ev, engine := c.evaluatorFor(set.cfg, set.runner)
 	// Pin one storage snapshot for the whole request: every cube pass and
 	// direct scan of this check observes a single version, so a Refresh
 	// committing mid-check cannot mix row sets between EM iterations. A
@@ -370,7 +370,7 @@ func diffStats(before, after map[string]int64) map[string]int64 {
 // state cannot leak between strategy comparisons; cached mode reuses the
 // checker's engine so cube results persist across documents of the same
 // database.
-func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
+func (c *Checker) evaluatorFor(cfg Config, runner evaluate.BatchRunner) (model.Evaluator, *sqlexec.Engine) {
 	if c.shards != nil {
 		return c.shardEvaluatorFor(cfg)
 	}
@@ -387,6 +387,10 @@ func (c *Checker) evaluatorFor(cfg Config) (model.Evaluator, *sqlexec.Engine) {
 	default:
 		ev := evaluate.NewCubeEvaluator(c.Engine)
 		ev.Workers = cfg.Workers
+		// A pooling runner (Audit's cross-document window) applies only
+		// here: merged/naive isolate per-request engines on purpose, and
+		// sharded execution already fans batches out per partition.
+		ev.Runner = runner
 		return ev, c.Engine
 	}
 }

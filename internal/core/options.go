@@ -3,6 +3,7 @@ package core
 import (
 	"time"
 
+	"aggchecker/internal/evaluate"
 	"aggchecker/internal/model"
 	"aggchecker/internal/sqlexec"
 )
@@ -21,6 +22,10 @@ type checkSettings struct {
 	// exec carries per-request engine overrides (scan workers, zone maps)
 	// into the request context via sqlexec.ContextWithOptions.
 	exec []sqlexec.ExecOption
+	// runner, when non-nil, replaces direct engine batch execution for this
+	// request's claim batches (unsharded cached mode only): Audit installs
+	// a sqlexec.Window here so concurrently-checked documents share passes.
+	runner evaluate.BatchRunner
 }
 
 func newCheckSettings(base Config, opts []CheckOption) checkSettings {
@@ -80,4 +85,12 @@ func WithTopK(k int) CheckOption {
 // and tests use it to cancel runs mid-EM deterministically.
 func withObserver(obs model.Observer) CheckOption {
 	return func(s *checkSettings) { s.observer = obs }
+}
+
+// withBatchRunner routes the request's claim batches through a pooling
+// runner (a sqlexec.Window). Audit installs it on every member check; it
+// only takes effect in unsharded cached mode, where documents share one
+// engine whose cache the pooled passes feed.
+func withBatchRunner(r evaluate.BatchRunner) CheckOption {
+	return func(s *checkSettings) { s.runner = r }
 }

@@ -110,6 +110,9 @@ type Status struct {
 	// Store reports the persistent block store backing the database (nil
 	// when memory-only or not resident).
 	Store *StoreStatus `json:"store,omitempty"`
+	// Cache reports the cube cache's residency and cost-aware economics
+	// (nil when not resident). Populated in and outside audit mode alike.
+	Cache *CacheStats `json:"cache,omitempty"`
 }
 
 // StoreStatus is the persistent-storage slice of a resident checker's
@@ -210,6 +213,7 @@ func statusOf(name string, ck *Checker) Status {
 		scan.PruneRate = float64(scan.BlocksPruned) / float64(tot)
 	}
 	st.Scan = scan
+	st.Cache = cacheStatsOf(ck.Engine)
 	if sh := ck.Sharder(); sh != nil {
 		st.Shard = &ShardStatus{
 			Shards:     sh.NumShards(),

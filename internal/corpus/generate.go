@@ -80,7 +80,14 @@ func tryGenerate(spec domainSpec, seed int64, name string, nClaims, nErrors int)
 	rng := rand.New(rand.NewSource(seed))
 	database, table := buildDataset(spec, rng)
 	engine := sqlexec.NewEngine(database)
+	return generateDoc(spec, rng, database, table, engine, name, nClaims, nErrors)
+}
 
+// generateDoc builds one article over an existing dataset. Split from
+// tryGenerate so corpus-audit fixtures can generate many documents against
+// ONE shared database (GenerateSharedCorpus) — the shape cross-document
+// shared-pass planning exploits.
+func generateDoc(spec domainSpec, rng *rand.Rand, database *db.Database, table *db.Table, engine *sqlexec.Engine, name string, nClaims, nErrors int) (*TestCase, error) {
 	// Document theme: one categorical theme column whose literals become
 	// sections, a function mix, and a preferred numeric column.
 	themeCol := spec.themeCols[rng.Intn(len(spec.themeCols))]
@@ -134,7 +141,13 @@ func tryGenerate(spec domainSpec, seed int64, name string, nClaims, nErrors int)
 
 // buildDataset materializes the domain's table with 250–1200 rows.
 func buildDataset(spec domainSpec, rng *rand.Rand) (*db.Database, *db.Table) {
-	rows := 250 + rng.Intn(950)
+	return buildDatasetN(spec, rng, 250+rng.Intn(950))
+}
+
+// buildDatasetN builds the domain dataset at an explicit row count —
+// benchmark corpora scale the data volume so cube passes cost what they
+// do on real tables, while test corpora keep the small randomized default.
+func buildDatasetN(spec domainSpec, rng *rand.Rand, rows int) (*db.Database, *db.Table) {
 	var cols []*db.Column
 	for _, cc := range spec.catCols {
 		values := cc.values

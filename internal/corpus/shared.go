@@ -1,0 +1,78 @@
+package corpus
+
+import (
+	"fmt"
+	"math/rand"
+
+	"aggchecker/internal/db"
+	"aggchecker/internal/sqlexec"
+)
+
+// SharedCorpus is N generated articles over ONE shared dataset — the
+// corpus-audit fixture. Every document targets the same tables, so
+// cross-document shared-pass planning and cube-cache reuse apply; each
+// TestCase's DB field points at the shared database.
+type SharedCorpus struct {
+	DB   *db.Database
+	Docs []*TestCase
+}
+
+// GenerateSharedCorpus deterministically builds nDocs articles over one
+// dataset of the named domain ("" or unknown names fall back to the first
+// domain). Each document carries claimsPerDoc claims, errorsPerDoc of
+// which are erroneous. Documents get their own themes, sections, and
+// claim mixes, so the corpus exercises both overlapping and disjoint
+// predicate scopes against the shared tables.
+func GenerateSharedCorpus(domain string, seed int64, nDocs, claimsPerDoc, errorsPerDoc int) (*SharedCorpus, error) {
+	return GenerateSharedCorpusRows(domain, seed, nDocs, claimsPerDoc, errorsPerDoc, 0)
+}
+
+// GenerateSharedCorpusRows is GenerateSharedCorpus with an explicit
+// dataset row count (0 keeps the small randomized default). Benchmark
+// corpora use it to scale the shared tables to realistic volumes, so a
+// cube pass costs what it does in production and cross-document pass
+// sharing is measured against real scan work.
+func GenerateSharedCorpusRows(domain string, seed int64, nDocs, claimsPerDoc, errorsPerDoc, rows int) (*SharedCorpus, error) {
+	spec := domainByName(domain)
+	rng := rand.New(rand.NewSource(seed))
+	var database *db.Database
+	var table *db.Table
+	if rows > 0 {
+		database, table = buildDatasetN(spec, rng, rows)
+	} else {
+		database, table = buildDataset(spec, rng)
+	}
+	engine := sqlexec.NewEngine(database)
+	sc := &SharedCorpus{DB: database}
+	for i := 0; i < nDocs; i++ {
+		name := fmt.Sprintf("%s-shared-%03d", spec.name, i)
+		var tc *TestCase
+		var lastErr error
+		// Per-document retry mirrors generateCase: a fresh sub-seed per
+		// attempt, but always against the one shared dataset. The budget is
+		// deliberately generous — a large fixed dataset rejects more claim
+		// drafts than the small randomized default, and a benchmark corpus
+		// must come out the same size every run.
+		for attempt := 0; attempt < 48; attempt++ {
+			docRng := rand.New(rand.NewSource(seed + 1 + int64(i*101+attempt)*7919))
+			tc, lastErr = generateDoc(spec, docRng, database, table, engine, name, claimsPerDoc, errorsPerDoc)
+			if lastErr == nil {
+				break
+			}
+		}
+		if lastErr != nil {
+			return nil, fmt.Errorf("corpus: shared doc %s: %w", name, lastErr)
+		}
+		sc.Docs = append(sc.Docs, tc)
+	}
+	return sc, nil
+}
+
+func domainByName(name string) domainSpec {
+	for _, d := range domains {
+		if d.name == name {
+			return d
+		}
+	}
+	return domains[0]
+}

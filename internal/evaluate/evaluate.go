@@ -96,9 +96,21 @@ type CubeEvaluator struct {
 	// Workers bounds the engine-side worker pool per batch; ≤ 0 uses
 	// GOMAXPROCS.
 	Workers int
+	// Runner, when non-nil, executes the batches instead of the engine
+	// directly — a sqlexec.Window pools them with batches from other
+	// documents being checked concurrently (corpus audits). Nil keeps the
+	// direct engine path.
+	Runner BatchRunner
 
 	mu   sync.Mutex
 	pool map[string]map[string]bool // ColumnRef.String() -> literal set
+}
+
+// BatchRunner executes one document's claim batches. Engine.EvaluateBatch
+// is the default; sqlexec.Window satisfies the same surface to merge
+// batches across concurrently-checked documents into shared passes.
+type BatchRunner interface {
+	EvaluateBatch(ctx context.Context, queries []sqlexec.Query, opts sqlexec.BatchOptions) []float64
 }
 
 // NewCubeEvaluator returns a merging evaluator over the engine.
@@ -157,8 +169,26 @@ func (c *CubeEvaluator) snapshotPool(queries []sqlexec.Query) map[string][]strin
 // cache allows and answers every query. Cancellation is honored between
 // and inside cube passes; see Engine.EvaluateBatch.
 func (c *CubeEvaluator) EvaluateBatch(ctx context.Context, queries []sqlexec.Query) []float64 {
-	return c.Engine.EvaluateBatch(ctx, queries, sqlexec.BatchOptions{
-		Pool:    c.snapshotPool(queries),
-		Workers: c.Workers,
-	})
+	opts := sqlexec.BatchOptions{Pool: c.snapshotPool(queries), Workers: c.Workers}
+	if c.Runner != nil {
+		return c.Runner.EvaluateBatch(ctx, queries, opts)
+	}
+	return c.Engine.EvaluateBatch(ctx, queries, opts)
+}
+
+// BeginDocument registers the document with a participant-tracking runner
+// (sqlexec.Window counts active documents to decide when a pooled window
+// is complete); EndDocument deregisters it. Both are no-ops on the direct
+// engine path. The EM loop calls them structurally, like SetPool.
+func (c *CubeEvaluator) BeginDocument() {
+	if r, ok := c.Runner.(interface{ Join() }); ok {
+		r.Join()
+	}
+}
+
+// EndDocument ends the document's window participation; see BeginDocument.
+func (c *CubeEvaluator) EndDocument() {
+	if r, ok := c.Runner.(interface{ Leave() }); ok {
+		r.Leave()
+	}
 }

@@ -1,0 +1,133 @@
+package httpapi
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"testing"
+)
+
+func postAudit(t *testing.T, url string, req wireAuditRequest) *http.Response {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+func TestAuditEndpoint(t *testing.T) {
+	ts, tc := newTestServer(t, Options{})
+	req := wireAuditRequest{Documents: []wireAuditDoc{
+		{Name: "a.html", Text: tc.HTML},
+		{Name: "b.html", Text: tc.HTML},
+		{Name: "c.html", Text: tc.HTML},
+	}}
+	resp := postAudit(t, ts.URL+"/v1/databases/nfl/audit", req)
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("content-type = %q", ct)
+	}
+
+	var docLines []wireAuditDocEvent
+	var summary *wireAuditSummary
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var probe struct {
+			Event string `json:"event"`
+		}
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch probe.Event {
+		case "doc":
+			var ev wireAuditDocEvent
+			if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+				t.Fatal(err)
+			}
+			docLines = append(docLines, ev)
+		case "done":
+			summary = new(wireAuditSummary)
+			if err := json.Unmarshal(sc.Bytes(), summary); err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("unknown event %q", probe.Event)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	if len(docLines) != 3 {
+		t.Fatalf("doc lines = %d, want 3", len(docLines))
+	}
+	seen := map[int]bool{}
+	for _, ev := range docLines {
+		if ev.Error != "" {
+			t.Errorf("doc %s: %s", ev.Name, ev.Error)
+		}
+		if ev.Report == nil || len(ev.Report.Claims) != len(tc.Doc.Claims) {
+			t.Errorf("doc %s: bad report", ev.Name)
+		}
+		seen[ev.Index] = true
+	}
+	if len(seen) != 3 {
+		t.Errorf("indexes not distinct: %v", seen)
+	}
+	if summary == nil {
+		t.Fatal("no done line")
+	}
+	if summary.Documents != 3 || summary.Checked != 3 || summary.Failed != 0 {
+		t.Errorf("summary counts %d/%d/%d", summary.Documents, summary.Checked, summary.Failed)
+	}
+	if summary.Claims != 3*len(tc.Doc.Claims) {
+		t.Errorf("summary claims = %d, want %d", summary.Claims, 3*len(tc.Doc.Claims))
+	}
+	// Three identical documents about the same tables: the window must have
+	// merged passes across them and the cache snapshot must be populated.
+	if summary.SharedPasses == 0 {
+		t.Error("no shared passes for identical concurrent documents")
+	}
+	if summary.Cache == nil || summary.Cache.Entries == 0 {
+		t.Errorf("cache stats missing: %+v", summary.Cache)
+	}
+	if summary.Stats["window_flushes"] == 0 {
+		t.Error("stats missing window_flushes")
+	}
+}
+
+func TestAuditEndpointBadRequests(t *testing.T) {
+	ts, tc := newTestServer(t, Options{})
+	for _, tt := range []struct {
+		name, url, body string
+		want            int
+	}{
+		{"empty body", ts.URL + "/v1/databases/nfl/audit", `{}`, http.StatusBadRequest},
+		{"empty doc", ts.URL + "/v1/databases/nfl/audit", `{"documents":[{"name":"x","text":"  "}]}`, http.StatusBadRequest},
+		{"bad json", ts.URL + "/v1/databases/nfl/audit", `{`, http.StatusBadRequest},
+		{"bad concurrency", ts.URL + "/v1/databases/nfl/audit?concurrency=0",
+			`{"documents":[{"name":"x","text":"hello 42 claims"}]}`, http.StatusBadRequest},
+		{"unknown db", ts.URL + "/v1/databases/nope/audit",
+			`{"documents":[{"name":"x","text":"` + "hello 42" + `"}]}`, http.StatusNotFound},
+	} {
+		resp, err := http.Post(tt.url, "application/json", bytes.NewReader([]byte(tt.body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tt.want {
+			t.Errorf("%s: status = %d, want %d", tt.name, resp.StatusCode, tt.want)
+		}
+	}
+	_ = tc
+}

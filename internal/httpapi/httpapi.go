@@ -41,6 +41,7 @@ type Options struct {
 //	POST /v1/databases/{name}/refresh      -> refresh from source, report status
 //	POST /v1/databases/{name}/check        -> JSON report
 //	POST /v1/databases/{name}/check/stream -> NDJSON event stream
+//	POST /v1/databases/{name}/audit        -> bulk corpus audit, NDJSON progress
 //
 // The request body is the document itself: HTML-lite when it looks like
 // markup, markdown-lite plain text otherwise. Per-request knobs arrive as
@@ -73,6 +74,7 @@ func New(svc *core.Service, opts Options) *Server {
 	s.mux.HandleFunc("POST /v1/databases/{name}/refresh", s.handleRefresh)
 	s.mux.HandleFunc("POST /v1/databases/{name}/check", s.handleCheck)
 	s.mux.HandleFunc("POST /v1/databases/{name}/check/stream", s.handleStream)
+	s.mux.HandleFunc("POST /v1/databases/{name}/audit", s.handleAudit)
 	s.mux.HandleFunc("POST /v1/shard/databases/{name}/cube", s.handleShardCube)
 	s.mux.HandleFunc("POST /v1/shard/databases/{name}/scan", s.handleShardScan)
 	return s
@@ -178,18 +180,42 @@ func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (ctx conte
 		httpError(w, http.StatusBadRequest, "empty document")
 		return ctx, cancel, name, nil, nil, false
 	}
-	if strings.Contains(text, "<") {
-		doc = document.ParseHTML(text)
-	} else {
-		doc = document.ParseText(text)
-	}
+	doc = parseDoc(text)
 
+	opts, timeout, paramsOK := s.parseCheckParams(w, r)
+	if !paramsOK {
+		return ctx, cancel, name, nil, nil, false
+	}
+	// Always derive a cancellable context — handleStream's write-error
+	// path relies on cancel() actually aborting the run even when no
+	// timeout applies.
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	} else {
+		ctx, cancel = context.WithCancel(ctx)
+	}
+	return ctx, cancel, name, doc, opts, true
+}
+
+// parseDoc parses a request-body document: HTML-lite when it looks like
+// markup, markdown-lite plain text otherwise.
+func parseDoc(text string) *document.Document {
+	if strings.Contains(text, "<") {
+		return document.ParseHTML(text)
+	}
+	return document.ParseText(text)
+}
+
+// parseCheckParams parses the per-request query parameters shared by the
+// check, stream, and audit endpoints. On a bad parameter it writes the 400
+// and returns ok=false.
+func (s *Server) parseCheckParams(w http.ResponseWriter, r *http.Request) (opts []core.CheckOption, timeout time.Duration, ok bool) {
 	q := r.URL.Query()
 	if v := q.Get("mode"); v != "" {
 		mode, err := core.ParseEvalMode(v)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
-			return ctx, cancel, name, nil, nil, false
+			return nil, 0, false
 		}
 		opts = append(opts, core.WithMode(mode))
 	}
@@ -201,7 +227,7 @@ func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (ctx conte
 			n, err := strconv.Atoi(v)
 			if err != nil {
 				httpError(w, http.StatusBadRequest, "bad %s %q", param, v)
-				return ctx, cancel, name, nil, nil, false
+				return nil, 0, false
 			}
 			opts = append(opts, opt(n))
 		}
@@ -210,7 +236,7 @@ func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (ctx conte
 		n, err := strconv.Atoi(v)
 		if err != nil || n < 0 || n > maxScanWorkersParam {
 			httpError(w, http.StatusBadRequest, "bad scan_workers %q (want 0..%d)", v, maxScanWorkersParam)
-			return ctx, cancel, name, nil, nil, false
+			return nil, 0, false
 		}
 		opts = append(opts, core.WithScanWorkers(n))
 	}
@@ -218,30 +244,22 @@ func (s *Server) requestSetup(w http.ResponseWriter, r *http.Request) (ctx conte
 		on, err := strconv.ParseBool(v)
 		if err != nil {
 			httpError(w, http.StatusBadRequest, "bad zone_maps %q (want true or false)", v)
-			return ctx, cancel, name, nil, nil, false
+			return nil, 0, false
 		}
 		opts = append(opts, core.WithZoneMaps(on))
 	}
-	timeout := s.opts.RequestTimeout
+	timeout = s.opts.RequestTimeout
 	if v := q.Get("timeout"); v != "" {
 		d, err := time.ParseDuration(v)
 		if err != nil || d <= 0 {
 			httpError(w, http.StatusBadRequest, "bad timeout %q", v)
-			return ctx, cancel, name, nil, nil, false
+			return nil, 0, false
 		}
 		if timeout == 0 || d < timeout {
 			timeout = d
 		}
 	}
-	// Always derive a cancellable context — handleStream's write-error
-	// path relies on cancel() actually aborting the run even when no
-	// timeout applies.
-	if timeout > 0 {
-		ctx, cancel = context.WithTimeout(ctx, timeout)
-	} else {
-		ctx, cancel = context.WithCancel(ctx)
-	}
-	return ctx, cancel, name, doc, opts, true
+	return opts, timeout, true
 }
 
 func (s *Server) handleCheck(w http.ResponseWriter, r *http.Request) {

@@ -110,6 +110,18 @@ func Run(ctx context.Context, cat *fragments.Catalog, doc *document.Document, sc
 	if p, ok := ev.(interface{ SetPool(map[string][]string) }); ok {
 		p.SetPool(pool.Literals(cat))
 	}
+	// Evaluators whose batches pool across concurrently-checked documents
+	// (corpus audits) track document lifetimes: a pooled window flushes when
+	// every in-flight document has a batch parked, so the EM loop must
+	// bracket its run or the other documents wait out the flush deadline
+	// every iteration.
+	if d, ok := ev.(interface {
+		BeginDocument()
+		EndDocument()
+	}); ok {
+		d.BeginDocument()
+		defer d.EndDocument()
+	}
 	priors := UniformPriors(cat)
 	states := make([]*claimState, len(doc.Claims))
 	for i := range states {

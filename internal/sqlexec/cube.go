@@ -535,6 +535,39 @@ func (r *CubeResult) merged(other *CubeResult) *CubeResult {
 	return out
 }
 
+// memBytes estimates the resident heap size of the cube result: cell map
+// storage, accumulators (with their distinct sets), and the dimension
+// literal tables. Go's map and allocator overheads are approximated with
+// fixed per-entry costs — the estimate only needs to be consistent across
+// cubes, which is all the cost-aware cache policy ranks by.
+func (r *CubeResult) memBytes() int64 {
+	const (
+		accBytes      = 64 // accumulator struct + allocator overhead
+		cellOverhead  = 48 // map bucket share + key + slice header
+		distinctEntry = 16 // one uint64 key + bucket share
+		distinctMap   = 48 // non-nil distinct map header
+	)
+	var n int64
+	for _, cell := range r.cells {
+		n += cellOverhead + int64(len(cell))*8
+		for _, a := range cell {
+			if a == nil {
+				continue
+			}
+			n += accBytes
+			if a.distinct != nil {
+				n += distinctMap + int64(len(a.distinct))*distinctEntry
+			}
+		}
+	}
+	for _, d := range r.Dims {
+		for _, lit := range d.Literals {
+			n += 16 + int64(len(lit))
+		}
+	}
+	return n
+}
+
 // trackedCols returns the result's tracked aggregation columns (star
 // excluded) in tracking order — the column set a delta scan must cover so
 // the merged cube keeps answering everything the cached one did.

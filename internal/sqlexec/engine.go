@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"aggchecker/internal/db"
 )
@@ -101,6 +102,29 @@ type Stats struct {
 	ShardMergeNanos atomic.Int64
 	ShardStragglers atomic.Int64
 
+	// Cost-aware cube-cache economics. CubeCacheNsSaved accumulates, over
+	// every cache hit, the build cost (wall nanoseconds) the hit avoided
+	// re-spending; CubeCacheBytesSaved the same for the entry's resident
+	// bytes (a rebuild would have re-allocated them). CubeCacheEvictions /
+	// CubeCacheEvictedBytes count entries dropped by the byte-budget sweep
+	// (score-ordered: cheap-to-rebuild, rarely-hit, large entries first);
+	// CubeCacheAdmitRejects counts fresh results returned to their caller
+	// but never cached because they alone exceed the configured budget.
+	CubeCacheNsSaved      atomic.Int64
+	CubeCacheBytesSaved   atomic.Int64
+	CubeCacheEvictions    atomic.Int64
+	CubeCacheEvictedBytes atomic.Int64
+	CubeCacheAdmitRejects atomic.Int64
+
+	// Cross-document window counters, updated by Window (the engine itself
+	// never touches them). WindowBatches counts member batch submissions
+	// pooled into planning windows; WindowFlushes the merged executions
+	// those windows flushed into; SharedPasses the planned cube passes that
+	// served queries from more than one document of a flush.
+	WindowBatches atomic.Int64
+	WindowFlushes atomic.Int64
+	SharedPasses  atomic.Int64
+
 	// Incremental-maintenance counters. DeltaScans counts cached cubes
 	// brought up to a newer snapshot version by scanning only the appended
 	// rows; BlocksDelta the sealed storage blocks those delta scans covered
@@ -152,6 +176,16 @@ func (s *Stats) Snapshot() map[string]int64 {
 		"shard_partials":   s.ShardPartials.Load(),
 		"shard_merge_ns":   s.ShardMergeNanos.Load(),
 		"shard_stragglers": s.ShardStragglers.Load(),
+
+		"cube_cache_ns_saved":      s.CubeCacheNsSaved.Load(),
+		"cube_cache_bytes_saved":   s.CubeCacheBytesSaved.Load(),
+		"cube_cache_evictions":     s.CubeCacheEvictions.Load(),
+		"cube_cache_evicted_bytes": s.CubeCacheEvictedBytes.Load(),
+		"cube_cache_admit_rejects": s.CubeCacheAdmitRejects.Load(),
+
+		"window_batches": s.WindowBatches.Load(),
+		"window_flushes": s.WindowFlushes.Load(),
+		"shared_passes":  s.SharedPasses.Load(),
 
 		"delta_scans":    s.DeltaScans.Load(),
 		"blocks_delta":   s.BlocksDelta.Load(),
@@ -207,6 +241,9 @@ type cubeEntry struct {
 	// request of such a check would rescan from scratch each EM iteration.
 	// It never replaces state: newer published results are never regressed.
 	stale atomic.Pointer[cubeState]
+	// hits counts cache hits served from this entry — the frequency term of
+	// the cost×frequency eviction score.
+	hits atomic.Int64
 }
 
 // cubeState is one published (result, storage version) pair. For
@@ -222,6 +259,14 @@ type cubeState struct {
 	epoch   uint64
 	table   string
 	rows    int
+
+	// buildNanos is the cumulative wall-clock cost of producing res from
+	// scratch (initial pass plus extensions and delta advances); bytes its
+	// estimated resident size. Both feed the cost-aware cache policy: a hit
+	// "saves" buildNanos/bytes, and the eviction sweep ranks entries by
+	// buildNanos×(1+hits)/bytes so cheap-to-rebuild giants go first.
+	buildNanos int64
+	bytes      int64
 }
 
 // appendable reports whether snap can be reached from this state by
@@ -276,6 +321,12 @@ type Engine struct {
 	// engine does not own it (its creator calls Close).
 	sched atomic.Pointer[Scheduler]
 
+	// cubeCacheBudget bounds the cube cache's estimated resident bytes
+	// (<= 0: unbounded). Publishes over budget trigger an eviction sweep;
+	// evicting is the CAS guard that keeps the sweep single-flight.
+	cubeCacheBudget atomic.Int64
+	evicting        atomic.Bool
+
 	// testHookBeforeCubePass, when non-nil, runs at the start of every cube
 	// pass; tests use it to hold a computation open while concurrent
 	// requests for the same cube pile up.
@@ -296,8 +347,46 @@ func NewEngine(d *db.Database, opts ...ExecOption) *Engine {
 	e.caching.Store(true)
 	e.zoneMaps.Store(true)
 	e.pushdown.Store(true)
+	e.cubeCacheBudget.Store(defaultCubeCacheBudget)
 	e.Tune(opts...)
 	return e
+}
+
+// defaultCubeCacheBudget bounds the cube cache's estimated resident bytes
+// when WithCubeCacheBudget was not given: large enough that single-document
+// checking never sweeps, small enough that a corpus audit over many scopes
+// cannot grow without bound.
+const defaultCubeCacheBudget = 256 << 20
+
+// CubeCacheBudget returns the configured cube-cache byte budget (<= 0:
+// unbounded).
+func (e *Engine) CubeCacheBudget() int64 { return e.cubeCacheBudget.Load() }
+
+// CacheUsage reports the cube cache's resident entry count and estimated
+// bytes (published states plus parked stale results). It scans the shard
+// maps rather than maintaining a gauge, so concurrent publishes, evictions,
+// and ResetCache can never make the accounting drift.
+func (e *Engine) CacheUsage() (entries int, bytes int64) {
+	for i := range e.cubes {
+		sh := &e.cubes[i]
+		e.lock(&sh.mu)
+		for _, ent := range sh.entries {
+			st := ent.state.Load()
+			sst := ent.stale.Load()
+			if st == nil && sst == nil {
+				continue
+			}
+			entries++
+			if st != nil {
+				bytes += st.bytes
+			}
+			if sst != nil {
+				bytes += sst.bytes
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return entries, bytes
 }
 
 // PushdownEnabled reports whether the batch planner may merge
@@ -355,6 +444,98 @@ func (e *Engine) lock(mu *sync.Mutex) {
 	}
 	e.Stats.LockWaits.Add(1)
 	mu.Lock()
+}
+
+// cacheHit records one cache hit and its economics: the build nanoseconds
+// and bytes the hit avoided re-spending, plus the entry's frequency term.
+func (e *Engine) cacheHit(ent *cubeEntry, st *cubeState) {
+	e.Stats.CacheHits.Add(1)
+	e.Stats.CubeCacheNsSaved.Add(st.buildNanos)
+	e.Stats.CubeCacheBytesSaved.Add(st.bytes)
+	ent.hits.Add(1)
+}
+
+// admit decides whether a freshly built state may enter the cache: a result
+// that alone exceeds the whole byte budget is returned to its caller but
+// never stored (caching it would immediately evict everything else for an
+// entry the next sweep drops anyway).
+func (e *Engine) admit(st *cubeState) bool {
+	if b := e.cubeCacheBudget.Load(); b > 0 && st.bytes > b {
+		e.Stats.CubeCacheAdmitRejects.Add(1)
+		return false
+	}
+	return true
+}
+
+// maybeEvict sweeps the cube cache back under the configured byte budget.
+// Victims are ranked by buildNanos×(1+hits)/bytes ascending — cheap to
+// rebuild, rarely hit, and large evicts first — so the bytes freed cost the
+// least expected rebuild time. The sweep is CAS-guarded single-flight;
+// entries mid-computation (ent.mu held) are skipped rather than waited on,
+// leaving the cache briefly over budget instead of stalling publishers.
+// Evicted entries stay valid for readers already holding their results
+// (published CubeResults are immutable); a publisher racing the sweep at
+// worst stores into an orphaned entry that the GC then collects.
+func (e *Engine) maybeEvict() {
+	budget := e.cubeCacheBudget.Load()
+	if budget <= 0 {
+		return
+	}
+	if !e.evicting.CompareAndSwap(false, true) {
+		return
+	}
+	defer e.evicting.Store(false)
+	_, used := e.CacheUsage()
+	if used <= budget {
+		return
+	}
+	type victim struct {
+		shard int
+		sig   string
+		ent   *cubeEntry
+		bytes int64
+		score float64
+	}
+	var victims []victim
+	for i := range e.cubes {
+		sh := &e.cubes[i]
+		e.lock(&sh.mu)
+		for sig, ent := range sh.entries {
+			var b, cost int64
+			if st := ent.state.Load(); st != nil {
+				b += st.bytes
+				cost += st.buildNanos
+			}
+			if sst := ent.stale.Load(); sst != nil {
+				b += sst.bytes
+				cost += sst.buildNanos
+			}
+			if b == 0 {
+				continue
+			}
+			victims = append(victims, victim{i, sig, ent, b, float64(cost) * float64(1+ent.hits.Load()) / float64(b)})
+		}
+		sh.mu.Unlock()
+	}
+	sort.Slice(victims, func(a, b int) bool { return victims[a].score < victims[b].score })
+	for _, v := range victims {
+		if used <= budget {
+			break
+		}
+		if !v.ent.mu.TryLock() {
+			continue // mid-computation; never stall a publisher
+		}
+		sh := &e.cubes[v.shard]
+		e.lock(&sh.mu)
+		if sh.entries[v.sig] == v.ent {
+			delete(sh.entries, v.sig)
+			used -= v.bytes
+			e.Stats.CubeCacheEvictions.Add(1)
+			e.Stats.CubeCacheEvictedBytes.Add(v.bytes)
+		}
+		sh.mu.Unlock()
+		v.ent.mu.Unlock()
+	}
 }
 
 // DefaultTable returns the name of the first table, used to anchor queries
@@ -560,18 +741,23 @@ func (e *Engine) cubeForContext(ctx context.Context, tables []string, dims []Dim
 	// Fast path: a request fully covered by the published state at the
 	// current storage version never queues, even while another goroutine
 	// extends or advances the cube.
-	if st := ent.state.Load(); st != nil && st.version == snap.Version() && len(missingCols(st.res, cols)) == 0 {
-		e.Stats.CacheHits.Add(1)
+	if st := ent.state.Load(); st != nil && st.version == snap.Version() && dimsCover(st.res.Dims, dims) && len(missingCols(st.res, cols)) == 0 {
+		e.cacheHit(ent, st)
 		return st.res, nil
 	}
-	if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && sameDims(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
-		e.Stats.CacheHits.Add(1)
+	if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && dimsCover(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
+		e.cacheHit(ent, sst)
 		return sst.res, nil
 	}
 	if ok && ent.computing.Load() {
 		e.Stats.CubeDedups.Add(1)
 	}
 
+	// Registered before the entry lock so the sweep runs after it is
+	// released: a publish that pushed the cache over budget pays for the
+	// eviction pass, and the sweep's TryLock can never see its own entry as
+	// held by itself.
+	defer e.maybeEvict()
 	e.lock(&ent.mu)
 	defer func() {
 		ent.computing.Store(false)
@@ -584,7 +770,9 @@ func (e *Engine) cubeForContext(ctx context.Context, tables []string, dims []Dim
 		if err != nil {
 			return nil, err
 		}
-		ent.state.Store(fresh)
+		if e.admit(fresh) {
+			ent.state.Store(fresh)
+		}
 		e.Stats.CacheMisses.Add(1)
 		return fresh.res, nil
 	}
@@ -596,19 +784,25 @@ func (e *Engine) cubeForContext(ctx context.Context, tables []string, dims []Dim
 	// Re-check coverage under the lock; extend with the missing columns if
 	// the goroutine ahead of us did not already.
 	missing := missingCols(st.res, cols)
-	if len(missing) == 0 {
-		e.Stats.CacheHits.Add(1)
+	if len(missing) == 0 && dimsCover(st.res.Dims, dims) {
+		e.cacheHit(ent, st)
 		return st.res, nil
 	}
 	ent.computing.Store(true)
-	// Literal sets may differ between the cached cube and the request;
-	// recompute only when the cached dims cannot encode the request.
-	if !sameDims(st.res.Dims, dims) {
-		fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
+	// Literal sets may lag the request — a window's literal pool grows as a
+	// corpus is audited — and a cube cannot encode a literal it was not
+	// built with. Rebuild at the union of cached and requested literals (and
+	// the union of tracked columns) so the entry converges to a covering
+	// shape instead of thrashing between per-batch literal sets: once the
+	// pool saturates, every later request is served without a pass.
+	if !dimsCover(st.res.Dims, dims) {
+		fresh, err := e.freshState(ctx, snap, tables, unionDims(st.res.Dims, dims), unionCols(st.res, cols), filter)
 		if err != nil {
 			return nil, err
 		}
-		ent.state.Store(fresh)
+		if e.admit(fresh) {
+			ent.state.Store(fresh)
+		}
 		e.Stats.CacheMisses.Add(1)
 		return fresh.res, nil
 	}
@@ -616,13 +810,16 @@ func (e *Engine) cubeForContext(ctx context.Context, tables []string, dims []Dim
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	extra, err := e.runCube(ctx, view, tables, st.res.Dims, missing, filter)
 	if err != nil {
 		return nil, err
 	}
 	wider := st.res.merged(extra)
-	ent.state.Store(&cubeState{res: wider, version: st.version, epoch: st.epoch, table: st.table, rows: st.rows})
-	e.Stats.CacheHits.Add(1)
+	next := &cubeState{res: wider, version: st.version, epoch: st.epoch, table: st.table, rows: st.rows,
+		buildNanos: st.buildNanos + time.Since(start).Nanoseconds(), bytes: wider.memBytes()}
+	ent.state.Store(next)
+	e.cacheHit(ent, st)
 	return wider, nil
 }
 
@@ -633,11 +830,13 @@ func (e *Engine) freshState(ctx context.Context, snap *db.Snapshot, tables []str
 	if err != nil {
 		return nil, err
 	}
+	start := time.Now()
 	res, err := e.runCube(ctx, view, tables, dims, cols, filter)
 	if err != nil {
 		return nil, err
 	}
-	st := &cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1}
+	st := &cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1,
+		buildNanos: time.Since(start).Nanoseconds(), bytes: res.memBytes()}
 	if len(tables) == 1 {
 		st.table = tables[0]
 		st.rows = snap.NumRows(tables[0])
@@ -657,8 +856,8 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 		// version, without regressing the newer published state. The
 		// result is parked in the entry's stale slot so the pinned check
 		// pays for the pass once, not once per EM iteration.
-		if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && sameDims(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
-			e.Stats.CacheHits.Add(1)
+		if sst := ent.stale.Load(); sst != nil && sst.version == snap.Version() && dimsCover(sst.res.Dims, dims) && len(missingCols(sst.res, cols)) == 0 {
+			e.cacheHit(ent, sst)
 			return sst.res, nil
 		}
 		ent.computing.Store(true)
@@ -666,22 +865,25 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 		if err != nil {
 			return nil, err
 		}
+		start := time.Now()
 		res, err := e.runCube(ctx, view, tables, dims, cols, filter)
 		if err != nil {
 			return nil, err
 		}
-		ent.stale.Store(&cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1})
+		ent.stale.Store(&cubeState{res: res, version: snap.Version(), epoch: snap.Epoch(), rows: -1,
+			buildNanos: time.Since(start).Nanoseconds(), bytes: res.memBytes()})
 		e.Stats.CacheMisses.Add(1)
 		return res, nil
 	}
-	if st.appendable(snap) && sameDims(st.res.Dims, dims) && len(missingCols(st.res, cols)) == 0 {
+	if st.appendable(snap) && dimsCover(st.res.Dims, dims) && len(missingCols(st.res, cols)) == 0 {
 		newRows := snap.NumRows(st.table)
 		if newRows == st.rows {
 			// The commits since st.version touched other tables only: the
 			// cached result is still exact, so republish it at the current
 			// version without scanning anything.
-			ent.state.Store(&cubeState{res: st.res, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: st.rows})
-			e.Stats.CacheHits.Add(1)
+			ent.state.Store(&cubeState{res: st.res, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: st.rows,
+				buildNanos: st.buildNanos, bytes: st.bytes})
+			e.cacheHit(ent, st)
 			return st.res, nil
 		}
 		ent.computing.Store(true)
@@ -693,30 +895,36 @@ func (e *Engine) advanceState(ctx context.Context, ent *cubeEntry, st *cubeState
 		// since the cached version — with the cached cube's own dims and
 		// tracked columns, then merge the partial into the published
 		// result copy-on-write.
+		start := time.Now()
 		delta, err := e.runCubeDelta(ctx, view, tables, st.res.Dims, st.res.trackedCols(), st.rows, newRows, filter)
 		if err != nil {
 			return nil, err
 		}
 		merged := st.res.mergeAppend(delta)
-		ent.state.Store(&cubeState{res: merged, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: newRows})
+		ent.state.Store(&cubeState{res: merged, version: snap.Version(), epoch: snap.Epoch(), table: st.table, rows: newRows,
+			buildNanos: st.buildNanos + time.Since(start).Nanoseconds(), bytes: merged.memBytes()})
 		e.Stats.DeltaScans.Add(1)
 		e.Stats.BlocksDelta.Add(int64(len(snap.BlocksSince(st.table, st.rows))))
-		e.Stats.CacheHits.Add(1)
+		e.cacheHit(ent, st)
 		return merged, nil
 	}
 
 	// Joined scope, changed dims/columns, or a structural change: the
-	// advance cannot be expressed as an append-only delta.
+	// advance cannot be expressed as an append-only delta. Rebuild at the
+	// union of cached and requested shapes so literal-set churn under
+	// appends converges the same way the same-version path does.
 	ent.computing.Store(true)
 	e.Stats.FullRebuilds.Add(1)
 	if st.epoch != snap.Epoch() {
 		e.Stats.EpochRebuilds.Add(1)
 	}
-	fresh, err := e.freshState(ctx, snap, tables, dims, cols, filter)
+	fresh, err := e.freshState(ctx, snap, tables, unionDims(st.res.Dims, dims), unionCols(st.res, cols), filter)
 	if err != nil {
 		return nil, err
 	}
-	ent.state.Store(fresh)
+	if e.admit(fresh) {
+		ent.state.Store(fresh)
+	}
 	e.Stats.CacheMisses.Add(1)
 	return fresh.res, nil
 }
@@ -798,6 +1006,82 @@ func trackedColsFor(reqs []AggRequest) []trackedCol {
 		out = append(out, *byKey[k])
 	}
 	return out
+}
+
+// dimsCover reports whether a cached cube's dims can encode every request
+// dim: the same columns, with each cached literal list containing every
+// requested literal. Extra cached literals only carve more values out of the
+// InOrDefault bucket — cells for shared literals and the rollup are byte-for
+// byte what a narrower build produces — so a covering cube answers the
+// request exactly like a freshly built one.
+func dimsCover(have, want []DimSpec) bool {
+	if len(have) != len(want) {
+		return false
+	}
+	hm := make(map[string]map[string]struct{}, len(have))
+	for _, d := range have {
+		set, ok := hm[d.Col.String()]
+		if !ok {
+			set = make(map[string]struct{}, len(d.Literals))
+			hm[d.Col.String()] = set
+		}
+		for _, lit := range d.Literals {
+			set[lit] = struct{}{}
+		}
+	}
+	for _, d := range want {
+		set, ok := hm[d.Col.String()]
+		if !ok {
+			return false
+		}
+		for _, lit := range d.Literals {
+			if _, ok := set[lit]; !ok {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// unionDims widens cached dims with any requested literals they are missing:
+// cached literals keep their positions, new ones append in request order, so
+// the result is deterministic and still covers everything the cached cube
+// answered. Falls back to the request when the column sets diverge (distinct
+// signatures — cannot happen for dims reaching one cache entry).
+func unionDims(have, want []DimSpec) []DimSpec {
+	if len(have) != len(want) {
+		return want
+	}
+	wm := make(map[string][]string, len(want))
+	for _, d := range want {
+		wm[d.Col.String()] = d.Literals
+	}
+	out := make([]DimSpec, len(have))
+	for i, d := range have {
+		if _, ok := wm[d.Col.String()]; !ok {
+			return want
+		}
+		lits := append([]string(nil), d.Literals...)
+		seen := make(map[string]struct{}, len(lits))
+		for _, l := range lits {
+			seen[l] = struct{}{}
+		}
+		for _, l := range wm[d.Col.String()] {
+			if _, ok := seen[l]; !ok {
+				lits = append(lits, l)
+				seen[l] = struct{}{}
+			}
+		}
+		out[i] = DimSpec{Col: d.Col, Literals: lits}
+	}
+	return out
+}
+
+// unionCols is the cached cube's tracked columns plus the requested ones it
+// is missing — the column set a literal-widening rebuild must carry so no
+// previously cached aggregate is dropped from the entry.
+func unionCols(r *CubeResult, cols []trackedCol) []trackedCol {
+	return append(r.trackedCols(), missingCols(r, cols)...)
 }
 
 // sameDims reports whether two dimension specs have identical columns and

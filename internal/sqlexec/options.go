@@ -16,13 +16,14 @@ import (
 // distinguish "not mentioned" from an explicit value, so Tune only touches
 // the knobs its options name.
 type execOptions struct {
-	scanWorkers  *int
-	zoneMaps     *bool
-	scalarKernel *bool
-	caching      *bool
-	pushdown     *bool
-	scheduler    *Scheduler
-	schedulerSet bool
+	scanWorkers     *int
+	zoneMaps        *bool
+	scalarKernel    *bool
+	caching         *bool
+	pushdown        *bool
+	scheduler       *Scheduler
+	schedulerSet    bool
+	cubeCacheBudget *int64
 }
 
 // ExecOption configures engine execution: accepted by NewEngine, applied
@@ -73,6 +74,17 @@ func WithSelectionPushdown(on bool) ExecOption {
 	return func(o *execOptions) { o.pushdown = &on }
 }
 
+// WithCubeCacheBudget bounds the cube cache's estimated resident bytes
+// (the cost-aware cache policy's sweep target). n <= 0 removes the bound.
+// Publishes that push the cache over the budget trigger a score-ordered
+// eviction sweep (buildNanos×(1+hits)/bytes ascending: cheap-to-rebuild,
+// rarely-hit giants evict first); a single result larger than the whole
+// budget is served but never cached. Results are identical at any budget —
+// only rebuild work changes.
+func WithCubeCacheBudget(n int64) ExecOption {
+	return func(o *execOptions) { o.cubeCacheBudget = &n }
+}
+
 // WithScheduler installs a shared morsel scheduler: the engine's cube
 // passes and large direct scans then decompose into zone-aligned morsels
 // dispatched on the scheduler's pool — shared fairly with every other
@@ -105,6 +117,10 @@ func (e *Engine) Tune(opts ...ExecOption) {
 	}
 	if o.schedulerSet {
 		e.sched.Store(o.scheduler)
+	}
+	if o.cubeCacheBudget != nil {
+		e.cubeCacheBudget.Store(*o.cubeCacheBudget)
+		e.maybeEvict()
 	}
 	if o.caching != nil {
 		e.caching.Store(*o.caching)

@@ -126,6 +126,16 @@ func strippedCols(q Query, f Predicate) []ColumnRef {
 	return refs
 }
 
+// queryDimCount is the number of distinct predicate columns of q — the
+// dimensions an unfiltered cube hosting q needs.
+func queryDimCount(q Query) int {
+	seen := make(map[string]bool, len(q.Preds))
+	for _, p := range q.Preds {
+		seen[p.Col.String()] = true
+	}
+	return len(seen)
+}
+
 // planPushdown runs the selection-pushdown pre-pass: it counts how many
 // batch queries share each (join scope, column, literal) equality
 // predicate, and greedily claims the most-shared candidates into filtered
@@ -148,6 +158,18 @@ func planPushdown(plan *BatchPlan, queries []Query, defaultTable string, opt Pla
 	}
 	cands := make(map[candKey]*candidate)
 	for i, q := range queries {
+		if opt.MergeSmall && len(opt.Pool) > 0 && queryDimCount(q) <= maxCubeDims {
+			// Cost rule under caching with a literal pool (a document- or
+			// corpus-scale caller, §6.3): this query's own predicate columns
+			// fit an unfiltered cube, whose signature is column-set keyed and
+			// so stable across batches, documents, and EM iterations — a
+			// cache investment every later claim reuses. A filtered pass is
+			// keyed by its literal: near-zero reuse across a corpus, one
+			// fresh scan per distinct claim value. Pushdown still claims the
+			// queries too wide for any unfiltered host (there the shared
+			// predicate genuinely frees a dimension slot).
+			continue
+		}
 		tables := q.Tables(defaultTable)
 		scope := strings.Join(sortedCopy(tables), ",")
 		seen := make(map[Predicate]bool, len(q.Preds))

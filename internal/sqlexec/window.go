@@ -1,0 +1,345 @@
+package sqlexec
+
+import (
+	"context"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"aggchecker/internal/db"
+)
+
+// Window pools EvaluateBatch submissions from concurrently-checked
+// documents into one planning window, so N documents about the same tables
+// pay roughly one document's worth of cube passes. Each participant
+// registers with Join/Leave; its per-iteration claim batches then park in
+// the window instead of executing immediately. A window flushes — merging
+// every parked batch into one EvaluateBatch over the shared engine — when
+// all active participants have a batch parked, when the parked count
+// reaches MaxPending, or when the flush deadline expires (participants
+// whose EM phase runs long never stall the others for more than
+// FlushDelay).
+//
+// Batches are grouped by pinned snapshot version and each group flushes as
+// its own merged execution: documents pinned before and after an append
+// must not share passes, or their answers would not match isolated checks.
+// Within a group, merging is answer-preserving by construction — the
+// planner unions literal pools and dimension sets, and a cube answers each
+// query from the cell keyed by that query's own predicates, so widening a
+// pass with another document's literals or dimensions never changes a
+// covered query's value. The window additionally accumulates a
+// corpus-lifetime literal pool: merged literal sets converge as the corpus
+// streams through, keeping cube shapes stable (sameDims) so later
+// documents hit the cache instead of forcing recomputes.
+type Window struct {
+	eng        *Engine
+	maxPending int
+	flushDelay time.Duration
+	workers    int
+
+	mu      sync.Mutex
+	active  int // participants between Join and Leave
+	waiting int // batches parked across all groups
+	groups  map[uint64]*windowGroup
+	timer   *time.Timer
+
+	poolMu sync.Mutex
+	pool   map[string]map[string]bool // corpus-lifetime literal pool
+}
+
+// WindowConfig tunes a Window; zero values select the defaults.
+type WindowConfig struct {
+	// MaxPending flushes the window once this many batches are parked,
+	// whatever the participant count (default 64).
+	MaxPending int
+	// FlushDelay bounds how long a parked batch waits for co-travellers
+	// before a partial window flushes anyway (default 10ms).
+	FlushDelay time.Duration
+	// Workers, when > 0, overrides the worker bound of merged executions;
+	// otherwise the widest member bound wins.
+	Workers int
+}
+
+const (
+	defaultWindowMaxPending = 64
+	defaultWindowFlushDelay = 10 * time.Millisecond
+)
+
+type windowGroup struct {
+	version uint64
+	snap    *db.Snapshot
+	reqs    []*windowReq
+}
+
+type windowReq struct {
+	ctx     context.Context
+	queries []Query
+	opts    BatchOptions
+	done    chan []float64 // buffered: the flusher never blocks on a member
+}
+
+// NewWindow creates a planning window over the engine.
+func NewWindow(e *Engine, cfg WindowConfig) *Window {
+	w := &Window{
+		eng:        e,
+		maxPending: cfg.MaxPending,
+		flushDelay: cfg.FlushDelay,
+		workers:    cfg.Workers,
+		groups:     make(map[uint64]*windowGroup),
+		pool:       make(map[string]map[string]bool),
+	}
+	if w.maxPending <= 0 {
+		w.maxPending = defaultWindowMaxPending
+	}
+	if w.flushDelay <= 0 {
+		w.flushDelay = defaultWindowFlushDelay
+	}
+	return w
+}
+
+// Engine returns the engine merged executions run on.
+func (w *Window) Engine() *Engine { return w.eng }
+
+// Join registers one participant (a document check). Every participant
+// must Leave when its check ends, or parked batches from the others wait
+// out the flush deadline each iteration.
+func (w *Window) Join() {
+	w.mu.Lock()
+	w.active++
+	w.mu.Unlock()
+}
+
+// Leave deregisters a participant and flushes the window if everyone still
+// active is already parked (the leaver was the batch the window was
+// waiting for).
+func (w *Window) Leave() {
+	w.mu.Lock()
+	if w.active > 0 {
+		w.active--
+	}
+	var groups []*windowGroup
+	if w.waiting > 0 && w.waiting >= w.active {
+		groups = w.takeLocked()
+	}
+	w.mu.Unlock()
+	w.flushGroups(groups)
+}
+
+// EvaluateBatch parks the batch in the window and blocks until a flush
+// answers it (positionally, like Engine.EvaluateBatch). When ctx is
+// cancelled before the flush delivers, every slot reads NaN — the same
+// contract a cancelled Engine.EvaluateBatch honors.
+func (w *Window) EvaluateBatch(ctx context.Context, queries []Query, opts BatchOptions) []float64 {
+	if len(queries) == 0 {
+		return nil
+	}
+	w.eng.Stats.WindowBatches.Add(1)
+	w.mergePool(opts.Pool)
+
+	snap := w.eng.snapshotFor(ctx)
+	r := &windowReq{ctx: ctx, queries: queries, opts: opts, done: make(chan []float64, 1)}
+
+	w.mu.Lock()
+	g := w.groups[snap.Version()]
+	if g == nil {
+		g = &windowGroup{version: snap.Version(), snap: snap}
+		w.groups[snap.Version()] = g
+	}
+	g.reqs = append(g.reqs, r)
+	w.waiting++
+	var toFlush []*windowGroup
+	if w.waiting >= w.active || w.waiting >= w.maxPending {
+		toFlush = w.takeLocked()
+	} else if w.timer == nil {
+		w.timer = time.AfterFunc(w.flushDelay, w.timerFlush)
+	}
+	w.mu.Unlock()
+
+	w.flushGroups(toFlush)
+
+	select {
+	case vals := <-r.done:
+		return vals
+	case <-ctx.Done():
+		out := make([]float64, len(queries))
+		for i := range out {
+			out[i] = math.NaN()
+		}
+		return out
+	}
+}
+
+func (w *Window) timerFlush() {
+	w.mu.Lock()
+	w.timer = nil
+	groups := w.takeLocked()
+	w.mu.Unlock()
+	w.flushGroups(groups)
+}
+
+// takeLocked detaches every parked group for flushing. Callers hold w.mu.
+func (w *Window) takeLocked() []*windowGroup {
+	if w.timer != nil {
+		w.timer.Stop()
+		w.timer = nil
+	}
+	if w.waiting == 0 {
+		return nil
+	}
+	out := make([]*windowGroup, 0, len(w.groups))
+	for _, g := range w.groups {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].version < out[b].version })
+	w.groups = make(map[uint64]*windowGroup)
+	w.waiting = 0
+	return out
+}
+
+func (w *Window) flushGroups(groups []*windowGroup) {
+	for _, g := range groups {
+		w.flushGroup(g)
+	}
+}
+
+// flushGroup merges one snapshot-version group's batches into a single
+// EvaluateBatch and slices the results back to the members. It runs on the
+// goroutine that triggered the flush (the last submitter, a leaver, or the
+// deadline timer).
+func (w *Window) flushGroup(g *windowGroup) {
+	if g == nil || len(g.reqs) == 0 {
+		return
+	}
+	e := w.eng
+	e.Stats.WindowFlushes.Add(1)
+
+	all := make([]Query, 0, 64)
+	offs := make([]int, len(g.reqs)+1)
+	workers := 0
+	for i, r := range g.reqs {
+		offs[i] = len(all)
+		all = append(all, r.queries...)
+		if r.opts.Workers > workers {
+			workers = r.opts.Workers
+		}
+	}
+	offs[len(g.reqs)] = len(all)
+	if w.workers > 0 {
+		workers = w.workers
+	}
+	pool := w.snapshotPool()
+
+	if len(g.reqs) > 1 {
+		w.countSharedPasses(g, pool)
+	}
+
+	// Execute under a context pinned to the group's snapshot and cancelled
+	// only when EVERY member context is done: one cancelled document must
+	// not trash the answers the other members are waiting on. The watcher
+	// goroutine is released through stop when the flush finishes first
+	// (member contexts that are never cancelled must not leak it).
+	base, cancel := context.WithCancel(context.Background())
+	stop := make(chan struct{})
+	go func() {
+		for _, r := range g.reqs {
+			select {
+			case <-r.ctx.Done():
+			case <-stop:
+				return
+			}
+		}
+		cancel()
+	}()
+	mctx := WithSnapshot(base, g.snap)
+	if ov := overrideFor(g.reqs[0].ctx); ov != nil {
+		// Per-request scan tuning (scan workers, zone maps) carries over
+		// from the members; audit members share one checker's settings, so
+		// the first request is representative.
+		mctx = context.WithValue(mctx, execCtxKey{}, ov)
+	}
+	vals := e.EvaluateBatch(mctx, all, BatchOptions{Pool: pool, Workers: workers})
+	close(stop)
+	cancel()
+	for i, r := range g.reqs {
+		r.done <- vals[offs[i]:offs[i+1]]
+	}
+}
+
+// countSharedPasses plans the merged batch the way EvaluateBatch is about
+// to and records how many cube passes serve queries from more than one
+// member — the economics the audit report surfaces. A query submitted
+// identically by two members counts its pass as shared too: after
+// deduplication one pass answers both documents.
+func (w *Window) countSharedPasses(g *windowGroup, pool map[string][]string) {
+	e := w.eng
+	uniqIdx := make(map[string]int)
+	var uniq []Query
+	var members []map[int]bool // uniq index -> member set
+	for i, r := range g.reqs {
+		for _, q := range r.queries {
+			k := q.Key()
+			j, ok := uniqIdx[k]
+			if !ok {
+				j = len(uniq)
+				uniqIdx[k] = j
+				uniq = append(uniq, q)
+				members = append(members, make(map[int]bool, 2))
+			}
+			members[j][i] = true
+		}
+	}
+	plan := PlanCubesOpt(uniq, e.DefaultTable(), PlanOptions{
+		Pool:       pool,
+		MergeSmall: e.CachingEnabled(),
+		Pushdown:   e.PushdownEnabled(),
+	})
+	for _, p := range plan.Cubes {
+		seen := make(map[int]bool, len(g.reqs))
+		for _, qi := range p.QueryIdx {
+			for m := range members[qi] {
+				seen[m] = true
+			}
+		}
+		if len(seen) > 1 {
+			e.Stats.SharedPasses.Add(1)
+		}
+	}
+}
+
+// mergePool folds one batch's literal pool into the window's
+// corpus-lifetime pool. The pool only grows, so cube literal sets converge
+// across documents and cached cubes keep their shape (sameDims) instead of
+// recomputing per document.
+func (w *Window) mergePool(p map[string][]string) {
+	if len(p) == 0 {
+		return
+	}
+	w.poolMu.Lock()
+	for col, lits := range p {
+		set := w.pool[col]
+		if set == nil {
+			set = make(map[string]bool, len(lits))
+			w.pool[col] = set
+		}
+		for _, l := range lits {
+			set[l] = true
+		}
+	}
+	w.poolMu.Unlock()
+}
+
+func (w *Window) snapshotPool() map[string][]string {
+	w.poolMu.Lock()
+	defer w.poolMu.Unlock()
+	out := make(map[string][]string, len(w.pool))
+	for col, set := range w.pool {
+		lits := make([]string, 0, len(set))
+		for l := range set {
+			lits = append(lits, l)
+		}
+		sort.Strings(lits)
+		out[col] = lits
+	}
+	return out
+}
